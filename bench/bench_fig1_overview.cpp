@@ -1,0 +1,54 @@
+// Figure 1 reproduction: patch-count reduction from adaptive patching on a
+// 512x512 pathology image. The paper's example: 4,096 uniform patches
+// (8x8... shown with 4x4 = 16,384; the figure uses patch size such that the
+// uniform count is 4,096) reduced to 424 adaptive patches — ~10x fewer
+// tokens, ~100x less attention compute/memory.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+
+using namespace apf;
+
+int main(int argc, char** argv) {
+  const std::int64_t z = argc > 1 ? std::atoll(argv[1]) : 512;
+  const std::int64_t patch = 8;  // uniform grid 512/8 -> 4,096 patches
+  const std::int64_t n_images = 8;
+
+  std::printf("=== Figure 1: adaptive vs uniform patch counts (%lld^2) ===\n",
+              static_cast<long long>(z));
+  std::printf("%-8s %-10s %-10s %-12s %-14s %-12s\n", "image", "uniform",
+              "adaptive", "seq. ratio", "attn. ratio", "depth");
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+
+  core::ApfConfig cfg = core::ApfConfig::for_resolution(z);
+  cfg.patch_size = patch;
+  cfg.min_patch = 4;
+  cfg.split_value = 20;
+  core::AdaptivePatcher ap(cfg);
+
+  const std::int64_t uniform = (z / patch) * (z / patch);
+  double geo_ratio = 0;
+  for (std::int64_t i = 0; i < n_images; ++i) {
+    const qt::Quadtree tree = ap.build_tree(gen.sample(i).image);
+    const double ratio =
+        static_cast<double>(uniform) / static_cast<double>(tree.num_leaves());
+    geo_ratio += std::log(ratio);
+    std::printf("%-8lld %-10lld %-10lld %-12.1f %-14.0f %-12d\n",
+                static_cast<long long>(i), static_cast<long long>(uniform),
+                static_cast<long long>(tree.num_leaves()), ratio,
+                ratio * ratio, tree.max_depth_reached());
+  }
+  geo_ratio = std::exp(geo_ratio / n_images);
+  std::printf("\ngeomean sequence reduction: %.1fx (paper example: ~9.7x "
+              "[4096 -> 424])\n", geo_ratio);
+  std::printf("geomean attention-cost reduction: ~%.0fx (paper: ~100x)\n",
+              geo_ratio * geo_ratio);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Figure 3 reproduction: how the split value v controls the patch-size
+// distribution and the sequence length. The paper observes (a) the average
+// patch size grows roughly linearly as v grows [9.37, 20.21, 30.73 for
+// v = 20, 50, 100], and (b) the average sequence length shrinks
+// correspondingly [677.7, 286.9, 127.5] — empirically linear rather than
+// the quadratic worst case. All numbers here are real quadtree runs.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "quadtree/quadtree.h"
+
+using namespace apf;
+
+int main() {
+  const std::int64_t z = 256 * (bench::scale() >= 2 ? 2 : 1);
+  const std::int64_t n_images = 32 * bench::scale();
+  std::printf(
+      "==== Figure 3: patch-size & sequence-length distributions vs split "
+      "value (%lld images at %lld^2) ====\n\n",
+      static_cast<long long>(n_images), static_cast<long long>(z));
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+
+  std::vector<double> avg_sizes, avg_lens;
+  for (double v : {20.0, 50.0, 100.0}) {
+    core::ApfConfig cfg = core::ApfConfig::for_resolution(z);
+    cfg.split_value = v;
+    cfg.min_patch = 4;
+    core::AdaptivePatcher ap(cfg);
+
+    std::map<std::int64_t, std::int64_t> size_hist;
+    std::vector<std::int64_t> lengths;
+    double size_acc = 0;
+    std::int64_t patch_count = 0;
+    for (std::int64_t i = 0; i < n_images; ++i) {
+      qt::Quadtree t = ap.build_tree(gen.sample(i).image);
+      lengths.push_back(t.num_leaves());
+      for (const qt::Leaf& l : t.leaves()) {
+        ++size_hist[l.size];
+        size_acc += static_cast<double>(l.size);
+        ++patch_count;
+      }
+    }
+    double len_acc = 0;
+    std::int64_t len_min = lengths[0], len_max = lengths[0];
+    for (std::int64_t l : lengths) {
+      len_acc += static_cast<double>(l);
+      len_min = std::min(len_min, l);
+      len_max = std::max(len_max, l);
+    }
+    const double avg_size = size_acc / patch_count;
+    const double avg_len = len_acc / static_cast<double>(lengths.size());
+    avg_sizes.push_back(avg_size);
+    avg_lens.push_back(avg_len);
+
+    std::printf("--- split value v = %.0f ---\n", v);
+    std::printf("  patch-size histogram (size: count):");
+    for (const auto& [size, count] : size_hist)
+      std::printf("  %lld:%lld", static_cast<long long>(size),
+                  static_cast<long long>(count));
+    std::printf("\n  avg patch size   = %.2f\n", avg_size);
+    std::printf("  avg seq length   = %.1f  (min %lld, max %lld)\n\n",
+                avg_len, static_cast<long long>(len_min),
+                static_cast<long long>(len_max));
+  }
+
+  std::printf("summary (paper values at 512^2 PAIP in parentheses):\n");
+  std::printf("  v:            20        50        100\n");
+  std::printf("  avg size:     %-9.2f %-9.2f %-9.2f (9.37, 20.21, 30.73)\n",
+              avg_sizes[0], avg_sizes[1], avg_sizes[2]);
+  std::printf("  avg length:   %-9.1f %-9.1f %-9.1f (677.7, 286.9, 127.5)\n",
+              avg_lens[0], avg_lens[1], avg_lens[2]);
+
+  // The paper's claims in checkable form.
+  const double size_ratio_1 = avg_sizes[1] / avg_sizes[0];
+  const double size_ratio_2 = avg_sizes[2] / avg_sizes[1];
+  std::printf("\navg patch size grows with v:        %s (x%.2f, x%.2f)\n",
+              avg_sizes[0] < avg_sizes[1] && avg_sizes[1] < avg_sizes[2]
+                  ? "REPRODUCED"
+                  : "NOT reproduced",
+              size_ratio_1, size_ratio_2);
+  std::printf("avg seq length shrinks with v:      %s\n",
+              avg_lens[0] > avg_lens[1] && avg_lens[1] > avg_lens[2]
+                  ? "REPRODUCED"
+                  : "NOT reproduced");
+  // Empirical growth vs patch size: length * size ~ const => linear.
+  const double g1 = avg_lens[0] * avg_sizes[0];
+  const double g2 = avg_lens[1] * avg_sizes[1];
+  const double g3 = avg_lens[2] * avg_sizes[2];
+  std::printf("empirical growth ~ linear (len*size const within 2.5x): %s "
+              "(%.0f, %.0f, %.0f)\n",
+              std::max({g1, g2, g3}) / std::min({g1, g2, g3}) < 2.5
+                  ? "REPRODUCED"
+                  : "NOT reproduced",
+              g1, g2, g3);
+  return 0;
+}

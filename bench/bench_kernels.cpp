@@ -1,0 +1,128 @@
+// Substrate micro-benchmarks (google-benchmark): GEMM, attention-sized
+// batched matmul + softmax, Canny, quadtree construction, Morton encoding,
+// adaptive patch extraction. These are the kernels whose costs the
+// FrontierModel abstracts — measuring them grounds the model's constants.
+
+#include <benchmark/benchmark.h>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+#include "img/filters.h"
+#include "quadtree/morton.h"
+#include "quadtree/quadtree.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  apf::Rng rng(1);
+  apf::Tensor a = apf::Tensor::randn({n, n}, rng);
+  apf::Tensor b = apf::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    apf::Tensor c = apf::ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
+
+void BM_AttentionScores(benchmark::State& state) {
+  // One attention head block: scores = Q K^T + softmax, L x D.
+  const std::int64_t l = state.range(0);
+  const std::int64_t d = 64;
+  apf::Rng rng(2);
+  apf::Tensor q = apf::Tensor::randn({4, l, d}, rng);
+  apf::Tensor k = apf::Tensor::randn({4, l, d}, rng);
+  for (auto _ : state) {
+    apf::Tensor s = apf::ops::bmm(q, k, false, true);
+    apf::Tensor p = apf::ops::softmax_lastdim(s);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.SetLabel("L=" + std::to_string(l));
+}
+BENCHMARK(BM_AttentionScores)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Canny(benchmark::State& state) {
+  const std::int64_t z = state.range(0);
+  apf::data::PaipConfig pc;
+  pc.resolution = z;
+  apf::img::Image im =
+      apf::img::to_gray(apf::data::SyntheticPaip(pc).sample(0).image);
+  for (auto _ : state) {
+    apf::img::Image e = apf::img::canny(im, 100, 200);
+    benchmark::DoNotOptimize(e.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * z * z);
+}
+BENCHMARK(BM_Canny)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_GaussianBlur(benchmark::State& state) {
+  const std::int64_t z = state.range(0);
+  apf::data::PaipConfig pc;
+  pc.resolution = z;
+  apf::img::Image im =
+      apf::img::to_gray(apf::data::SyntheticPaip(pc).sample(0).image);
+  for (auto _ : state) {
+    apf::img::Image b = apf::img::gaussian_blur(im, 5);
+    benchmark::DoNotOptimize(b.data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * z * z);
+}
+BENCHMARK(BM_GaussianBlur)->Arg(512)->Arg(1024);
+
+void BM_QuadtreeBuild(benchmark::State& state) {
+  const std::int64_t z = state.range(0);
+  apf::data::PaipConfig pc;
+  pc.resolution = z;
+  apf::img::Image im = apf::data::SyntheticPaip(pc).sample(0).image;
+  apf::core::ApfConfig cfg = apf::core::ApfConfig::for_resolution(z);
+  apf::core::AdaptivePatcher ap(cfg);
+  apf::img::Image edges = ap.edge_map(im);
+  apf::qt::QuadtreeConfig qc;
+  qc.split_value = cfg.split_value;
+  qc.max_depth = cfg.max_depth;
+  for (auto _ : state) {
+    apf::qt::Quadtree t(edges, qc);
+    benchmark::DoNotOptimize(t.num_leaves());
+  }
+  state.SetItemsProcessed(state.iterations() * z * z);
+}
+BENCHMARK(BM_QuadtreeBuild)->Arg(256)->Arg(512)->Arg(1024);
+
+void BM_MortonEncode(benchmark::State& state) {
+  std::uint64_t acc = 0;
+  std::uint32_t x = 12345, y = 54321;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      acc ^= apf::qt::morton_encode(x + i, y - i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_AdaptivePatchPipeline(benchmark::State& state) {
+  // Full APF pre-processing for one image (the paper's "overhead").
+  const std::int64_t z = state.range(0);
+  apf::data::PaipConfig pc;
+  pc.resolution = z;
+  apf::img::Image im = apf::data::SyntheticPaip(pc).sample(0).image;
+  apf::core::ApfConfig cfg = apf::core::ApfConfig::for_resolution(z);
+  cfg.patch_size = 4;
+  cfg.min_patch = 4;
+  apf::core::AdaptivePatcher ap(cfg);
+  for (auto _ : state) {
+    apf::core::PatchSequence seq = ap.process(im);
+    benchmark::DoNotOptimize(seq.tokens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * z * z);
+}
+BENCHMARK(BM_AdaptivePatchPipeline)->Arg(256)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

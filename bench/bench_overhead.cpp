@@ -1,0 +1,69 @@
+// §IV.G.3 reproduction: APF pre-processing overhead is negligible and
+// scales linearly with pixel count. The paper reports whole-PAIP-dataset
+// pre-processing times of [4.232, 7.561, 37.160, 127.374, 286.568] seconds
+// for resolutions [512, 1K, 4K, 32K, 64K] — hours of training amortize it
+// away. Here we time the real pipeline per image at the resolutions this
+// machine can generate, fit the per-pixel cost, and extrapolate upward.
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace apf;
+
+int main() {
+  std::printf("==== APF pre-processing overhead (real timings) ====\n\n");
+
+  const std::int64_t cap = bench::scale() >= 2 ? 4096 : 2048;
+  std::vector<std::int64_t> resolutions{256, 512, 1024, 2048};
+  if (cap >= 4096) resolutions.push_back(4096);
+
+  std::printf("%-10s %-14s %-14s %-12s %-12s\n", "res", "sec/image",
+              "ns/pixel", "seq len", "stage");
+  bench::rule(64);
+
+  double last_ns_per_px = 0;
+  for (std::int64_t z : resolutions) {
+    data::PaipConfig pc;
+    pc.resolution = z;
+    data::SyntheticPaip gen(pc);
+    img::Image im = gen.sample(0).image;
+
+    core::ApfConfig cfg = core::ApfConfig::for_resolution(z);
+    cfg.patch_size = 4;
+    cfg.min_patch = 4;
+    core::AdaptivePatcher ap(cfg);
+
+    const int reps = z <= 512 ? 5 : (z <= 1024 ? 3 : 1);
+    bench::Stopwatch sw;
+    std::int64_t seq = 0;
+    for (int r = 0; r < reps; ++r) {
+      core::PatchSequence s = ap.process(im);
+      seq = s.length();
+    }
+    const double sec = sw.seconds() / reps;
+    last_ns_per_px = 1e9 * sec / static_cast<double>(z * z);
+    std::printf("%-10lld %-14.4f %-14.2f %-12lld %-12s\n",
+                static_cast<long long>(z), sec, last_ns_per_px,
+                static_cast<long long>(seq), "measured");
+  }
+
+  // Linear extrapolation to paper-scale resolutions.
+  for (std::int64_t z : {8192L, 16384L, 32768L, 65536L}) {
+    const double sec = last_ns_per_px * static_cast<double>(z) * z / 1e9;
+    std::printf("%-10lld %-14.2f %-14.2f %-12s %-12s\n",
+                static_cast<long long>(z), sec, last_ns_per_px, "-",
+                "extrapolated");
+  }
+  bench::rule(64);
+
+  std::printf(
+      "\npaper (whole 2,457-slide dataset): 4.2s @512 ... 286.6s @64K — "
+      "negligible vs hours of training.\n");
+  std::printf(
+      "checkable claims: per-pixel cost roughly flat across resolutions "
+      "(linear complexity) and per-image cost at 64K^2 in O(minutes), both "
+      "amortized over all epochs because APF runs once per dataset.\n");
+  return 0;
+}

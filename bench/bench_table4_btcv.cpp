@@ -1,0 +1,172 @@
+// Table IV reproduction: BTCV multi-organ segmentation — end-to-end time
+// to reach a common dice target for U-Net, TransUNet, UNETR, Swin UNETR
+// and APF-UNETR. All numbers are REAL CPU training on the synthetic BTCV
+// substitute at reduced resolution; the reproduction target is the paper's
+// ORDERING (APF-UNETR reaches transformer-grade dice at a fraction of the
+// time; U-Net is fast but weaker; Swin's paper advantage came from
+// pre-training, which no model here has).
+
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "models/swin.h"
+#include "models/transunet.h"
+#include "models/unet.h"
+
+using namespace apf;
+
+namespace {
+
+struct Row {
+  std::string model;
+  std::string patch;
+  double secs_to_target;  // -1 if never reached
+  double best_dice;
+  double total_secs;
+};
+
+}  // namespace
+
+int main() {
+  const std::int64_t z = 128;
+  const std::int64_t n = 12 * bench::scale();
+  const std::int64_t epochs = 12 * bench::scale();
+  const double target = 0.35;  // common dice target (13-organ average, reduced scale)
+  constexpr std::int64_t kC = data::SyntheticBtcv::kNumClasses;
+
+  std::printf(
+      "==== Table IV: BTCV multi-organ, time to dice >= %.2f (real training "
+      "at %lld^2, %lld epochs) ====\n\n",
+      target, static_cast<long long>(z), static_cast<long long>(epochs));
+
+  data::BtcvConfig bc;
+  bc.resolution = z;
+  data::SyntheticBtcv gen(bc);
+  auto sampler = [gen](std::int64_t i) { return gen.sample(i); };
+  data::SplitIndices split = data::make_splits(n, 0.7, 0.15, 40);
+
+  train::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 4;
+  tc.lr = 1.5e-3f;
+
+  std::vector<Row> rows;
+  auto record = [&](const std::string& name, const std::string& patch,
+                    train::Task& task, const train::History& h) {
+    Row r;
+    r.model = name;
+    r.patch = patch;
+    r.secs_to_target = h.seconds_to_reach(target);
+    r.best_dice = std::max(h.best_metric(), task.metric(split.test));
+    r.total_secs = h.total_seconds;
+    rows.push_back(r);
+  };
+
+  // --- U-Net ----------------------------------------------------------------
+  {
+    models::UnetConfig cfg;
+    cfg.in_channels = 1;
+    cfg.out_channels = kC;
+    cfg.base_channels = 12;
+    cfg.levels = 3;
+    Rng rng(1);
+    models::Unet2d model(cfg, rng);
+    train::MultiImageSegTask task(model, sampler, kC);
+    train::History h = train::Trainer(tc).fit(task, split.train, split.val);
+    record("U-Net", "-", task, h);
+  }
+
+  // --- TransUNet --------------------------------------------------------------
+  {
+    models::TransUnetConfig cfg;
+    cfg.image_size = z;
+    cfg.in_channels = 1;
+    cfg.out_channels = kC;
+    cfg.stem_channels = 12;
+    cfg.stem_levels = 3;
+    cfg.d_model = 48;
+    cfg.depth = 2;
+    Rng rng(1);
+    models::TransUnetLite model(cfg, rng);
+    train::MultiImageSegTask task(model, sampler, kC);
+    train::History h = train::Trainer(tc).fit(task, split.train, split.val);
+    record("TransUNet", "-", task, h);
+  }
+
+  // --- UNETR (uniform, patch 4) -------------------------------------------
+  {
+    models::UnetrConfig cfg;
+    cfg.enc = bench::bench_encoder(1 * 4 * 4);
+    cfg.image_size = z;
+    cfg.grid = 32;
+    cfg.base_channels = 16;
+    cfg.out_channels = kC;
+    Rng rng(1);
+    models::Unetr2d model(cfg, rng);
+    train::MultiTokenSegTask task(model, bench::uniform_patch_fn(4), sampler,
+                                  kC);
+    train::History h = train::Trainer(tc).fit(task, split.train, split.val);
+    record("UNETR", "4", task, h);
+  }
+
+  // --- Swin UNETR (uniform, patch 4, window attention) ----------------------
+  {
+    models::SwinUnetrConfig cfg;
+    cfg.token_dim = 1 * 4 * 4;
+    cfg.image_size = z;
+    cfg.patch = 4;  // grid 32
+    cfg.d_model = 48;
+    cfg.depth_pairs = 2;
+    cfg.heads = 4;
+    cfg.window = 4;
+    cfg.out_channels = kC;
+    cfg.base_channels = 16;
+    Rng rng(1);
+    models::SwinUnetrLite model(cfg, rng);
+    train::MultiTokenSegTask task(model, bench::uniform_patch_fn(4), sampler,
+                                  kC);
+    train::History h = train::Trainer(tc).fit(task, split.train, split.val);
+    record("Swin UNETR", "4", task, h);
+  }
+
+  // --- APF-UNETR (adaptive, patch 2) ----------------------------------------
+  double apf_secs = 0;
+  {
+    models::UnetrConfig cfg;
+    cfg.enc = bench::bench_encoder(1 * 2 * 2);
+    cfg.image_size = z;
+    cfg.grid = 32;
+    cfg.base_channels = 16;
+    cfg.out_channels = kC;
+    Rng rng(1);
+    models::Unetr2d model(cfg, rng);
+    train::MultiTokenSegTask task(
+        model, bench::adaptive_patch_fn(2, 2 * z, 8, 20.0), sampler, kC);
+    train::History h = train::Trainer(tc).fit(task, split.train, split.val);
+    record("APF-UNETR", "2", task, h);
+    apf_secs = rows.back().secs_to_target > 0 ? rows.back().secs_to_target
+                                              : rows.back().total_secs;
+  }
+
+  std::printf("%-12s %-7s %-16s %-12s %-12s %-10s\n", "model", "patch",
+              "time-to-dice [s]", "speedup", "best dice", "total [s]");
+  bench::rule(76);
+  for (const Row& r : rows) {
+    const double t =
+        r.secs_to_target > 0 ? r.secs_to_target : r.total_secs;
+    std::printf("%-12s %-7s %-16s %-11.2fx %-12.4f %-10.1f\n", r.model.c_str(),
+                r.patch.c_str(),
+                r.secs_to_target > 0
+                    ? (std::to_string(r.secs_to_target).substr(0, 6) + "")
+                          .c_str()
+                    : "(not reached)",
+                t / apf_secs, r.best_dice, r.total_secs);
+  }
+  bench::rule(76);
+  std::printf(
+      "paper Table IV (for shape comparison): U-Net 843.9s/80.2, TransUNet "
+      "3115s/83.8,\n  UNETR-4 8386s/89.1, Swin-UNETR-4* 6609s/91.8, "
+      "APF-UNETR-2 1067.9s/89.7  (*pre-trained on 5 datasets)\n");
+  return 0;
+}

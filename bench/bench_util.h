@@ -1,0 +1,84 @@
+#pragma once
+// Shared helpers for the table/figure reproduction harnesses: scaled-down
+// default workloads (CPU-friendly), common model builders, and wall-clock
+// timing. Set APF_BENCH_SCALE=2,3,... to scale epochs/samples/resolution
+// up for higher-fidelity runs.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+#include "models/token_encoder.h"
+#include "models/unetr.h"
+#include "train/trainer.h"
+
+namespace apf::bench {
+
+/// Benchmark scale factor from the environment (default 1 = fast CI run).
+inline int scale() {
+  const char* s = std::getenv("APF_BENCH_SCALE");
+  if (!s) return 1;
+  const int v = std::atoi(s);
+  return v >= 1 ? v : 1;
+}
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : t0_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// Standard small encoder used across the training benches.
+inline models::EncoderConfig bench_encoder(std::int64_t token_dim,
+                                           std::int64_t d_model = 48,
+                                           std::int64_t depth = 3) {
+  models::EncoderConfig cfg;
+  cfg.token_dim = token_dim;
+  cfg.d_model = d_model;
+  cfg.depth = depth;
+  cfg.heads = 4;
+  cfg.mlp_ratio = 2;
+  return cfg;
+}
+
+/// Adaptive patcher closure for the given patch size / fixed length.
+inline train::PatchFn adaptive_patch_fn(std::int64_t patch,
+                                        std::int64_t seq_len,
+                                        std::int64_t max_depth = 8,
+                                        double split_value = 20.0) {
+  core::ApfConfig cfg;
+  cfg.patch_size = patch;
+  cfg.min_patch = patch;
+  cfg.seq_len = seq_len;
+  cfg.max_depth = static_cast<int>(max_depth);
+  cfg.split_value = split_value;
+  return [cfg](const img::Image& im) {
+    return core::AdaptivePatcher(cfg).process(im);
+  };
+}
+
+/// Uniform patcher closure.
+inline train::PatchFn uniform_patch_fn(std::int64_t patch) {
+  return [patch](const img::Image& im) {
+    return core::UniformPatcher(patch).process(im);
+  };
+}
+
+/// Prints a horizontal rule sized for the standard table width.
+inline void rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace apf::bench

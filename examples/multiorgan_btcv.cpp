@@ -1,0 +1,70 @@
+// Multi-organ (BTCV-style) 13-class segmentation with APF-UNETR
+// (paper Table IV workload). Per-slice 2D segmentation with class-averaged
+// dice over the 13 organ classes.
+//
+//   ./multiorgan_btcv [resolution=64] [epochs=8] [n_samples=16]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+#include "models/unetr.h"
+#include "train/trainer.h"
+
+using namespace apf;
+
+int main(int argc, char** argv) {
+  const std::int64_t z = argc > 1 ? std::atoll(argv[1]) : 64;
+  const std::int64_t epochs = argc > 2 ? std::atoll(argv[2]) : 8;
+  const std::int64_t n = argc > 3 ? std::atoll(argv[3]) : 16;
+
+  data::BtcvConfig bc;
+  bc.resolution = z;
+  data::SyntheticBtcv gen(bc);
+  auto sampler = [&](std::int64_t i) { return gen.sample(i); };
+  data::SplitIndices split = data::make_splits(n, 0.7, 0.15, 17);
+
+  core::ApfConfig acfg;
+  acfg.patch_size = 2;  // the paper's APF-UNETR uses patch 2 on BTCV
+  acfg.min_patch = 2;
+  acfg.max_depth = 8;
+  acfg.split_value = 20;
+  acfg.seq_len = 2 * z;
+  auto adaptive = [acfg](const img::Image& im) {
+    return core::AdaptivePatcher(acfg).process(im);
+  };
+
+  models::EncoderConfig ecfg;
+  ecfg.token_dim = 1 * 2 * 2;
+  ecfg.d_model = 48;
+  ecfg.depth = 3;
+  ecfg.heads = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc = ecfg;
+  mcfg.image_size = z;
+  mcfg.grid = 16;
+  mcfg.base_channels = 16;
+  mcfg.out_channels = data::SyntheticBtcv::kNumClasses;
+
+  std::printf("=== APF-UNETR-2 on synthetic BTCV (%lld^2, 13 organs) ===\n",
+              static_cast<long long>(z));
+  Rng rng(3);
+  models::Unetr2d model(mcfg, rng);
+  train::MultiTokenSegTask task(model, adaptive, sampler,
+                                data::SyntheticBtcv::kNumClasses);
+
+  train::TrainConfig tc;
+  tc.epochs = epochs;
+  tc.batch_size = 4;
+  tc.lr = 2e-3f;
+  tc.verbose = true;
+  train::History hist = train::Trainer(tc).fit(task, split.train, split.val);
+
+  std::printf("\nbest val dice (13-class avg): %.4f at epoch %lld\n",
+              hist.best_metric(), static_cast<long long>(hist.best_epoch()));
+  std::printf("test dice (13-class avg):     %.4f\n", task.metric(split.test));
+  std::printf("total training time:          %.1fs\n", hist.total_seconds);
+  return 0;
+}

@@ -1,0 +1,56 @@
+#pragma once
+// Configuration of the Adaptive Patch Framework pipeline (paper Alg. 1).
+
+#include <cstdint>
+
+namespace apf::core {
+
+/// All knobs of the APF pre-processing pipeline. Defaults follow the
+/// paper's experimental setup for 512x512 inputs; for_resolution() applies
+/// the paper's per-resolution schedule (kernel size and depth cap).
+struct ApfConfig {
+  // -- Edge extraction (paper step 1) --
+  int gaussian_ksize = 3;      ///< k: Gaussian smoothing kernel (odd)
+  float gaussian_sigma = 0.f;  ///< 0 = derive from ksize (OpenCV rule)
+  float canny_low = 100.f;     ///< t_l, 8-bit gradient units
+  float canny_high = 200.f;    ///< t_h
+
+  // -- Quadtree partitioning (paper step 2, Eq. 6) --
+  double split_value = 20.0;   ///< v: max edge-pixel sum per leaf
+  int max_depth = 9;           ///< H
+  std::int64_t min_patch = 2;  ///< smallest leaf side (paper: 2x2)
+  bool enforce_balance = false;  ///< optional AMR 2:1 balance (ablation)
+
+  // -- Patch normalization (paper steps 4'/5) --
+  std::int64_t patch_size = 4;  ///< Pm: common size all leaves resample to
+  std::int64_t seq_len = 0;     ///< L: fixed length (0 = variable, no pad/drop)
+  /// When dropping to reach L: true drops coarsest (largest, least detailed)
+  /// tokens first; false drops uniformly at random (paper default).
+  bool drop_coarsest_first = false;
+
+  /// Paper's per-resolution schedule: kernel sizes [3,3,5,7,9,11,13] and
+  /// depth caps [9,10,12,13,14,15,16] for resolutions
+  /// [512, 1K, 4K, 8K, 16K, 32K, 64K]; other fields keep their defaults.
+  static ApfConfig for_resolution(std::int64_t z) {
+    ApfConfig c;
+    struct Row {
+      std::int64_t z;
+      int k;
+      int h;
+    };
+    constexpr Row table[] = {{512, 3, 9},    {1024, 3, 10},  {4096, 5, 12},
+                             {8192, 7, 13},  {16384, 9, 14}, {32768, 11, 15},
+                             {65536, 13, 16}};
+    c.gaussian_ksize = table[0].k;
+    c.max_depth = table[0].h;
+    for (const Row& r : table) {
+      if (z >= r.z) {
+        c.gaussian_ksize = r.k;
+        c.max_depth = r.h;
+      }
+    }
+    return c;
+  }
+};
+
+}  // namespace apf::core

@@ -1,0 +1,205 @@
+#include "core/patcher.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "img/filters.h"
+#include "img/resize.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::core {
+
+std::int64_t PatchSequence::num_valid() const {
+  std::int64_t n = 0;
+  for (const PatchToken& t : meta) n += t.valid ? 1 : 0;
+  return n;
+}
+
+TokenBatch make_batch(const std::vector<PatchSequence>& seqs) {
+  APF_CHECK(!seqs.empty(), "make_batch: empty batch");
+  const std::int64_t b = static_cast<std::int64_t>(seqs.size());
+  const std::int64_t l = seqs[0].length();
+  const std::int64_t d = seqs[0].tokens.size(1);
+  TokenBatch out;
+  out.tokens = Tensor({b, l, d});
+  out.mask = Tensor({b, l});
+  out.meta.reserve(seqs.size());
+  out.image_size = seqs[0].image_size;
+  out.patch_size = seqs[0].patch_size;
+  out.channels = seqs[0].channels;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const PatchSequence& s = seqs[static_cast<std::size_t>(i)];
+    APF_CHECK(s.length() == l && s.tokens.size(1) == d,
+              "make_batch: ragged batch (" << s.length() << "x"
+                                           << s.tokens.size(1) << " vs " << l
+                                           << "x" << d << ")");
+    APF_CHECK(s.patch_size == out.patch_size && s.channels == out.channels,
+              "make_batch: mixed patch geometry");
+    std::copy(s.tokens.data(), s.tokens.data() + l * d,
+              out.tokens.data() + i * l * d);
+    std::copy(s.mask.data(), s.mask.data() + l, out.mask.data() + i * l);
+    out.meta.push_back(s.meta);
+  }
+  return out;
+}
+
+AdaptivePatcher::AdaptivePatcher(ApfConfig cfg) : cfg_(cfg) {
+  APF_CHECK(cfg_.patch_size >= 1, "AdaptivePatcher: patch_size must be >= 1");
+  APF_CHECK(cfg_.gaussian_ksize >= 1 && cfg_.gaussian_ksize % 2 == 1,
+            "AdaptivePatcher: gaussian_ksize must be odd");
+}
+
+img::Image AdaptivePatcher::edge_map(const img::Image& image) const {
+  const img::Image gray = img::to_gray(image);
+  const img::Image blurred =
+      img::gaussian_blur(gray, cfg_.gaussian_ksize, cfg_.gaussian_sigma);
+  return img::canny(blurred, cfg_.canny_low, cfg_.canny_high);
+}
+
+qt::Quadtree AdaptivePatcher::build_tree(const img::Image& image) const {
+  qt::QuadtreeConfig qc;
+  qc.split_value = cfg_.split_value;
+  qc.max_depth = cfg_.max_depth;
+  qc.min_size = std::max<std::int64_t>(cfg_.min_patch, 1);
+  qc.enforce_balance = cfg_.enforce_balance;
+  return qt::Quadtree(edge_map(image), qc);
+}
+
+PatchSequence extract_leaf_patches(const img::Image& image,
+                                   const qt::Quadtree& tree,
+                                   std::int64_t patch_size) {
+  const auto& leaves = tree.leaves();
+  const std::int64_t l = static_cast<std::int64_t>(leaves.size());
+  const std::int64_t c = image.c;
+  const std::int64_t dim = c * patch_size * patch_size;
+  PatchSequence seq;
+  seq.tokens = Tensor({l, dim});
+  seq.mask = Tensor::ones({l});
+  seq.meta.resize(static_cast<std::size_t>(l));
+  seq.image_size = tree.domain_size();
+  seq.patch_size = patch_size;
+  seq.channels = c;
+  float* pt = seq.tokens.data();
+  parallel_for(l, [&](std::int64_t i) {
+    const qt::Leaf& leaf = leaves[static_cast<std::size_t>(i)];
+    img::Image patch = img::crop(image, leaf.y, leaf.x, leaf.size);
+    if (leaf.size != patch_size)
+      patch = img::resize_area(patch, patch_size, patch_size);
+    // Token layout: channel-major (CHW flattened) to match model stems.
+    float* row = pt + i * dim;
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < patch_size; ++y)
+        for (std::int64_t x = 0; x < patch_size; ++x)
+          row[(ch * patch_size + y) * patch_size + x] = patch.at(y, x, ch);
+    seq.meta[static_cast<std::size_t>(i)] =
+        PatchToken{leaf.y, leaf.x, leaf.size, leaf.depth, true};
+  }, /*grain=*/1);
+  return seq;
+}
+
+PatchSequence fit_to_length(const PatchSequence& seq, std::int64_t target_len,
+                            bool drop_coarsest_first, Rng* rng) {
+  const std::int64_t l = seq.length();
+  if (target_len <= 0 || l == target_len) return seq;
+  const std::int64_t dim = seq.tokens.size(1);
+  PatchSequence out;
+  out.tokens = Tensor({target_len, dim});
+  out.mask = Tensor({target_len});
+  out.meta.assign(static_cast<std::size_t>(target_len), PatchToken{});
+  out.image_size = seq.image_size;
+  out.patch_size = seq.patch_size;
+  out.channels = seq.channels;
+
+  if (l < target_len) {
+    // Pad: copy everything, zero tokens with mask 0 fill the tail.
+    std::copy(seq.tokens.data(), seq.tokens.data() + l * dim,
+              out.tokens.data());
+    std::copy(seq.mask.data(), seq.mask.data() + l, out.mask.data());
+    std::copy(seq.meta.begin(), seq.meta.end(), out.meta.begin());
+    return out;
+  }
+
+  // Drop l - target_len tokens, preserving Morton order of the survivors.
+  std::vector<std::int64_t> keep(static_cast<std::size_t>(l));
+  std::iota(keep.begin(), keep.end(), 0);
+  if (drop_coarsest_first || rng == nullptr) {
+    // Sort candidate victims: coarsest (largest size) first, then lowest
+    // detail — those carry the least segmentation-relevant information.
+    std::vector<std::int64_t> order = keep;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                       const PatchToken& ta = seq.meta[static_cast<std::size_t>(a)];
+                       const PatchToken& tb = seq.meta[static_cast<std::size_t>(b)];
+                       return ta.size > tb.size;
+                     });
+    std::vector<char> dropped(static_cast<std::size_t>(l), 0);
+    for (std::int64_t i = 0; i < l - target_len; ++i)
+      dropped[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+    keep.clear();
+    for (std::int64_t i = 0; i < l; ++i)
+      if (!dropped[static_cast<std::size_t>(i)]) keep.push_back(i);
+  } else {
+    // Paper default: random drop.
+    rng->shuffle(keep);
+    keep.resize(static_cast<std::size_t>(target_len));
+    std::sort(keep.begin(), keep.end());
+  }
+
+  for (std::int64_t i = 0; i < target_len; ++i) {
+    const std::int64_t src = keep[static_cast<std::size_t>(i)];
+    std::copy(seq.tokens.data() + src * dim, seq.tokens.data() + (src + 1) * dim,
+              out.tokens.data() + i * dim);
+    out.mask[i] = seq.mask[src];
+    out.meta[static_cast<std::size_t>(i)] = seq.meta[static_cast<std::size_t>(src)];
+  }
+  return out;
+}
+
+PatchSequence AdaptivePatcher::process(const img::Image& image,
+                                       Rng* rng) const {
+  const qt::Quadtree tree = build_tree(image);
+  PatchSequence seq = extract_leaf_patches(image, tree, cfg_.patch_size);
+  return fit_to_length(seq, cfg_.seq_len, cfg_.drop_coarsest_first, rng);
+}
+
+UniformPatcher::UniformPatcher(std::int64_t patch_size, std::int64_t seq_len)
+    : patch_size_(patch_size), seq_len_(seq_len) {
+  APF_CHECK(patch_size_ >= 1, "UniformPatcher: patch_size must be >= 1");
+}
+
+PatchSequence UniformPatcher::process(const img::Image& image) const {
+  APF_CHECK(image.h == image.w, "UniformPatcher: need square image");
+  APF_CHECK(image.h % patch_size_ == 0,
+            "UniformPatcher: patch size " << patch_size_
+                                          << " must divide image side "
+                                          << image.h);
+  const std::int64_t g = image.h / patch_size_;
+  const std::int64_t l = g * g;
+  const std::int64_t c = image.c;
+  const std::int64_t dim = c * patch_size_ * patch_size_;
+  int depth = 0;
+  for (std::int64_t s = image.h; s > patch_size_; s /= 2) ++depth;
+
+  PatchSequence seq;
+  seq.tokens = Tensor({l, dim});
+  seq.mask = Tensor::ones({l});
+  seq.meta.resize(static_cast<std::size_t>(l));
+  seq.image_size = image.h;
+  seq.patch_size = patch_size_;
+  seq.channels = c;
+  float* pt = seq.tokens.data();
+  const std::int64_t p = patch_size_;
+  parallel_for(l, [&](std::int64_t i) {
+    const std::int64_t gy = i / g, gx = i % g;
+    float* row = pt + i * dim;
+    for (std::int64_t ch = 0; ch < c; ++ch)
+      for (std::int64_t y = 0; y < p; ++y)
+        for (std::int64_t x = 0; x < p; ++x)
+          row[(ch * p + y) * p + x] = image.at(gy * p + y, gx * p + x, ch);
+    seq.meta[static_cast<std::size_t>(i)] =
+        PatchToken{gy * p, gx * p, p, depth, true};
+  }, /*grain=*/1);
+  return fit_to_length(seq, seq_len_, /*drop_coarsest_first=*/true, nullptr);
+}
+
+}  // namespace apf::core

@@ -1,0 +1,109 @@
+#pragma once
+// Patch extraction front ends: the paper's AdaptivePatcher (quadtree-based,
+// Fig. 1 right path) and the conventional UniformPatcher baseline (left
+// path). Both produce the same PatchSequence structure, so every model in
+// models/ consumes either interchangeably — the "model intact" property.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/apf_config.h"
+#include "img/image.h"
+#include "quadtree/quadtree.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace apf::core {
+
+/// Geometry of one token in source-image pixels. Padding tokens have
+/// size == 0 and valid == false.
+struct PatchToken {
+  std::int64_t y = 0;
+  std::int64_t x = 0;
+  std::int64_t size = 0;
+  int depth = 0;
+  bool valid = false;
+};
+
+/// One image converted to a token sequence.
+struct PatchSequence {
+  Tensor tokens;  ///< [L, C*Pm*Pm] resampled patch pixels (row per token)
+  Tensor mask;    ///< [L] 1 = real token, 0 = padding
+  std::vector<PatchToken> meta;  ///< length L
+  std::int64_t image_size = 0;   ///< Z
+  std::int64_t patch_size = 0;   ///< Pm
+  std::int64_t channels = 0;     ///< C
+
+  std::int64_t length() const { return tokens.defined() ? tokens.size(0) : 0; }
+  /// Number of non-padding tokens.
+  std::int64_t num_valid() const;
+};
+
+/// A batch of sequences stacked for the model.
+struct TokenBatch {
+  Tensor tokens;  ///< [B, L, C*Pm*Pm]
+  Tensor mask;    ///< [B, L]
+  std::vector<std::vector<PatchToken>> meta;  ///< per item, length L
+  std::int64_t image_size = 0;
+  std::int64_t patch_size = 0;
+  std::int64_t channels = 0;
+
+  std::int64_t batch() const { return tokens.defined() ? tokens.size(0) : 0; }
+  std::int64_t length() const { return tokens.defined() ? tokens.size(1) : 0; }
+};
+
+/// Stacks sequences (must agree on L, Pm, C) into a batch.
+TokenBatch make_batch(const std::vector<PatchSequence>& seqs);
+
+/// The Adaptive Patch Framework pipeline (paper Alg. 1 lines 3-6):
+/// Gaussian blur -> Canny -> quadtree -> Morton order -> area-resample all
+/// leaves to Pm x Pm -> pad/drop to L.
+class AdaptivePatcher {
+ public:
+  explicit AdaptivePatcher(ApfConfig cfg);
+
+  /// Runs the full pipeline on one image. rng is only consumed when
+  /// random token dropping is needed (cfg.seq_len > 0 and the tree has
+  /// more leaves); pass nullptr to force deterministic coarsest-first drop.
+  PatchSequence process(const img::Image& image, Rng* rng = nullptr) const;
+
+  /// Edge-extraction prefix of the pipeline (exposed for tests/benches).
+  img::Image edge_map(const img::Image& image) const;
+
+  /// Quadtree stage alone (for sequence-length analysis, Fig. 3).
+  qt::Quadtree build_tree(const img::Image& image) const;
+
+  const ApfConfig& config() const { return cfg_; }
+
+ private:
+  ApfConfig cfg_;
+};
+
+/// Conventional uniform-grid patching (ViT style): Z/P x Z/P equal patches
+/// in row-major order. seq_len 0 keeps the natural (Z/P)^2 length.
+class UniformPatcher {
+ public:
+  /// patch_size P must divide the image side.
+  UniformPatcher(std::int64_t patch_size, std::int64_t seq_len = 0);
+
+  PatchSequence process(const img::Image& image) const;
+
+  std::int64_t patch_size() const { return patch_size_; }
+
+ private:
+  std::int64_t patch_size_;
+  std::int64_t seq_len_;
+};
+
+/// Extracts + resamples the leaf patches of a prebuilt tree (shared by
+/// AdaptivePatcher::process; exposed so benches can time stages).
+PatchSequence extract_leaf_patches(const img::Image& image,
+                                   const qt::Quadtree& tree,
+                                   std::int64_t patch_size);
+
+/// Pads (zero tokens) or drops tokens so the sequence has exactly L
+/// entries. Dropping keeps Morton order; see ApfConfig::drop_coarsest_first.
+PatchSequence fit_to_length(const PatchSequence& seq, std::int64_t target_len,
+                            bool drop_coarsest_first, Rng* rng);
+
+}  // namespace apf::core

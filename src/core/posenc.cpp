@@ -1,0 +1,59 @@
+#include "core/posenc.h"
+
+#include <cmath>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::core {
+
+Tensor sincos_position(const std::vector<PatchToken>& meta,
+                       std::int64_t image_size, std::int64_t dim) {
+  APF_CHECK(dim % 4 == 0, "sincos_position: dim must be divisible by 4");
+  const std::int64_t l = static_cast<std::int64_t>(meta.size());
+  const std::int64_t half = dim / 2;     // features per axis
+  const std::int64_t pairs = half / 2;   // (sin, cos) pairs per axis
+  Tensor pe({l, dim});
+  float* p = pe.data();
+  parallel_for(l, [&](std::int64_t i) {
+    const PatchToken& t = meta[static_cast<std::size_t>(i)];
+    if (!t.valid) return;  // zero row for padding
+    const double cx =
+        (static_cast<double>(t.x) + t.size * 0.5) / static_cast<double>(image_size);
+    const double cy =
+        (static_cast<double>(t.y) + t.size * 0.5) / static_cast<double>(image_size);
+    float* row = p + i * dim;
+    for (std::int64_t k = 0; k < pairs; ++k) {
+      // Frequencies from 2*pi up to ~2*pi*10^4: fine enough to separate
+      // 2-px patches at 64K resolution.
+      const double freq =
+          2.0 * M_PI * std::pow(10000.0, static_cast<double>(k) / pairs);
+      row[2 * k] = static_cast<float>(std::sin(freq * cx));
+      row[2 * k + 1] = static_cast<float>(std::cos(freq * cx));
+      row[half + 2 * k] = static_cast<float>(std::sin(freq * cy));
+      row[half + 2 * k + 1] = static_cast<float>(std::cos(freq * cy));
+    }
+  });
+  return pe;
+}
+
+std::vector<std::int64_t> depth_indices(const std::vector<PatchToken>& meta) {
+  std::vector<std::int64_t> out(meta.size(), 0);
+  for (std::size_t i = 0; i < meta.size(); ++i)
+    out[i] = meta[i].valid ? meta[i].depth : 0;
+  return out;
+}
+
+std::vector<PatchToken> uniform_grid_meta(std::int64_t grid,
+                                          std::int64_t image_size) {
+  APF_CHECK(grid > 0 && image_size % grid == 0,
+            "uniform_grid_meta: grid must divide image size");
+  const std::int64_t cell = image_size / grid;
+  std::vector<PatchToken> meta(static_cast<std::size_t>(grid * grid));
+  for (std::int64_t gy = 0; gy < grid; ++gy)
+    for (std::int64_t gx = 0; gx < grid; ++gx)
+      meta[static_cast<std::size_t>(gy * grid + gx)] =
+          PatchToken{gy * cell, gx * cell, cell, 0, true};
+  return meta;
+}
+
+}  // namespace apf::core

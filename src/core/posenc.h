@@ -1,0 +1,36 @@
+#pragma once
+// Scale-aware positional features for mixed-resolution token sequences.
+//
+// Uniform ViTs index positions by grid slot; adaptive sequences cannot, so
+// each token gets sinusoidal features of its centre (cx, cy) plus its
+// quadtree depth for a learned scale embedding (added model-side). Uniform
+// sequences pass through the same code path (constant depth), keeping the
+// model byte-identical between patchers.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/patcher.h"
+#include "tensor/tensor.h"
+
+namespace apf::core {
+
+/// Sinusoidal 2-D positional encoding [L, dim]: the first dim/2 features
+/// encode cx, the rest cy, with geometrically spaced frequencies (ViT/
+/// Transformer convention). Centres are normalized by image_size. Padding
+/// tokens get all-zero rows. dim must be divisible by 4.
+Tensor sincos_position(const std::vector<PatchToken>& meta,
+                       std::int64_t image_size, std::int64_t dim);
+
+/// Per-token quadtree depth (scale) indices for an embedding lookup;
+/// padding tokens get index 0.
+std::vector<std::int64_t> depth_indices(const std::vector<PatchToken>& meta);
+
+/// Token metadata for a full uniform grid of g x g cells over an
+/// image_size-wide domain, row-major — used by models whose internal token
+/// grid needs the same positional features as patcher tokens (TransUNet's
+/// CNN-stem grid, HIPT's region grid).
+std::vector<PatchToken> uniform_grid_meta(std::int64_t grid,
+                                          std::int64_t image_size);
+
+}  // namespace apf::core

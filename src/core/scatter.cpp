@@ -1,0 +1,128 @@
+#include "core/scatter.h"
+
+#include <algorithm>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::core {
+
+GridScatterPlan::GridScatterPlan(const std::vector<PatchToken>& meta,
+                                 std::int64_t image_size, std::int64_t grid)
+    : grid_(grid), seq_len_(static_cast<std::int64_t>(meta.size())) {
+  APF_CHECK(grid > 0 && image_size > 0 && image_size % grid == 0,
+            "GridScatterPlan: grid " << grid << " must divide image size "
+                                     << image_size);
+  const double cell_px = static_cast<double>(image_size) / grid;
+  // Bucket contributions per cell.
+  std::vector<std::vector<Contribution>> cells(
+      static_cast<std::size_t>(grid * grid));
+  for (std::int64_t t = 0; t < seq_len_; ++t) {
+    const PatchToken& tok = meta[static_cast<std::size_t>(t)];
+    if (!tok.valid || tok.size <= 0) continue;
+    // Token footprint in grid coordinates (half-open).
+    const std::int64_t gy0 = static_cast<std::int64_t>(tok.y / cell_px);
+    const std::int64_t gx0 = static_cast<std::int64_t>(tok.x / cell_px);
+    const std::int64_t gy1 = std::max<std::int64_t>(
+        gy0 + 1, static_cast<std::int64_t>((tok.y + tok.size) / cell_px));
+    const std::int64_t gx1 = std::max<std::int64_t>(
+        gx0 + 1, static_cast<std::int64_t>((tok.x + tok.size) / cell_px));
+    // Weight = pixel overlap area between token and cell (constant for all
+    // covered cells when token >= cell; token area when token < cell).
+    const double side = std::min<double>(static_cast<double>(tok.size), cell_px);
+    const float w = static_cast<float>(side * side);
+    for (std::int64_t gy = gy0; gy < std::min(gy1, grid); ++gy)
+      for (std::int64_t gx = gx0; gx < std::min(gx1, grid); ++gx)
+        cells[static_cast<std::size_t>(gy * grid + gx)].push_back(
+            {static_cast<std::int32_t>(t), w});
+  }
+  // Flatten to CSR.
+  cell_start_.resize(static_cast<std::size_t>(grid * grid + 1), 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    cell_start_[i] = static_cast<std::int32_t>(total);
+    total += cells[i].size();
+  }
+  cell_start_[cells.size()] = static_cast<std::int32_t>(total);
+  contribs_.reserve(total);
+  cell_wsum_.resize(cells.size(), 0.f);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    float wsum = 0.f;
+    for (const Contribution& c : cells[i]) {
+      contribs_.push_back(c);
+      wsum += c.weight;
+    }
+    cell_wsum_[i] = wsum;
+  }
+}
+
+double GridScatterPlan::coverage() const {
+  std::int64_t covered = 0;
+  for (float w : cell_wsum_)
+    if (w > 0.f) ++covered;
+  return static_cast<double>(covered) /
+         static_cast<double>(cell_wsum_.size());
+}
+
+Var GridScatterPlan::scatter(const Var& tokens) const {
+  APF_CHECK(tokens.val().ndim() == 2 && tokens.size(0) == seq_len_,
+            "scatter: tokens " << tokens.val().str() << " vs plan L "
+                               << seq_len_);
+  const std::int64_t d = tokens.size(1);
+  const std::int64_t g = grid_;
+  Tensor out({d, g, g});
+  const float* pt = tokens.val().data();
+  float* po = out.data();
+  // Cell-parallel: each (cell) writes its own column across all channels;
+  // deterministic because contributor order is fixed.
+  parallel_for(g * g, [&](std::int64_t cell) {
+    const std::int32_t s = cell_start_[static_cast<std::size_t>(cell)];
+    const std::int32_t e = cell_start_[static_cast<std::size_t>(cell + 1)];
+    const float wsum = cell_wsum_[static_cast<std::size_t>(cell)];
+    if (s == e || wsum <= 0.f) return;  // uncovered cell stays zero
+    const float inv = 1.f / wsum;
+    for (std::int64_t ch = 0; ch < d; ++ch) {
+      float acc = 0.f;
+      for (std::int32_t i = s; i < e; ++i)
+        acc += contribs_[static_cast<std::size_t>(i)].weight *
+               pt[contribs_[static_cast<std::size_t>(i)].token * d + ch];
+      po[ch * g * g + cell] = acc * inv;
+    }
+  }, /*grain=*/16);
+
+  // Backward: d tokens[t, ch] += sum over cells t touches of
+  //   (weight / cell_wsum) * d out[ch, cell].
+  auto tn = tokens.node();
+  // Build token -> (cell, normalized weight) lists once for the closure.
+  auto plan = std::make_shared<std::vector<std::vector<std::pair<std::int32_t, float>>>>(
+      static_cast<std::size_t>(seq_len_));
+  for (std::int64_t cell = 0; cell < g * g; ++cell) {
+    const std::int32_t s = cell_start_[static_cast<std::size_t>(cell)];
+    const std::int32_t e = cell_start_[static_cast<std::size_t>(cell + 1)];
+    const float wsum = cell_wsum_[static_cast<std::size_t>(cell)];
+    if (wsum <= 0.f) continue;
+    for (std::int32_t i = s; i < e; ++i) {
+      const Contribution& c = contribs_[static_cast<std::size_t>(i)];
+      (*plan)[static_cast<std::size_t>(c.token)].push_back(
+          {static_cast<std::int32_t>(cell), c.weight / wsum});
+    }
+  }
+  const std::int64_t gg = g * g;
+  return ag::make_op(
+      out, {tokens},
+      [tn, plan, d, gg](ag::Node& n) {
+        Tensor& gt = tn->ensure_grad();
+        float* pg = gt.data();
+        const float* pd = n.grad.data();
+        parallel_for(static_cast<std::int64_t>(plan->size()),
+                     [&](std::int64_t t) {
+                       for (const auto& [cell, w] :
+                            (*plan)[static_cast<std::size_t>(t)]) {
+                         for (std::int64_t ch = 0; ch < d; ++ch)
+                           pg[t * d + ch] += w * pd[ch * gg + cell];
+                       }
+                     }, /*grain=*/16);
+      },
+      "grid_scatter");
+}
+
+}  // namespace apf::core

@@ -1,0 +1,49 @@
+#pragma once
+// Differentiable scatter of token embeddings back onto a regular grid.
+//
+// Decoders (UNETR-style) need spatial feature maps. Each token paints its
+// quadtree footprint onto a G x G grid; where several fine tokens land in
+// one cell their embeddings are area-weight averaged. Uniform patching is
+// the degenerate case (one token per cell), so baseline and APF models
+// share the exact same decoder — the paper's "model intact" property.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/patcher.h"
+#include "tensor/autograd.h"
+
+namespace apf::core {
+
+/// Precomputed token -> grid-cell mapping for one sequence. Building it is
+/// O(L + G^2); it is reused across encoder depths within a forward pass.
+class GridScatterPlan {
+ public:
+  /// grid must divide image_size (or equal it). Padding tokens are skipped.
+  GridScatterPlan(const std::vector<PatchToken>& meta, std::int64_t image_size,
+                  std::int64_t grid);
+
+  std::int64_t grid() const { return grid_; }
+  std::int64_t seq_len() const { return seq_len_; }
+
+  /// tokens [L, D] -> feature map [D, G, G] (differentiable).
+  Var scatter(const Var& tokens) const;
+
+  /// Fraction of grid cells covered by at least one token (1.0 unless
+  /// tokens were dropped). Exposed for tests/diagnostics.
+  double coverage() const;
+
+ private:
+  struct Contribution {
+    std::int32_t token;
+    float weight;
+  };
+  std::int64_t grid_ = 0;
+  std::int64_t seq_len_ = 0;
+  // Per-cell contributor lists (CSR layout).
+  std::vector<std::int32_t> cell_start_;
+  std::vector<Contribution> contribs_;
+  std::vector<float> cell_wsum_;
+};
+
+}  // namespace apf::core

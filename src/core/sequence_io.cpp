@@ -1,0 +1,109 @@
+#include "core/sequence_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace apf::core {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4150465f53455131ULL;  // "APF_SEQ1"
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_one(std::ofstream& f, const PatchSequence& seq) {
+  const std::int64_t l = seq.length();
+  write_u64(f, static_cast<std::uint64_t>(l));
+  write_u64(f, static_cast<std::uint64_t>(seq.tokens.defined()
+                                              ? seq.tokens.size(1)
+                                              : 0));
+  write_u64(f, static_cast<std::uint64_t>(seq.image_size));
+  write_u64(f, static_cast<std::uint64_t>(seq.patch_size));
+  write_u64(f, static_cast<std::uint64_t>(seq.channels));
+  if (l > 0) {
+    f.write(reinterpret_cast<const char*>(seq.tokens.data()),
+            static_cast<std::streamsize>(seq.tokens.numel() * sizeof(float)));
+    f.write(reinterpret_cast<const char*>(seq.mask.data()),
+            static_cast<std::streamsize>(l * sizeof(float)));
+    for (const PatchToken& t : seq.meta) {
+      write_u64(f, static_cast<std::uint64_t>(t.y));
+      write_u64(f, static_cast<std::uint64_t>(t.x));
+      write_u64(f, static_cast<std::uint64_t>(t.size));
+      write_u64(f, static_cast<std::uint64_t>(t.depth));
+      write_u64(f, t.valid ? 1 : 0);
+    }
+  }
+}
+
+PatchSequence read_one(std::ifstream& f) {
+  PatchSequence seq;
+  const std::int64_t l = static_cast<std::int64_t>(read_u64(f));
+  const std::int64_t dim = static_cast<std::int64_t>(read_u64(f));
+  APF_CHECK(l >= 0 && l < (1 << 26) && dim >= 0 && dim < (1 << 24),
+            "load_sequence: implausible geometry " << l << "x" << dim);
+  seq.image_size = static_cast<std::int64_t>(read_u64(f));
+  seq.patch_size = static_cast<std::int64_t>(read_u64(f));
+  seq.channels = static_cast<std::int64_t>(read_u64(f));
+  if (l > 0) {
+    seq.tokens = Tensor({l, dim});
+    seq.mask = Tensor({l});
+    f.read(reinterpret_cast<char*>(seq.tokens.data()),
+           static_cast<std::streamsize>(l * dim * sizeof(float)));
+    f.read(reinterpret_cast<char*>(seq.mask.data()),
+           static_cast<std::streamsize>(l * sizeof(float)));
+    seq.meta.resize(static_cast<std::size_t>(l));
+    for (PatchToken& t : seq.meta) {
+      t.y = static_cast<std::int64_t>(read_u64(f));
+      t.x = static_cast<std::int64_t>(read_u64(f));
+      t.size = static_cast<std::int64_t>(read_u64(f));
+      t.depth = static_cast<int>(read_u64(f));
+      t.valid = read_u64(f) != 0;
+    }
+  }
+  APF_CHECK(f.good(), "load_sequence: truncated file");
+  return seq;
+}
+
+}  // namespace
+
+void save_sequence(const PatchSequence& seq, const std::string& path) {
+  save_sequences({seq}, path);
+}
+
+PatchSequence load_sequence(const std::string& path) {
+  auto all = load_sequences(path);
+  APF_CHECK(all.size() == 1,
+            "load_sequence: file holds " << all.size() << " sequences");
+  return all[0];
+}
+
+void save_sequences(const std::vector<PatchSequence>& seqs,
+                    const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  APF_CHECK(f.good(), "save_sequences: cannot open " << path);
+  write_u64(f, kMagic);
+  write_u64(f, seqs.size());
+  for (const PatchSequence& s : seqs) write_one(f, s);
+  APF_CHECK(f.good(), "save_sequences: write failed for " << path);
+}
+
+std::vector<PatchSequence> load_sequences(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  APF_CHECK(f.good(), "load_sequences: cannot open " << path);
+  APF_CHECK(read_u64(f) == kMagic, "load_sequences: bad magic in " << path);
+  const std::uint64_t n = read_u64(f);
+  APF_CHECK(n < (1u << 24), "load_sequences: implausible count " << n);
+  std::vector<PatchSequence> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(read_one(f));
+  return out;
+}
+
+}  // namespace apf::core

@@ -1,0 +1,29 @@
+#pragma once
+// Binary (de)serialization of pre-processed token sequences.
+//
+// APF runs once per dataset and its output is reused every epoch (paper
+// Alg. 1 builds the pre-processed set D_p up front; §IV.G.3 argues the
+// amortized overhead is negligible). Persisting sequences makes that
+// explicit: pre-process once, train many times — also across processes in
+// the data-parallel setting.
+
+#include <string>
+#include <vector>
+
+#include "core/patcher.h"
+
+namespace apf::core {
+
+/// Writes one PatchSequence (tokens, mask, metadata, geometry).
+void save_sequence(const PatchSequence& seq, const std::string& path);
+
+/// Reads a sequence written by save_sequence. Throws CheckError on any
+/// format violation.
+PatchSequence load_sequence(const std::string& path);
+
+/// Convenience: a whole dataset of sequences in one file.
+void save_sequences(const std::vector<PatchSequence>& seqs,
+                    const std::string& path);
+std::vector<PatchSequence> load_sequences(const std::string& path);
+
+}  // namespace apf::core

@@ -1,0 +1,53 @@
+#include "core/visualize.h"
+
+namespace apf::core {
+
+img::Image render_partition(const img::Image& image, const qt::Quadtree& tree,
+                            float line_value) {
+  img::Image out = image;
+  for (const qt::Leaf& l : tree.leaves()) {
+    for (std::int64_t x = l.x; x < l.x + l.size; ++x) {
+      for (std::int64_t ch = 0; ch < out.c; ++ch) {
+        out.at(l.y, x, ch) = line_value;
+        out.at(l.y + l.size - 1, x, ch) = line_value;
+      }
+    }
+    for (std::int64_t y = l.y; y < l.y + l.size; ++y) {
+      for (std::int64_t ch = 0; ch < out.c; ++ch) {
+        out.at(y, l.x, ch) = line_value;
+        out.at(y, l.x + l.size - 1, ch) = line_value;
+      }
+    }
+  }
+  return out;
+}
+
+img::Image render_mask_comparison(const img::Image& image,
+                                  const img::Image& truth,
+                                  const img::Image& pred) {
+  APF_CHECK(truth.h == image.h && truth.w == image.w && pred.h == image.h &&
+                pred.w == image.w,
+            "render_mask_comparison: size mismatch");
+  img::Image out(image.h, image.w * 3, 3);
+  for (std::int64_t y = 0; y < image.h; ++y) {
+    for (std::int64_t x = 0; x < image.w; ++x) {
+      for (std::int64_t ch = 0; ch < 3; ++ch) {
+        const float v = image.c == 3 ? image.at(y, x, ch) : image.at(y, x, 0);
+        out.at(y, x, ch) = v;
+      }
+      const float t = truth.at(y, x, 0) >= 0.5f ? 1.f : 0.f;
+      const float p = pred.at(y, x, 0) >= 0.5f ? 1.f : 0.f;
+      // Middle panel: ground truth in white.
+      out.at(y, image.w + x, 0) = t;
+      out.at(y, image.w + x, 1) = t;
+      out.at(y, image.w + x, 2) = t;
+      // Right panel: agreement white/black, false positive red, miss blue.
+      out.at(y, 2 * image.w + x, 0) = p;
+      out.at(y, 2 * image.w + x, 1) = (p == t) ? p : 0.f;
+      out.at(y, 2 * image.w + x, 2) = (p < t) ? 1.f : (p == t ? p : 0.f);
+    }
+  }
+  return out;
+}
+
+}  // namespace apf::core

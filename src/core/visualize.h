@@ -1,0 +1,21 @@
+#pragma once
+// Rendering helpers for figures: quadtree partition overlays (paper Fig. 1)
+// and mask comparisons (paper Fig. 2).
+
+#include "img/image.h"
+#include "quadtree/quadtree.h"
+
+namespace apf::core {
+
+/// Copy of image with quadtree leaf boundaries drawn in the given value
+/// (RGB images: drawn into all channels).
+img::Image render_partition(const img::Image& image, const qt::Quadtree& tree,
+                            float line_value = 1.f);
+
+/// Side-by-side composite of [image | ground truth | prediction] as a
+/// single RGB image (masks rendered green / red where they disagree).
+img::Image render_mask_comparison(const img::Image& image,
+                                  const img::Image& truth,
+                                  const img::Image& pred);
+
+}  // namespace apf::core

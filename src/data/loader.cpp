@@ -1,0 +1,51 @@
+#include "data/loader.h"
+
+#include <cmath>
+
+namespace apf::data {
+
+BatchSampler::BatchSampler(std::vector<std::int64_t> indices,
+                           std::int64_t batch_size, std::uint64_t seed)
+    : indices_(std::move(indices)), batch_size_(batch_size), seed_(seed) {
+  APF_CHECK(batch_size_ >= 1, "BatchSampler: batch_size must be >= 1");
+  APF_CHECK(!indices_.empty(), "BatchSampler: empty index set");
+}
+
+std::vector<std::vector<std::int64_t>> BatchSampler::epoch_batches(
+    std::int64_t epoch) const {
+  std::vector<std::int64_t> order = indices_;
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ULL));
+  rng.shuffle(order);
+  std::vector<std::vector<std::int64_t>> batches;
+  for (std::size_t i = 0; i < order.size(); i += static_cast<std::size_t>(batch_size_)) {
+    const std::size_t end =
+        std::min(order.size(), i + static_cast<std::size_t>(batch_size_));
+    batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                         order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+std::int64_t BatchSampler::num_batches() const {
+  return static_cast<std::int64_t>(
+      (indices_.size() + static_cast<std::size_t>(batch_size_) - 1) /
+      static_cast<std::size_t>(batch_size_));
+}
+
+Tensor binary_target(const img::Image& mask) {
+  APF_CHECK(mask.c == 1, "binary_target: need single channel");
+  Tensor t({mask.h * mask.w});
+  for (std::int64_t i = 0; i < mask.h * mask.w; ++i)
+    t[i] = mask.data[static_cast<std::size_t>(i)] >= 0.5f ? 1.f : 0.f;
+  return t;
+}
+
+std::vector<std::int64_t> label_target(const img::Image& mask) {
+  APF_CHECK(mask.c == 1, "label_target: need single channel");
+  std::vector<std::int64_t> out(static_cast<std::size_t>(mask.h * mask.w));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::int64_t>(std::lround(mask.data[i]));
+  return out;
+}
+
+}  // namespace apf::data

@@ -1,0 +1,41 @@
+#pragma once
+// Batching utilities: epoch shuffling and mask/target conversion.
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace apf::data {
+
+/// Yields shuffled index batches over a fixed index set, one epoch at a
+/// time. Deterministic given the seed; the last partial batch is kept.
+class BatchSampler {
+ public:
+  BatchSampler(std::vector<std::int64_t> indices, std::int64_t batch_size,
+               std::uint64_t seed);
+
+  /// All batches for the given epoch (reshuffled per epoch).
+  std::vector<std::vector<std::int64_t>> epoch_batches(std::int64_t epoch) const;
+
+  std::int64_t num_batches() const;
+  std::int64_t size() const {
+    return static_cast<std::int64_t>(indices_.size());
+  }
+
+ private:
+  std::vector<std::int64_t> indices_;
+  std::int64_t batch_size_;
+  std::uint64_t seed_;
+};
+
+/// Binary mask image {0,1} -> flat target tensor [H*W] (order matches a
+/// [1, H, W] logit map flattened).
+Tensor binary_target(const img::Image& mask);
+
+/// Class-id mask image -> per-pixel labels (row-major), for CE/dice.
+std::vector<std::int64_t> label_target(const img::Image& mask);
+
+}  // namespace apf::data

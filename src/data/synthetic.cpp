@@ -1,0 +1,236 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "img/draw.h"
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace apf::data {
+namespace {
+
+/// Per-sample generator stream: independent of every other index.
+Rng sample_rng(std::uint64_t dataset_seed, std::int64_t index,
+               std::uint64_t salt) {
+  return Rng(dataset_seed * 0x9e3779b97f4a7c15ULL +
+             static_cast<std::uint64_t>(index) * 0xc2b2ae3d27d4eb4fULL + salt);
+}
+
+}  // namespace
+
+SyntheticPaip::SyntheticPaip(const PaipConfig& cfg) : cfg_(cfg) {
+  APF_CHECK(cfg_.resolution >= 32, "SyntheticPaip: resolution too small");
+  APF_CHECK(cfg_.channels == 1 || cfg_.channels == 3,
+            "SyntheticPaip: channels must be 1 or 3");
+}
+
+SegSample SyntheticPaip::sample(std::int64_t index) const {
+  const std::int64_t z = cfg_.resolution;
+  Rng rng = sample_rng(cfg_.seed, index, 0x5151);
+
+  SegSample out;
+  out.image = img::Image(z, z, cfg_.channels);
+  out.mask = img::Image(z, z, 1);
+
+  // Non-tissue background: near-white scanner field.
+  out.image.fill(0.96f);
+
+  // Tissue region: one large smooth blob covering most of the slide.
+  img::Blob tissue = img::make_blob(
+      z * rng.uniform(0.42f, 0.58f), z * rng.uniform(0.42f, 0.58f),
+      z * rng.uniform(0.34f, 0.44f), 6, 0.18, rng);
+
+  // Texture fields (H&E-ish): low-frequency stain variation + cell speckle.
+  const img::Image stain =
+      img::value_noise(z, z, z / 6.0, 3, 0.55, rng.next_u64());
+  const img::Image speckle =
+      img::value_noise(z, z, 3.0, 2, 0.5, rng.next_u64());
+
+  for (std::int64_t y = 0; y < z; ++y) {
+    for (std::int64_t x = 0; x < z; ++x) {
+      if (!img::blob_contains(tissue, static_cast<double>(y),
+                              static_cast<double>(x)))
+        continue;
+      const float s = stain.at(y, x);
+      const float sp = speckle.at(y, x);
+      // Eosin pink base modulated by noise (+ per-organ stain shift).
+      const float r = 0.86f - 0.18f * s - 0.05f * sp + cfg_.stain_shift;
+      const float g = 0.64f - 0.22f * s - 0.06f * sp - cfg_.stain_shift;
+      const float b = 0.78f - 0.14f * s - 0.05f * sp + 0.5f * cfg_.stain_shift;
+      if (cfg_.channels == 3) {
+        out.image.at(y, x, 0) = r;
+        out.image.at(y, x, 1) = g;
+        out.image.at(y, x, 2) = b;
+      } else {
+        out.image.at(y, x, 0) = 0.299f * r + 0.587f * g + 0.114f * b;
+      }
+    }
+  }
+
+  // Tumour blobs: darker, basophilic, rough boundary. These define the mask.
+  const int n_tumors =
+      cfg_.min_tumors +
+      static_cast<int>(rng.randint(cfg_.max_tumors - cfg_.min_tumors + 1));
+  const img::Image nuclei =
+      img::value_noise(z, z, 2.5, 2, 0.6, rng.next_u64());
+  for (int t = 0; t < n_tumors; ++t) {
+    // Keep tumour centres inside the tissue blob.
+    double cy, cx;
+    int tries = 0;
+    do {
+      cy = rng.uniform(0.2f, 0.8f) * z;
+      cx = rng.uniform(0.2f, 0.8f) * z;
+    } while (!img::blob_contains(tissue, cy, cx) && ++tries < 32);
+    const double r0 =
+        z * cfg_.tumor_radius_frac * rng.uniform(0.6f, 1.25f);
+    img::Blob tumor =
+        img::make_blob(cy, cx, r0, 10, cfg_.boundary_roughness, rng);
+    // Rasterize with texture; paint the mask simultaneously.
+    for (std::int64_t y = std::max<std::int64_t>(0, static_cast<std::int64_t>(cy - 2 * r0));
+         y < std::min<std::int64_t>(z, static_cast<std::int64_t>(cy + 2 * r0) + 1); ++y) {
+      for (std::int64_t x = std::max<std::int64_t>(0, static_cast<std::int64_t>(cx - 2 * r0));
+           x < std::min<std::int64_t>(z, static_cast<std::int64_t>(cx + 2 * r0) + 1); ++x) {
+        if (!img::blob_contains(tumor, static_cast<double>(y),
+                                static_cast<double>(x)))
+          continue;
+        const float n = nuclei.at(y, x);
+        const float r = 0.52f - 0.16f * n;
+        const float g = 0.30f - 0.10f * n;
+        const float bch = 0.56f - 0.12f * n;
+        if (cfg_.channels == 3) {
+          out.image.at(y, x, 0) = r;
+          out.image.at(y, x, 1) = g;
+          out.image.at(y, x, 2) = bch;
+        } else {
+          out.image.at(y, x, 0) = 0.299f * r + 0.587f * g + 0.114f * bch;
+        }
+        out.mask.at(y, x) = 1.f;
+      }
+    }
+  }
+
+  // Vessels: thin dark filaments across the tissue (not part of the mask).
+  for (int v = 0; v < cfg_.n_vessels; ++v) {
+    const double y0 = rng.uniform(0.1f, 0.9f) * z;
+    const double x0 = rng.uniform(0.1f, 0.9f) * z;
+    const double y2 = y0 + rng.uniform(-0.4f, 0.4f) * z;
+    const double x2 = x0 + rng.uniform(-0.4f, 0.4f) * z;
+    const double y1 = 0.5 * (y0 + y2) + rng.uniform(-0.15f, 0.15f) * z;
+    const double x1 = 0.5 * (x0 + x2) + rng.uniform(-0.15f, 0.15f) * z;
+    const double thick = std::max(1.0, z / 256.0 * rng.uniform(1.f, 3.f));
+    for (std::int64_t ch = 0; ch < cfg_.channels; ++ch)
+      img::draw_bezier(out.image, y0, x0, y1, x1, y2, x2, thick,
+                       ch == 1 ? 0.25f : 0.45f, ch);
+  }
+  return out;
+}
+
+SyntheticBtcv::SyntheticBtcv(const BtcvConfig& cfg) : cfg_(cfg) {
+  APF_CHECK(cfg_.resolution >= 32, "SyntheticBtcv: resolution too small");
+}
+
+SegSample SyntheticBtcv::sample(std::int64_t index) const {
+  const std::int64_t z = cfg_.resolution;
+  Rng rng = sample_rng(cfg_.seed, index, 0xb7c4);
+
+  SegSample out;
+  out.image = img::Image(z, z, 1);
+  out.mask = img::Image(z, z, 1);
+
+  // Body: soft-tissue ellipse on air background, with CT-like noise.
+  const double body_cy = z * 0.52, body_cx = z * 0.5;
+  const double body_ry = z * rng.uniform(0.36f, 0.42f);
+  const double body_rx = z * rng.uniform(0.42f, 0.47f);
+  img::fill_ellipse(out.image, body_cy, body_cx, body_ry, body_rx, 0.0, 0.35f);
+
+  // 13 organs: (rel cy, rel cx, rel ry, rel rx, intensity). Positions are
+  // a stylized axial abdomen: liver right (image left), spleen left,
+  // kidneys posterior pair, aorta/cava small central circles, etc.
+  struct Organ {
+    double cy, cx, ry, rx, intensity;
+  };
+  constexpr Organ organs[13] = {
+      {0.42, 0.32, 0.16, 0.14, 0.58},  // 1 spleen? (kept generic)
+      {0.45, 0.68, 0.20, 0.17, 0.55},  // 2 liver
+      {0.66, 0.36, 0.07, 0.05, 0.62},  // 3 kidney L
+      {0.66, 0.64, 0.07, 0.05, 0.62},  // 4 kidney R
+      {0.38, 0.50, 0.06, 0.09, 0.48},  // 5 stomach
+      {0.55, 0.50, 0.025, 0.025, 0.80},// 6 aorta
+      {0.58, 0.44, 0.02, 0.02, 0.72},  // 7 inferior vena cava
+      {0.50, 0.42, 0.045, 0.075, 0.52},// 8 pancreas
+      {0.33, 0.56, 0.045, 0.045, 0.44},// 9 gallbladder
+      {0.28, 0.50, 0.035, 0.05, 0.40}, // 10 esophagus
+      {0.72, 0.50, 0.05, 0.08, 0.46},  // 11 bowel
+      {0.47, 0.56, 0.03, 0.03, 0.66},  // 12 adrenal L
+      {0.47, 0.44, 0.03, 0.03, 0.66},  // 13 adrenal R
+  };
+  for (int k = 0; k < 13; ++k) {
+    const Organ& o = organs[k];
+    // Per-sample anatomical jitter.
+    const double cy = (o.cy + rng.uniform(-0.02f, 0.02f)) * z;
+    const double cx = (o.cx + rng.uniform(-0.02f, 0.02f)) * z;
+    const double ry = o.ry * z * rng.uniform(0.85f, 1.15f);
+    const double rx = o.rx * z * rng.uniform(0.85f, 1.15f);
+    const double ang = rng.uniform(-0.3f, 0.3f);
+    img::fill_ellipse(out.image, cy, cx, ry, rx, ang,
+                      static_cast<float>(o.intensity));
+    img::fill_ellipse(out.mask, cy, cx, ry, rx, ang,
+                      static_cast<float>(k + 1));
+  }
+
+  // CT acquisition noise.
+  const img::Image noise =
+      img::value_noise(z, z, 2.0, 2, 0.5, rng.next_u64());
+  for (std::int64_t y = 0; y < z; ++y)
+    for (std::int64_t x = 0; x < z; ++x)
+      out.image.at(y, x) =
+          std::clamp(out.image.at(y, x) + 0.05f * (noise.at(y, x) - 0.5f),
+                     0.f, 1.f);
+  return out;
+}
+
+PaipClassification::PaipClassification(const PaipClsConfig& cfg) : cfg_(cfg) {}
+
+ClsSample PaipClassification::sample(std::int64_t index) const {
+  const std::int64_t label = index % kNumClasses;
+  // Class-dependent morphology: organs differ in tumour size/count, texture
+  // frequency, and vessel density — the cues a classifier must learn.
+  PaipConfig pc;
+  pc.resolution = cfg_.resolution;
+  pc.seed = cfg_.seed * 977 + static_cast<std::uint64_t>(label);
+  pc.min_tumors = 1 + static_cast<int>(label % 3);
+  pc.max_tumors = pc.min_tumors + 1;
+  pc.tumor_radius_frac = 0.10 + 0.03 * static_cast<double>(label);
+  pc.boundary_roughness = 0.20 + 0.06 * static_cast<double>(label % 4);
+  pc.n_vessels = 2 + static_cast<int>(label) * 2;
+  // Mild per-organ stain shift: a coarse cue every model can pick up, on
+  // top of the fine morphology cues (vessels, boundary roughness) that
+  // only small patches resolve — mirroring the paper's Table V regime.
+  pc.stain_shift = 0.025f * (static_cast<float>(label) - 2.5f);
+  SyntheticPaip gen(pc);
+  ClsSample out;
+  out.image = gen.sample(index / kNumClasses).image;
+  out.label = label;
+  return out;
+}
+
+SplitIndices make_splits(std::int64_t n, double train_frac, double val_frac,
+                         std::uint64_t seed) {
+  APF_CHECK(n > 0 && train_frac > 0 && val_frac >= 0 &&
+                train_frac + val_frac < 1.0,
+            "make_splits: bad fractions");
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) idx[static_cast<std::size_t>(i)] = i;
+  Rng rng(seed);
+  rng.shuffle(idx);
+  const std::int64_t n_train = static_cast<std::int64_t>(n * train_frac);
+  const std::int64_t n_val = static_cast<std::int64_t>(n * val_frac);
+  SplitIndices s;
+  s.train.assign(idx.begin(), idx.begin() + n_train);
+  s.val.assign(idx.begin() + n_train, idx.begin() + n_train + n_val);
+  s.test.assign(idx.begin() + n_train + n_val, idx.end());
+  return s;
+}
+
+}  // namespace apf::data

@@ -1,0 +1,114 @@
+#pragma once
+// Procedural stand-ins for the paper's datasets (see DESIGN.md §1).
+//
+// SyntheticPaip emulates H&E-stained whole-slide pathology: large smooth
+// non-tissue margins, textured tissue, tumour blobs with rough fractal
+// boundaries (the segmentation target), and vessel filaments. The edge
+// statistics — detail concentrated near boundaries, large uniform areas —
+// are what give APF its sequence-length savings, and the fine boundary
+// structure is what rewards small patches, so both paper mechanisms are
+// exercised.
+//
+// SyntheticBtcv emulates abdominal CT slices with 13 organ classes laid out
+// in anatomically plausible relative positions.
+//
+// Every sample is a pure function of (config seed, index): datasets never
+// hold state and are trivially shardable across data-parallel ranks.
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+
+namespace apf::data {
+
+/// One segmentation sample. mask is single-channel: binary {0,1} for PAIP,
+/// class ids {0..13} (stored as floats) for BTCV.
+struct SegSample {
+  img::Image image;
+  img::Image mask;
+};
+
+/// One classification sample.
+struct ClsSample {
+  img::Image image;
+  std::int64_t label = 0;
+};
+
+/// PAIP-like whole-slide pathology generator.
+struct PaipConfig {
+  std::int64_t resolution = 128;    ///< Z (square, power of two)
+  std::int64_t channels = 3;        ///< RGB
+  int min_tumors = 1;               ///< tumour blob count range
+  int max_tumors = 3;
+  double tumor_radius_frac = 0.16;  ///< mean tumour radius / Z
+  double boundary_roughness = 0.38; ///< fractal boundary amplitude
+  int n_vessels = 5;                ///< bezier filaments
+  /// Global stain shift added to the tissue base colour — organs differ in
+  /// staining, which is the coarse cue classification models rely on.
+  float stain_shift = 0.f;
+  std::uint64_t seed = 42;          ///< dataset-level seed
+};
+
+class SyntheticPaip {
+ public:
+  explicit SyntheticPaip(const PaipConfig& cfg = {});
+
+  /// Deterministic sample for any index >= 0.
+  SegSample sample(std::int64_t index) const;
+
+  std::int64_t resolution() const { return cfg_.resolution; }
+  const PaipConfig& config() const { return cfg_; }
+
+ private:
+  PaipConfig cfg_;
+};
+
+/// BTCV-like abdominal CT slice generator, 13 organ classes + background.
+struct BtcvConfig {
+  std::int64_t resolution = 128;
+  std::uint64_t seed = 137;
+};
+
+class SyntheticBtcv {
+ public:
+  static constexpr std::int64_t kNumClasses = 14;  ///< 13 organs + background
+
+  explicit SyntheticBtcv(const BtcvConfig& cfg = {});
+
+  SegSample sample(std::int64_t index) const;
+
+  std::int64_t resolution() const { return cfg_.resolution; }
+
+ private:
+  BtcvConfig cfg_;
+};
+
+/// 6-way organ classification built from PAIP-style rendering where texture
+/// frequency, tumour morphology and vessel density depend on the class
+/// (paper Table V setup: PAIP split into 6 organ categories).
+struct PaipClsConfig {
+  std::int64_t resolution = 128;
+  std::uint64_t seed = 1234;
+};
+
+class PaipClassification {
+ public:
+  static constexpr std::int64_t kNumClasses = 6;
+
+  explicit PaipClassification(const PaipClsConfig& cfg = {});
+
+  ClsSample sample(std::int64_t index) const;
+
+ private:
+  PaipClsConfig cfg_;
+};
+
+/// Deterministic train/val/test split of [0, n) (paper: 0.7/0.1/0.2).
+struct SplitIndices {
+  std::vector<std::int64_t> train, val, test;
+};
+SplitIndices make_splits(std::int64_t n, double train_frac, double val_frac,
+                         std::uint64_t seed);
+
+}  // namespace apf::data

@@ -1,0 +1,174 @@
+#include "img/draw.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::img {
+
+float hash01(std::int64_t x, std::int64_t y, std::uint64_t seed) {
+  std::uint64_t z = static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ULL ^
+                    static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4fULL ^
+                    seed * 0x165667b19e3779f9ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<float>(z >> 11) * 0x1.0p-53f;
+}
+
+namespace {
+
+// Smoothstep-interpolated lattice value noise at one frequency.
+float lattice_noise(double y, double x, double cell, std::uint64_t seed) {
+  const double fy = y / cell, fx = x / cell;
+  const std::int64_t iy = static_cast<std::int64_t>(std::floor(fy));
+  const std::int64_t ix = static_cast<std::int64_t>(std::floor(fx));
+  const float ty = static_cast<float>(fy - iy);
+  const float tx = static_cast<float>(fx - ix);
+  const float sy = ty * ty * (3.f - 2.f * ty);
+  const float sx = tx * tx * (3.f - 2.f * tx);
+  const float v00 = hash01(ix, iy, seed);
+  const float v01 = hash01(ix + 1, iy, seed);
+  const float v10 = hash01(ix, iy + 1, seed);
+  const float v11 = hash01(ix + 1, iy + 1, seed);
+  return (1 - sy) * ((1 - sx) * v00 + sx * v01) +
+         sy * ((1 - sx) * v10 + sx * v11);
+}
+
+}  // namespace
+
+Image value_noise(std::int64_t h, std::int64_t w, double cell, int octaves,
+                  double persistence, std::uint64_t seed) {
+  APF_CHECK(cell > 0 && octaves >= 1, "value_noise: bad parameters");
+  Image out(h, w, 1);
+  parallel_for(h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      double acc = 0.0, amp = 1.0, total = 0.0, c = cell;
+      std::uint64_t s = seed;
+      for (int o = 0; o < octaves; ++o) {
+        acc += amp * lattice_noise(static_cast<double>(y),
+                                   static_cast<double>(x), c, s);
+        total += amp;
+        amp *= persistence;
+        c = std::max(1.0, c * 0.5);
+        s = s * 0x9e3779b97f4a7c15ULL + 1;
+      }
+      out.at(y, x) = static_cast<float>(acc / total);
+    }
+  });
+  return out;
+}
+
+Blob make_blob(double cy, double cx, double r0, int n_harmonics,
+               double roughness, Rng& rng) {
+  Blob b;
+  b.cy = cy;
+  b.cx = cx;
+  b.r0 = r0;
+  b.amp.resize(static_cast<std::size_t>(n_harmonics));
+  b.phase.resize(static_cast<std::size_t>(n_harmonics));
+  for (int k = 0; k < n_harmonics; ++k) {
+    // 1/k falloff keeps the boundary continuous while allowing fine detail.
+    b.amp[static_cast<std::size_t>(k)] =
+        roughness * rng.uniform(0.3f, 1.f) / (k + 1);
+    b.phase[static_cast<std::size_t>(k)] =
+        rng.uniform(0.f, 2.f * static_cast<float>(M_PI));
+  }
+  return b;
+}
+
+bool blob_contains(const Blob& b, double y, double x) {
+  const double dy = y - b.cy, dx = x - b.cx;
+  const double r = std::hypot(dy, dx);
+  if (r < 1e-9) return true;
+  const double theta = std::atan2(dy, dx);
+  double rb = 1.0;
+  for (std::size_t k = 0; k < b.amp.size(); ++k)
+    rb += b.amp[k] * std::sin((static_cast<double>(k) + 1) * theta + b.phase[k]);
+  return r <= b.r0 * std::max(0.05, rb);
+}
+
+namespace {
+
+// Conservative raster bounding box for a blob.
+void blob_bbox(const Blob& b, std::int64_t h, std::int64_t w, std::int64_t& y0,
+               std::int64_t& y1, std::int64_t& x0, std::int64_t& x1) {
+  double max_amp = 0.0;
+  for (double a : b.amp) max_amp += std::abs(a);
+  const double rmax = b.r0 * (1.0 + max_amp) + 1.0;
+  y0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(b.cy - rmax));
+  y1 = std::min<std::int64_t>(h, static_cast<std::int64_t>(b.cy + rmax) + 1);
+  x0 = std::max<std::int64_t>(0, static_cast<std::int64_t>(b.cx - rmax));
+  x1 = std::min<std::int64_t>(w, static_cast<std::int64_t>(b.cx + rmax) + 1);
+}
+
+}  // namespace
+
+void fill_blob(Image& dst, const Blob& b, float value, std::int64_t ch,
+               Image* mask, float mask_value) {
+  std::int64_t y0, y1, x0, x1;
+  blob_bbox(b, dst.h, dst.w, y0, y1, x0, x1);
+  parallel_for(y1 - y0, [&](std::int64_t i) {
+    const std::int64_t y = y0 + i;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      if (blob_contains(b, static_cast<double>(y), static_cast<double>(x))) {
+        dst.at(y, x, ch) = std::max(dst.at(y, x, ch), value);
+        if (mask) mask->at(y, x, 0) = mask_value;
+      }
+    }
+  });
+}
+
+void fill_ellipse(Image& dst, double cy, double cx, double ry, double rx,
+                  double angle, float value, std::int64_t ch) {
+  const double rmax = std::max(ry, rx) + 1.0;
+  const std::int64_t y0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(cy - rmax));
+  const std::int64_t y1 =
+      std::min<std::int64_t>(dst.h, static_cast<std::int64_t>(cy + rmax) + 1);
+  const std::int64_t x0 =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(cx - rmax));
+  const std::int64_t x1 =
+      std::min<std::int64_t>(dst.w, static_cast<std::int64_t>(cx + rmax) + 1);
+  const double ca = std::cos(angle), sa = std::sin(angle);
+  parallel_for(y1 - y0, [&](std::int64_t i) {
+    const std::int64_t y = y0 + i;
+    for (std::int64_t x = x0; x < x1; ++x) {
+      const double dy = y - cy, dx = x - cx;
+      const double u = dx * ca + dy * sa;
+      const double v = -dx * sa + dy * ca;
+      if ((u * u) / (rx * rx) + (v * v) / (ry * ry) <= 1.0)
+        dst.at(y, x, ch) = value;
+    }
+  });
+}
+
+void draw_bezier(Image& dst, double y0, double x0, double y1, double x1,
+                 double y2, double x2, double thickness, float value,
+                 std::int64_t ch) {
+  // Sample the curve densely relative to its control polygon length, then
+  // stamp discs. Simple and robust for filament widths of a few pixels.
+  const double len = std::hypot(y1 - y0, x1 - x0) + std::hypot(y2 - y1, x2 - x1);
+  const int steps = std::max(8, static_cast<int>(len * 2));
+  const double r = std::max(0.5, thickness * 0.5);
+  for (int s = 0; s <= steps; ++s) {
+    const double t = static_cast<double>(s) / steps;
+    const double omt = 1.0 - t;
+    const double py = omt * omt * y0 + 2 * omt * t * y1 + t * t * y2;
+    const double px = omt * omt * x0 + 2 * omt * t * x1 + t * t * x2;
+    const std::int64_t yy0 =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(py - r));
+    const std::int64_t yy1 =
+        std::min<std::int64_t>(dst.h, static_cast<std::int64_t>(py + r) + 1);
+    const std::int64_t xx0 =
+        std::max<std::int64_t>(0, static_cast<std::int64_t>(px - r));
+    const std::int64_t xx1 =
+        std::min<std::int64_t>(dst.w, static_cast<std::int64_t>(px + r) + 1);
+    for (std::int64_t y = yy0; y < yy1; ++y)
+      for (std::int64_t x = xx0; x < xx1; ++x)
+        if (std::hypot(y - py, x - px) <= r) dst.at(y, x, ch) = value;
+  }
+}
+
+}  // namespace apf::img

@@ -1,0 +1,58 @@
+#pragma once
+// Procedural drawing primitives and coherent noise.
+//
+// These are the raster back end of the synthetic datasets (data/): value
+// noise provides tissue-like texture, fractal blobs provide tumour/organ
+// regions with irregular boundaries, and bezier strokes provide vessels.
+// Everything is deterministic given the caller's Rng/seed.
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+#include "tensor/rng.h"
+
+namespace apf::img {
+
+/// Deterministic lattice hash -> [0,1). Stable across platforms.
+float hash01(std::int64_t x, std::int64_t y, std::uint64_t seed);
+
+/// Multi-octave value noise in [0,1]. cell is the base lattice spacing in
+/// pixels; each octave halves the spacing and scales amplitude by
+/// persistence. O(1) memory (hash-based lattice).
+Image value_noise(std::int64_t h, std::int64_t w, double cell, int octaves,
+                  double persistence, std::uint64_t seed);
+
+/// Closed star-shaped region: boundary radius r(theta) =
+/// r0 * (1 + sum_k a_k sin(k theta + phi_k)). Irregular ("fractal")
+/// boundaries emerge from the harmonic sum; roughness scales the a_k.
+struct Blob {
+  double cy = 0, cx = 0;       ///< centre (pixels)
+  double r0 = 0;               ///< mean radius (pixels)
+  std::vector<double> amp;     ///< per-harmonic amplitude (relative)
+  std::vector<double> phase;   ///< per-harmonic phase
+};
+
+/// Samples a random blob with n_harmonics boundary harmonics; roughness in
+/// [0, ~0.5] controls boundary irregularity.
+Blob make_blob(double cy, double cx, double r0, int n_harmonics,
+               double roughness, Rng& rng);
+
+/// Whether (y, x) lies inside the blob.
+bool blob_contains(const Blob& b, double y, double x);
+
+/// Rasterizes the blob into channel ch: dst = max(dst, value) inside.
+/// If mask is non-null the same region is painted into mask channel 0.
+void fill_blob(Image& dst, const Blob& b, float value, std::int64_t ch = 0,
+               Image* mask = nullptr, float mask_value = 1.f);
+
+/// Filled (rotated) ellipse: dst = value inside. Angle in radians.
+void fill_ellipse(Image& dst, double cy, double cx, double ry, double rx,
+                  double angle, float value, std::int64_t ch = 0);
+
+/// Quadratic bezier stroke with round caps; used for vessel-like filaments.
+void draw_bezier(Image& dst, double y0, double x0, double y1, double x1,
+                 double y2, double x2, double thickness, float value,
+                 std::int64_t ch = 0);
+
+}  // namespace apf::img

@@ -1,0 +1,149 @@
+#include "img/filters.h"
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::img {
+
+Image gaussian_blur(const Image& src, int ksize, float sigma) {
+  APF_CHECK(ksize >= 1 && ksize % 2 == 1, "gaussian_blur: ksize must be odd");
+  if (ksize == 1) return src;
+  if (sigma <= 0.f) sigma = 0.3f * ((ksize - 1) * 0.5f - 1.f) + 0.8f;
+
+  // 1-D kernel.
+  const int r = ksize / 2;
+  std::vector<float> k(static_cast<std::size_t>(ksize));
+  float norm = 0.f;
+  for (int i = -r; i <= r; ++i) {
+    k[static_cast<std::size_t>(i + r)] =
+        std::exp(-0.5f * static_cast<float>(i * i) / (sigma * sigma));
+    norm += k[static_cast<std::size_t>(i + r)];
+  }
+  for (float& v : k) v /= norm;
+
+  // Horizontal pass then vertical pass (replicate borders).
+  Image tmp(src.h, src.w, src.c);
+  parallel_for(src.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < src.w; ++x) {
+      for (std::int64_t ch = 0; ch < src.c; ++ch) {
+        float acc = 0.f;
+        for (int i = -r; i <= r; ++i)
+          acc += k[static_cast<std::size_t>(i + r)] *
+                 src.at_clamped(y, x + i, ch);
+        tmp.at(y, x, ch) = acc;
+      }
+    }
+  });
+  Image out(src.h, src.w, src.c);
+  parallel_for(src.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < src.w; ++x) {
+      for (std::int64_t ch = 0; ch < src.c; ++ch) {
+        float acc = 0.f;
+        for (int i = -r; i <= r; ++i)
+          acc += k[static_cast<std::size_t>(i + r)] *
+                 tmp.at_clamped(y + i, x, ch);
+        out.at(y, x, ch) = acc;
+      }
+    }
+  });
+  return out;
+}
+
+void sobel(const Image& gray, Image& gx, Image& gy) {
+  APF_CHECK(gray.c == 1, "sobel: need single channel");
+  gx = Image(gray.h, gray.w, 1);
+  gy = Image(gray.h, gray.w, 1);
+  // Treat [0,1] input as [0,255] so thresholds follow 8-bit conventions.
+  constexpr float kScale = 255.f;
+  parallel_for(gray.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < gray.w; ++x) {
+      const float p00 = gray.at_clamped(y - 1, x - 1);
+      const float p01 = gray.at_clamped(y - 1, x);
+      const float p02 = gray.at_clamped(y - 1, x + 1);
+      const float p10 = gray.at_clamped(y, x - 1);
+      const float p12 = gray.at_clamped(y, x + 1);
+      const float p20 = gray.at_clamped(y + 1, x - 1);
+      const float p21 = gray.at_clamped(y + 1, x);
+      const float p22 = gray.at_clamped(y + 1, x + 1);
+      gx.at(y, x) = kScale * ((p02 + 2.f * p12 + p22) - (p00 + 2.f * p10 + p20));
+      gy.at(y, x) = kScale * ((p20 + 2.f * p21 + p22) - (p00 + 2.f * p01 + p02));
+    }
+  });
+}
+
+Image canny(const Image& gray_in, float t_low, float t_high) {
+  APF_CHECK(t_low >= 0.f && t_high >= t_low,
+            "canny: need 0 <= t_low <= t_high");
+  const Image gray = to_gray(gray_in);
+  Image gx, gy;
+  sobel(gray, gx, gy);
+
+  const std::int64_t h = gray.h, w = gray.w;
+  Image mag(h, w, 1);
+  parallel_for(h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x)
+      mag.at(y, x) = std::hypot(gx.at(y, x), gy.at(y, x));
+  });
+
+  // Non-maximum suppression along the quantized gradient direction.
+  Image nms(h, w, 1);
+  parallel_for(h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float m = mag.at(y, x);
+      if (m < t_low) continue;  // cannot survive double threshold anyway
+      const float dx = gx.at(y, x), dy = gy.at(y, x);
+      // Quantize the angle into {0, 45, 90, 135} degrees.
+      const float angle = std::atan2(dy, dx);
+      const float deg = angle * 180.f / static_cast<float>(M_PI);
+      float n1, n2;
+      const float a = deg < 0 ? deg + 180.f : deg;
+      if (a < 22.5f || a >= 157.5f) {  // horizontal gradient -> E/W neighbours
+        n1 = mag.at_clamped(y, x - 1);
+        n2 = mag.at_clamped(y, x + 1);
+      } else if (a < 67.5f) {  // 45 degrees
+        n1 = mag.at_clamped(y - 1, x + 1);
+        n2 = mag.at_clamped(y + 1, x - 1);
+      } else if (a < 112.5f) {  // vertical gradient -> N/S neighbours
+        n1 = mag.at_clamped(y - 1, x);
+        n2 = mag.at_clamped(y + 1, x);
+      } else {  // 135 degrees
+        n1 = mag.at_clamped(y - 1, x - 1);
+        n2 = mag.at_clamped(y + 1, x + 1);
+      }
+      if (m >= n1 && m >= n2) nms.at(y, x) = m;
+    }
+  });
+
+  // Double threshold + hysteresis: BFS from strong pixels through weak ones.
+  Image out(h, w, 1);
+  std::vector<std::int64_t> queue;
+  queue.reserve(static_cast<std::size_t>(h * w / 16));
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      if (nms.at(y, x) >= t_high) {
+        out.at(y, x) = 1.f;
+        queue.push_back(y * w + x);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    const std::int64_t p = queue.back();
+    queue.pop_back();
+    const std::int64_t y = p / w, x = p % w;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t ny = y + dy, nx = x + dx;
+        if (ny < 0 || ny >= h || nx < 0 || nx >= w) continue;
+        if (out.at(ny, nx) == 0.f && nms.at(ny, nx) >= t_low) {
+          out.at(ny, nx) = 1.f;
+          queue.push_back(ny * w + nx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace apf::img

@@ -1,0 +1,28 @@
+#pragma once
+// Separable Gaussian smoothing, Sobel gradients, and the full Canny edge
+// detector — the paper's pre-processing front end (APF step 1).
+
+#include <cstdint>
+
+#include "img/image.h"
+
+namespace apf::img {
+
+/// Separable Gaussian blur with an odd ksize x ksize kernel and replicate
+/// borders. sigma <= 0 derives sigma from ksize with the OpenCV convention
+/// sigma = 0.3 * ((ksize - 1) * 0.5 - 1) + 0.8, matching the paper's setup.
+Image gaussian_blur(const Image& src, int ksize, float sigma = 0.f);
+
+/// Sobel gradients of a single-channel image. Outputs gx, gy as images
+/// scaled to 8-bit-equivalent units (input [0,1] is treated as [0,255]) so
+/// Canny thresholds like the paper's [100, 200] apply directly.
+void sobel(const Image& gray, Image& gx, Image& gy);
+
+/// Canny edge detection on a single-channel image: Sobel -> L2 gradient
+/// magnitude -> non-maximum suppression (4 quantized directions) -> double
+/// threshold -> hysteresis (8-connected BFS from strong pixels).
+/// Thresholds are in 8-bit gradient units (paper: t_low=100, t_high=200).
+/// Returns a binary {0, 1} single-channel image.
+Image canny(const Image& gray, float t_low, float t_high);
+
+}  // namespace apf::img

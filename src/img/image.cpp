@@ -1,0 +1,62 @@
+#include "img/image.h"
+
+#include "tensor/parallel_for.h"
+
+namespace apf::img {
+
+Image to_gray(const Image& src) {
+  if (src.c == 1) return src;
+  APF_CHECK(src.c == 3, "to_gray: need 1 or 3 channels, got " << src.c);
+  Image out(src.h, src.w, 1);
+  parallel_for(src.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < src.w; ++x) {
+      out.at(y, x) = 0.299f * src.at(y, x, 0) + 0.587f * src.at(y, x, 1) +
+                     0.114f * src.at(y, x, 2);
+    }
+  });
+  return out;
+}
+
+Image crop(const Image& src, std::int64_t y0, std::int64_t x0,
+           std::int64_t size) {
+  APF_CHECK(y0 >= 0 && x0 >= 0 && y0 + size <= src.h && x0 + size <= src.w,
+            "crop: [" << y0 << "," << x0 << ")+" << size << " outside "
+                      << src.h << "x" << src.w);
+  Image out(size, size, src.c);
+  for (std::int64_t y = 0; y < size; ++y) {
+    const float* srow = &src.data[static_cast<std::size_t>(
+        ((y0 + y) * src.w + x0) * src.c)];
+    float* drow = &out.data[static_cast<std::size_t>(y * size * src.c)];
+    std::copy(srow, srow + size * src.c, drow);
+  }
+  return out;
+}
+
+Tensor to_chw_tensor(const Image& src) {
+  Tensor t({src.c, src.h, src.w});
+  float* p = t.data();
+  parallel_for(src.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < src.w; ++x) {
+      for (std::int64_t ch = 0; ch < src.c; ++ch) {
+        p[(ch * src.h + y) * src.w + x] = src.at(y, x, ch);
+      }
+    }
+  });
+  return t;
+}
+
+Image from_chw_tensor(const Tensor& t) {
+  APF_CHECK(t.ndim() == 3, "from_chw_tensor: need [C,H,W], got " << t.str());
+  Image out(t.size(1), t.size(2), t.size(0));
+  const float* p = t.data();
+  parallel_for(out.h, [&](std::int64_t y) {
+    for (std::int64_t x = 0; x < out.w; ++x) {
+      for (std::int64_t ch = 0; ch < out.c; ++ch) {
+        out.at(y, x, ch) = p[(ch * out.h + y) * out.w + x];
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace apf::img

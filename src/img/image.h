@@ -1,0 +1,71 @@
+#pragma once
+// Minimal float image type used by the pre-processing pipeline.
+//
+// Layout is HWC row-major with values conventionally in [0, 1]. Kept
+// separate from apf::Tensor on purpose: image-processing code wants
+// (y, x, channel) indexing and integer geometry, while the training stack
+// wants flat NCHW tensors; img::to_chw_tensor converts at the boundary.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/tensor.h"
+
+namespace apf::img {
+
+/// Dense float image, HWC row-major.
+struct Image {
+  std::int64_t h = 0;
+  std::int64_t w = 0;
+  std::int64_t c = 0;
+  std::vector<float> data;
+
+  Image() = default;
+  /// Zero-filled image.
+  Image(std::int64_t height, std::int64_t width, std::int64_t channels)
+      : h(height),
+        w(width),
+        c(channels),
+        data(static_cast<std::size_t>(height * width * channels), 0.f) {
+    APF_CHECK(height >= 0 && width >= 0 && channels >= 0,
+              "Image: negative dims");
+  }
+
+  std::int64_t numel() const { return h * w * c; }
+  bool empty() const { return data.empty(); }
+
+  float& at(std::int64_t y, std::int64_t x, std::int64_t ch = 0) {
+    APF_DCHECK(y >= 0 && y < h && x >= 0 && x < w && ch >= 0 && ch < c,
+               "Image::at out of bounds");
+    return data[static_cast<std::size_t>((y * w + x) * c + ch)];
+  }
+  float at(std::int64_t y, std::int64_t x, std::int64_t ch = 0) const {
+    return const_cast<Image*>(this)->at(y, x, ch);
+  }
+
+  /// Clamped accessor (replicate border), used by filters.
+  float at_clamped(std::int64_t y, std::int64_t x, std::int64_t ch = 0) const {
+    y = y < 0 ? 0 : (y >= h ? h - 1 : y);
+    x = x < 0 ? 0 : (x >= w ? w - 1 : x);
+    return at(y, x, ch);
+  }
+
+  void fill(float v) { std::fill(data.begin(), data.end(), v); }
+};
+
+/// Luminance conversion: RGB -> single channel (Rec.601 weights); a 1-channel
+/// image is returned unchanged (copy).
+Image to_gray(const Image& src);
+
+/// Crops the [y0, y0+size) x [x0, x0+size) square (must be in bounds).
+Image crop(const Image& src, std::int64_t y0, std::int64_t x0,
+           std::int64_t size);
+
+/// Converts HWC image to a CHW tensor (the model-side layout).
+Tensor to_chw_tensor(const Image& src);
+
+/// Converts a CHW tensor back to an HWC image.
+Image from_chw_tensor(const Tensor& t);
+
+}  // namespace apf::img

@@ -1,0 +1,31 @@
+#include "img/integral.h"
+
+#include <algorithm>
+
+namespace apf::img {
+
+IntegralImage::IntegralImage(const Image& src)
+    : h_(src.h), w_(src.w),
+      table_(static_cast<std::size_t>((src.h + 1) * (src.w + 1)), 0.0) {
+  APF_CHECK(src.c == 1, "IntegralImage: need single channel, got " << src.c);
+  for (std::int64_t y = 0; y < h_; ++y) {
+    double row = 0.0;
+    for (std::int64_t x = 0; x < w_; ++x) {
+      row += src.at(y, x);
+      table_[static_cast<std::size_t>((y + 1) * (w_ + 1) + (x + 1))] =
+          tab(y, x + 1) + row;
+    }
+  }
+}
+
+double IntegralImage::sum(std::int64_t y0, std::int64_t x0, std::int64_t y1,
+                          std::int64_t x1) const {
+  y0 = std::clamp<std::int64_t>(y0, 0, h_);
+  y1 = std::clamp<std::int64_t>(y1, 0, h_);
+  x0 = std::clamp<std::int64_t>(x0, 0, w_);
+  x1 = std::clamp<std::int64_t>(x1, 0, w_);
+  if (y1 <= y0 || x1 <= x0) return 0.0;
+  return tab(y1, x1) - tab(y0, x1) - tab(y1, x0) + tab(y0, x0);
+}
+
+}  // namespace apf::img

@@ -1,0 +1,73 @@
+#include "img/resize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::img {
+
+Image resize_area(const Image& src, std::int64_t oh, std::int64_t ow) {
+  APF_CHECK(oh > 0 && ow > 0 && src.h > 0 && src.w > 0,
+            "resize_area: empty geometry");
+  if (oh == src.h && ow == src.w) return src;
+  Image out(oh, ow, src.c);
+  const double sy = static_cast<double>(src.h) / oh;
+  const double sx = static_cast<double>(src.w) / ow;
+  parallel_for(oh, [&](std::int64_t y) {
+    const double y0 = y * sy, y1 = (y + 1) * sy;
+    const std::int64_t iy0 = static_cast<std::int64_t>(std::floor(y0));
+    const std::int64_t iy1 =
+        std::min<std::int64_t>(src.h, static_cast<std::int64_t>(std::ceil(y1)));
+    for (std::int64_t x = 0; x < ow; ++x) {
+      const double x0 = x * sx, x1 = (x + 1) * sx;
+      const std::int64_t ix0 = static_cast<std::int64_t>(std::floor(x0));
+      const std::int64_t ix1 = std::min<std::int64_t>(
+          src.w, static_cast<std::int64_t>(std::ceil(x1)));
+      for (std::int64_t ch = 0; ch < src.c; ++ch) {
+        double acc = 0.0, area = 0.0;
+        for (std::int64_t iy = iy0; iy < iy1; ++iy) {
+          const double hy = std::min<double>(y1, iy + 1) - std::max<double>(y0, iy);
+          for (std::int64_t ix = ix0; ix < ix1; ++ix) {
+            const double wx =
+                std::min<double>(x1, ix + 1) - std::max<double>(x0, ix);
+            acc += hy * wx * src.at(iy, ix, ch);
+            area += hy * wx;
+          }
+        }
+        out.at(y, x, ch) = static_cast<float>(acc / area);
+      }
+    }
+  });
+  return out;
+}
+
+Image resize_bilinear(const Image& src, std::int64_t oh, std::int64_t ow) {
+  APF_CHECK(oh > 0 && ow > 0 && src.h > 0 && src.w > 0,
+            "resize_bilinear: empty geometry");
+  if (oh == src.h && ow == src.w) return src;
+  Image out(oh, ow, src.c);
+  const double sy = static_cast<double>(src.h) / oh;
+  const double sx = static_cast<double>(src.w) / ow;
+  parallel_for(oh, [&](std::int64_t y) {
+    const double fy = (y + 0.5) * sy - 0.5;
+    const std::int64_t y0 = static_cast<std::int64_t>(std::floor(fy));
+    const float wy = static_cast<float>(fy - y0);
+    for (std::int64_t x = 0; x < ow; ++x) {
+      const double fx = (x + 0.5) * sx - 0.5;
+      const std::int64_t x0 = static_cast<std::int64_t>(std::floor(fx));
+      const float wx = static_cast<float>(fx - x0);
+      for (std::int64_t ch = 0; ch < src.c; ++ch) {
+        const float v00 = src.at_clamped(y0, x0, ch);
+        const float v01 = src.at_clamped(y0, x0 + 1, ch);
+        const float v10 = src.at_clamped(y0 + 1, x0, ch);
+        const float v11 = src.at_clamped(y0 + 1, x0 + 1, ch);
+        out.at(y, x, ch) = (1 - wy) * ((1 - wx) * v00 + wx * v01) +
+                           wy * ((1 - wx) * v10 + wx * v11);
+      }
+    }
+  });
+  return out;
+}
+
+}  // namespace apf::img

@@ -1,0 +1,20 @@
+#pragma once
+// Image resampling. Area (box) averaging is what APF uses to down-scale
+// coarse quadtree leaves to the common patch size Pm (paper step 4');
+// bilinear is used for general rescaling of dataset images.
+
+#include <cstdint>
+
+#include "img/image.h"
+
+namespace apf::img {
+
+/// Area-average resample to (oh x ow). Exact mean over source boxes — the
+/// right filter for downscaling (anti-aliasing by construction). Also
+/// handles upscaling (degenerates to nearest-with-fractional-overlap).
+Image resize_area(const Image& src, std::int64_t oh, std::int64_t ow);
+
+/// Bilinear resample to (oh x ow), half-pixel-centred sampling.
+Image resize_bilinear(const Image& src, std::int64_t oh, std::int64_t ow);
+
+}  // namespace apf::img

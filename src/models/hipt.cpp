@@ -1,0 +1,98 @@
+#include "models/hipt.h"
+
+#include "core/posenc.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::models {
+
+HiptLite::HiptLite(const HiptConfig& cfg, Rng& rng) : cfg_(cfg) {
+  APF_CHECK(cfg.image_size % cfg.region == 0,
+            "HiptLite: region must divide image size");
+  APF_CHECK(cfg.region % cfg.sub_patch == 0,
+            "HiptLite: sub_patch must divide region");
+  const std::int64_t sub_grid = cfg.region / cfg.sub_patch;
+  const std::int64_t token_dim = cfg.channels * cfg.sub_patch * cfg.sub_patch;
+
+  sub_embed_ = std::make_unique<nn::Linear>(token_dim, cfg.d_level1, rng);
+  add_child("sub_embed", *sub_embed_);
+  sub_pos_ = core::sincos_position(
+      core::uniform_grid_meta(sub_grid, cfg.region), cfg.region, cfg.d_level1);
+  level1_ = std::make_unique<nn::TransformerEncoder>(
+      cfg.d_level1, cfg.depth_level1, cfg.heads, 4 * cfg.d_level1, rng);
+  add_child("level1", *level1_);
+
+  region_proj_ = std::make_unique<nn::Linear>(cfg.d_level1, cfg.d_level2, rng);
+  add_child("region_proj", *region_proj_);
+  const std::int64_t rg = region_grid();
+  region_pos_ = core::sincos_position(
+      core::uniform_grid_meta(rg, cfg.image_size), cfg.image_size,
+      cfg.d_level2);
+  level2_ = std::make_unique<nn::TransformerEncoder>(
+      cfg.d_level2, cfg.depth_level2, cfg.heads, 4 * cfg.d_level2, rng);
+  add_child("level2", *level2_);
+
+  head_ = std::make_unique<nn::Linear>(cfg.d_level2, cfg.num_classes, rng);
+  add_child("head", *head_);
+}
+
+Var HiptLite::forward(const Tensor& images, Rng& rng) const {
+  APF_CHECK(images.ndim() == 4 && images.size(1) == cfg_.channels &&
+                images.size(2) == cfg_.image_size &&
+                images.size(3) == cfg_.image_size,
+            "HiptLite: input " << images.str());
+  const std::int64_t b = images.size(0);
+  const std::int64_t rg = region_grid();
+  const std::int64_t n_regions = rg * rg;
+  const std::int64_t sub_grid = cfg_.region / cfg_.sub_patch;
+  const std::int64_t n_sub = sub_grid * sub_grid;
+  const std::int64_t p = cfg_.sub_patch;
+  const std::int64_t token_dim = cfg_.channels * p * p;
+  const std::int64_t z = cfg_.image_size;
+
+  // Extract all sub-patch tokens: [B * n_regions, n_sub, token_dim].
+  Tensor tokens({b * n_regions, n_sub, token_dim});
+  {
+    const float* px = images.data();
+    float* pt = tokens.data();
+    parallel_for(b * n_regions, [&](std::int64_t br) {
+      const std::int64_t bi = br / n_regions;
+      const std::int64_t r = br % n_regions;
+      const std::int64_t ry = (r / rg) * cfg_.region;
+      const std::int64_t rx = (r % rg) * cfg_.region;
+      for (std::int64_t s = 0; s < n_sub; ++s) {
+        const std::int64_t sy = ry + (s / sub_grid) * p;
+        const std::int64_t sx = rx + (s % sub_grid) * p;
+        float* row = pt + (br * n_sub + s) * token_dim;
+        for (std::int64_t ch = 0; ch < cfg_.channels; ++ch)
+          for (std::int64_t y = 0; y < p; ++y)
+            for (std::int64_t x = 0; x < p; ++x)
+              row[(ch * p + y) * p + x] =
+                  px[((bi * cfg_.channels + ch) * z + sy + y) * z + sx + x];
+      }
+    }, /*grain=*/1);
+  }
+
+  // Level 1: shared ViT over every region (regions batched together).
+  Var h1 = sub_embed_->forward(Var::constant(tokens));
+  Tensor pos1({b * n_regions, n_sub, cfg_.d_level1});
+  for (std::int64_t i = 0; i < b * n_regions; ++i)
+    std::copy(sub_pos_.data(), sub_pos_.data() + sub_pos_.numel(),
+              pos1.data() + i * sub_pos_.numel());
+  h1 = ag::add(h1, Var::constant(pos1));
+  h1 = level1_->forward(h1, nullptr, rng);
+  Var region_emb = masked_mean_pool(h1, Tensor::ones({b * n_regions, n_sub}));
+
+  // Level 2: ViT over the region grid.
+  Var h2 = region_proj_->forward(region_emb);         // [B*R, D2]
+  h2 = ag::reshape(h2, {b, n_regions, cfg_.d_level2});
+  Tensor pos2({b, n_regions, cfg_.d_level2});
+  for (std::int64_t i = 0; i < b; ++i)
+    std::copy(region_pos_.data(), region_pos_.data() + region_pos_.numel(),
+              pos2.data() + i * region_pos_.numel());
+  h2 = ag::add(h2, Var::constant(pos2));
+  h2 = level2_->forward(h2, nullptr, rng);
+  Var pooled = masked_mean_pool(h2, Tensor::ones({b, n_regions}));
+  return head_->forward(pooled);
+}
+
+}  // namespace apf::models

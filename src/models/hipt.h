@@ -1,0 +1,59 @@
+#pragma once
+// HIPT-lite (Chen et al. 2022): a two-level hierarchical ViT classifier for
+// gigapixel images — the paper's strongest classification baseline
+// (Table V). Level 1 runs a shared small ViT inside each region to produce
+// a region embedding; level 2 runs a ViT over the region-embedding grid.
+// The hierarchy caps attention cost but forces large effective patch sizes,
+// which is exactly the weakness APF-ViT exploits.
+
+#include <memory>
+
+#include "models/token_encoder.h"
+#include "nn/attention.h"
+
+namespace apf::models {
+
+/// Image-consuming classifier interface (HIPT et al. tokenize internally).
+class ImageClsModel : public nn::Module {
+ public:
+  /// images: [B, C, Z, Z] -> logits [B, num_classes].
+  virtual Var forward(const Tensor& images, Rng& rng) const = 0;
+};
+
+/// HIPT-lite configuration.
+struct HiptConfig {
+  std::int64_t image_size = 128;
+  std::int64_t channels = 3;
+  std::int64_t region = 32;       ///< level-1 window (paper: 256 px)
+  std::int64_t sub_patch = 8;     ///< level-1 patch inside a region
+  std::int64_t d_level1 = 32;     ///< level-1 ViT width
+  std::int64_t depth_level1 = 2;
+  std::int64_t d_level2 = 48;     ///< level-2 ViT width
+  std::int64_t depth_level2 = 2;
+  std::int64_t heads = 4;
+  std::int64_t num_classes = 6;
+};
+
+/// Two-level hierarchical classifier.
+class HiptLite : public ImageClsModel {
+ public:
+  HiptLite(const HiptConfig& cfg, Rng& rng);
+
+  Var forward(const Tensor& images, Rng& rng) const override;
+
+  const HiptConfig& config() const { return cfg_; }
+  /// Regions per side (Z / region).
+  std::int64_t region_grid() const { return cfg_.image_size / cfg_.region; }
+
+ private:
+  HiptConfig cfg_;
+  std::unique_ptr<nn::Linear> sub_embed_;     ///< sub-patch pixels -> D1
+  Tensor sub_pos_;                            ///< [n_sub, D1] fixed positions
+  std::unique_ptr<nn::TransformerEncoder> level1_;
+  std::unique_ptr<nn::Linear> region_proj_;   ///< D1 -> D2
+  Tensor region_pos_;                         ///< [n_regions, D2]
+  std::unique_ptr<nn::TransformerEncoder> level2_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace apf::models

@@ -1,0 +1,25 @@
+#pragma once
+// Abstract model interfaces the training harness drives. Two families:
+// token models (transformer stems fed by a patcher) and image models
+// (pure CNNs on raw NCHW input).
+
+#include "core/patcher.h"
+#include "nn/module.h"
+
+namespace apf::models {
+
+/// Segmentation model consuming token sequences; returns per-pixel logits
+/// [B, out_channels, Z, Z].
+class TokenSegModel : public nn::Module {
+ public:
+  virtual Var forward(const core::TokenBatch& batch, Rng& rng) const = 0;
+};
+
+/// Segmentation model consuming raw images [B, C, H, W]; returns logits of
+/// the same spatial size.
+class ImageSegModel : public nn::Module {
+ public:
+  virtual Var forward(const Var& images) const = 0;
+};
+
+}  // namespace apf::models

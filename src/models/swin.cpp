@@ -1,0 +1,176 @@
+#include "models/swin.h"
+
+#include "core/posenc.h"
+
+namespace apf::models {
+namespace {
+
+/// Cyclic roll of a [B, G, G, D] grid by (sy, sx) with wraparound.
+Var roll_grid(const Var& x, std::int64_t sy, std::int64_t sx) {
+  const std::int64_t g = x.size(1);
+  Var out = x;
+  if (sy != 0) {
+    const std::int64_t s = ((sy % g) + g) % g;
+    out = ag::concat({ag::slice(out, 1, g - s, s), ag::slice(out, 1, 0, g - s)},
+                     1);
+  }
+  if (sx != 0) {
+    const std::int64_t s = ((sx % g) + g) % g;
+    out = ag::concat({ag::slice(out, 2, g - s, s), ag::slice(out, 2, 0, g - s)},
+                     2);
+  }
+  return out;
+}
+
+/// [B, G, G, D] -> [B * (G/w)^2, w*w, D] window partition.
+Var window_partition(const Var& x, std::int64_t w) {
+  const std::int64_t b = x.size(0), g = x.size(1), d = x.size(3);
+  const std::int64_t n = g / w;
+  Var r = ag::reshape(x, {b, n, w, n, w, d});
+  r = ag::permute(r, {0, 1, 3, 2, 4, 5});  // [B, n, n, w, w, D]
+  return ag::reshape(r, {b * n * n, w * w, d});
+}
+
+/// Inverse of window_partition.
+Var window_merge(const Var& x, std::int64_t b, std::int64_t g,
+                 std::int64_t w) {
+  const std::int64_t n = g / w;
+  const std::int64_t d = x.size(2);
+  Var r = ag::reshape(x, {b, n, n, w, w, d});
+  r = ag::permute(r, {0, 1, 3, 2, 4, 5});  // [B, n, w, n, w, D]
+  return ag::reshape(r, {b, g, g, d});
+}
+
+}  // namespace
+
+SwinBlock::SwinBlock(std::int64_t dim, std::int64_t heads, std::int64_t window,
+                     bool shifted, Rng& rng)
+    : window_(window), shifted_(shifted), ln1_(dim), ln2_(dim),
+      attn_(dim, heads, rng), mlp_(dim, 4 * dim, rng) {
+  add_child("ln1", ln1_);
+  add_child("ln2", ln2_);
+  add_child("attn", attn_);
+  add_child("mlp", mlp_);
+}
+
+Var SwinBlock::forward(const Var& x, Rng& rng) const {
+  (void)rng;
+  const std::int64_t b = x.size(0), g = x.size(1);
+  APF_CHECK(g % window_ == 0,
+            "SwinBlock: grid " << g << " not divisible by window " << window_);
+  const std::int64_t shift = shifted_ ? window_ / 2 : 0;
+
+  Var h = shifted_ ? roll_grid(x, -shift, -shift) : x;
+  Var win = window_partition(ln1_.forward(h), window_);
+  Var att = attn_.forward(win, nullptr);
+  Var merged = window_merge(att, b, g, window_);
+  if (shifted_) merged = roll_grid(merged, shift, shift);
+  Var res = ag::add(x, merged);
+  Var m = mlp_.forward(ln2_.forward(res));
+  return ag::add(res, m);
+}
+
+SwinUnetrLite::SwinUnetrLite(const SwinUnetrConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      grid_(cfg.image_size / cfg.patch),
+      patch_embed_(cfg.token_dim, cfg.d_model, rng) {
+  APF_CHECK(cfg.image_size % cfg.patch == 0,
+            "SwinUnetrLite: patch must divide image size");
+  APF_CHECK(grid_ % cfg.window == 0,
+            "SwinUnetrLite: window must divide the token grid");
+  add_child("patch_embed", patch_embed_);
+  pos_ = core::sincos_position(
+      core::uniform_grid_meta(grid_, cfg.image_size), cfg.image_size,
+      cfg.d_model);
+
+  for (std::int64_t p = 0; p < cfg.depth_pairs; ++p) {
+    blocks_.push_back(std::make_unique<SwinBlock>(cfg.d_model, cfg.heads,
+                                                  cfg.window, false, rng));
+    add_child("block" + std::to_string(2 * p), *blocks_.back());
+    blocks_.push_back(std::make_unique<SwinBlock>(cfg.d_model, cfg.heads,
+                                                  cfg.window, true, rng));
+    add_child("block" + std::to_string(2 * p + 1), *blocks_.back());
+  }
+
+  std::int64_t ratio = cfg.image_size / grid_;
+  stages_ = 0;
+  while ((std::int64_t{1} << stages_) < ratio) ++stages_;
+  const std::int64_t n_skips =
+      std::min<std::int64_t>(stages_, cfg.depth_pairs);
+  auto width = [&](std::int64_t s) {
+    return std::max<std::int64_t>(8, cfg.base_channels >> s);
+  };
+  bottleneck_ = std::make_unique<ConvBlock2d>(cfg.d_model, width(0), rng);
+  add_child("bottleneck", *bottleneck_);
+  for (std::int64_t s = 1; s <= stages_; ++s) {
+    ups_.push_back(std::make_unique<UpBlock2d>(width(s - 1), width(s), rng));
+    add_child("up" + std::to_string(s), *ups_.back());
+    skip_chains_.emplace_back();
+    if (s <= n_skips) {
+      auto& chain = skip_chains_.back();
+      for (std::int64_t j = 0; j < s; ++j) {
+        const std::int64_t in_c = j == 0 ? cfg.d_model : width(s);
+        chain.push_back(std::make_unique<UpBlock2d>(in_c, width(s), rng));
+        add_child("skip" + std::to_string(s) + "_" + std::to_string(j),
+                  *chain.back());
+      }
+      fuse_.push_back(
+          std::make_unique<ConvBlock2d>(2 * width(s), width(s), rng));
+    } else {
+      fuse_.push_back(std::make_unique<ConvBlock2d>(width(s), width(s), rng));
+    }
+    add_child("fuse" + std::to_string(s), *fuse_.back());
+  }
+  head_ = std::make_unique<nn::Conv2d>(width(stages_), cfg.out_channels, 1, 1,
+                                       0, rng);
+  add_child("head", *head_);
+}
+
+Var SwinUnetrLite::forward(const core::TokenBatch& batch, Rng& rng) const {
+  const std::int64_t b = batch.batch(), l = batch.length();
+  APF_CHECK(l == grid_ * grid_,
+            "SwinUnetrLite: needs the full uniform grid ("
+                << grid_ * grid_ << " tokens), got " << l);
+  for (std::int64_t i = 0; i < b * l; ++i)
+    APF_CHECK(batch.mask[i] == 1.f,
+              "SwinUnetrLite: padding tokens are not supported");
+
+  Var tokens = patch_embed_.forward(Var::constant(batch.tokens));
+  Tensor pos_b({b, l, cfg_.d_model});
+  for (std::int64_t i = 0; i < b; ++i)
+    std::copy(pos_.data(), pos_.data() + pos_.numel(),
+              pos_b.data() + i * pos_.numel());
+  tokens = ag::add(tokens, Var::constant(pos_b));
+
+  Var h = ag::reshape(tokens, {b, grid_, grid_, cfg_.d_model});
+  std::vector<Var> taps;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    h = blocks_[i]->forward(h, rng);
+    if (i % 2 == 1) taps.push_back(h);  // after each (regular, shifted) pair
+  }
+
+  auto to_map = [&](const Var& grid_feat) {
+    // [B, G, G, D] -> [B, D, G, G].
+    return ag::permute(grid_feat, {0, 3, 1, 2});
+  };
+
+  Var f = bottleneck_->forward(to_map(h));
+  for (std::int64_t s = 1; s <= stages_; ++s) {
+    f = ups_[static_cast<std::size_t>(s - 1)]->forward(f);
+    const auto& chain = skip_chains_[static_cast<std::size_t>(s - 1)];
+    if (!chain.empty()) {
+      // Stage s fuses the s-th tap from the end (latest taps feed the
+      // coarsest stages, matching the UNETR convention). The ctor
+      // guarantees non-empty chains only exist for s <= taps.size().
+      Var skip = to_map(taps[taps.size() - static_cast<std::size_t>(s)]);
+      for (const auto& up : chain) skip = up->forward(skip);
+      f = fuse_[static_cast<std::size_t>(s - 1)]->forward(
+          ag::concat({f, skip}, 1));
+    } else {
+      f = fuse_[static_cast<std::size_t>(s - 1)]->forward(f);
+    }
+  }
+  return head_->forward(f);
+}
+
+}  // namespace apf::models

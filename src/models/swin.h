@@ -1,0 +1,72 @@
+#pragma once
+// Swin-UNETR-lite: windowed multi-head attention with alternating cyclic
+// shifts (Liu et al.'s Swin scheme, simplified: no attention mask on the
+// wrapped windows) feeding a UNETR-style conv decoder. The paper's Swin
+// UNETR baseline for Table IV. Requires uniform-grid tokens — windowing is
+// only defined on a regular grid, which is precisely why APF cannot be
+// combined with it and is compared against it instead.
+
+#include <memory>
+#include <vector>
+
+#include "models/segmodel.h"
+#include "models/unetr.h"
+#include "nn/attention.h"
+
+namespace apf::models {
+
+/// One Swin block: (shifted-)window attention + MLP with pre-LN residuals.
+class SwinBlock : public nn::Module {
+ public:
+  SwinBlock(std::int64_t dim, std::int64_t heads, std::int64_t window,
+            bool shifted, Rng& rng);
+
+  /// x: [B, G, G, D] (grid layout); G must be divisible by the window size.
+  Var forward(const Var& x, Rng& rng) const;
+
+ private:
+  std::int64_t window_;
+  bool shifted_;
+  nn::LayerNorm ln1_, ln2_;
+  nn::MultiHeadAttention attn_;
+  nn::Mlp mlp_;
+};
+
+/// Swin-UNETR-lite configuration.
+struct SwinUnetrConfig {
+  std::int64_t token_dim = 48;     ///< C * P^2 of uniform patches
+  std::int64_t image_size = 128;
+  std::int64_t patch = 8;          ///< uniform patch size -> grid Z/P
+  std::int64_t d_model = 64;
+  std::int64_t depth_pairs = 2;    ///< pairs of (regular, shifted) blocks
+  std::int64_t heads = 4;
+  std::int64_t window = 4;
+  std::int64_t out_channels = 1;
+  std::int64_t base_channels = 32;
+};
+
+/// Full Swin-UNETR-lite segmentation model.
+class SwinUnetrLite : public TokenSegModel {
+ public:
+  SwinUnetrLite(const SwinUnetrConfig& cfg, Rng& rng);
+
+  /// Requires a full uniform-grid batch (mask all ones, length (Z/P)^2).
+  Var forward(const core::TokenBatch& batch, Rng& rng) const override;
+
+  const SwinUnetrConfig& config() const { return cfg_; }
+
+ private:
+  SwinUnetrConfig cfg_;
+  std::int64_t grid_;
+  nn::Linear patch_embed_;
+  Tensor pos_;  ///< fixed sinusoidal positions [G*G, D]
+  std::vector<std::unique_ptr<SwinBlock>> blocks_;
+  std::unique_ptr<ConvBlock2d> bottleneck_;
+  std::vector<std::unique_ptr<UpBlock2d>> ups_;
+  std::vector<std::vector<std::unique_ptr<UpBlock2d>>> skip_chains_;
+  std::vector<std::unique_ptr<ConvBlock2d>> fuse_;
+  std::unique_ptr<nn::Conv2d> head_;
+  std::int64_t stages_;
+};
+
+}  // namespace apf::models

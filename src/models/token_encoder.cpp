@@ -1,0 +1,113 @@
+#include "models/token_encoder.h"
+
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::models {
+
+TokenEncoder::TokenEncoder(const EncoderConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      patch_embed_(cfg.token_dim, cfg.d_model, rng),
+      scale_embed_(cfg.max_scale_levels, cfg.d_model, rng),
+      encoder_(cfg.d_model, cfg.depth, cfg.heads, cfg.mlp_ratio * cfg.d_model,
+               rng, cfg.dropout) {
+  add_child("patch_embed", patch_embed_);
+  add_child("scale_embed", scale_embed_);
+  add_child("encoder", encoder_);
+}
+
+Var TokenEncoder::embed(const core::TokenBatch& batch) const {
+  const std::int64_t b = batch.batch(), l = batch.length();
+  APF_CHECK(batch.tokens.size(2) == cfg_.token_dim,
+            "TokenEncoder: token dim " << batch.tokens.size(2) << " vs config "
+                                       << cfg_.token_dim);
+  Var x = Var::constant(batch.tokens);
+  Var h = patch_embed_.forward(x);  // [B, L, D]
+
+  // Positional features are constants; scale embeddings are learned.
+  Tensor pos({b, l, cfg_.d_model});
+  for (std::int64_t i = 0; i < b; ++i) {
+    Tensor pe = core::sincos_position(batch.meta[static_cast<std::size_t>(i)],
+                                      batch.image_size, cfg_.d_model);
+    std::copy(pe.data(), pe.data() + l * cfg_.d_model,
+              pos.data() + i * l * cfg_.d_model);
+  }
+  h = ag::add(h, Var::constant(pos));
+
+  std::vector<Var> scale_rows;
+  scale_rows.reserve(static_cast<std::size_t>(b));
+  for (std::int64_t i = 0; i < b; ++i) {
+    auto depths =
+        core::depth_indices(batch.meta[static_cast<std::size_t>(i)]);
+    for (std::int64_t& d : depths)
+      d = std::min<std::int64_t>(d, cfg_.max_scale_levels - 1);
+    scale_rows.push_back(
+        ag::reshape(scale_embed_.forward(depths), {1, l, cfg_.d_model}));
+  }
+  Var scales = b == 1 ? scale_rows[0] : ag::concat(scale_rows, 0);
+  return ag::add(h, scales);
+}
+
+Var TokenEncoder::encode(const core::TokenBatch& batch, Rng& rng,
+                         const std::vector<int>& taps,
+                         std::vector<Var>* hidden) const {
+  Var h = embed(batch);
+  if (taps.empty() || hidden == nullptr) {
+    return encoder_.forward(h, &batch.mask, rng);
+  }
+  return encoder_.forward_collect(h, &batch.mask, rng, taps, *hidden);
+}
+
+Var masked_mean_pool(const Var& x, const Tensor& mask) {
+  const std::int64_t b = x.size(0), l = x.size(1), d = x.size(2);
+  APF_CHECK(mask.ndim() == 2 && mask.size(0) == b && mask.size(1) == l,
+            "masked_mean_pool: mask " << mask.str() << " vs x "
+                                      << x.val().str());
+  // Expand mask to [B, L, D] and normalize by valid counts.
+  Tensor m3({b, l, d});
+  Tensor inv_count({b, 1});
+  const float* pm = mask.data();
+  float* p3 = m3.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    float cnt = 0.f;
+    for (std::int64_t j = 0; j < l; ++j) cnt += pm[i * l + j];
+    inv_count[i] = cnt > 0.f ? 1.f / cnt : 0.f;
+    for (std::int64_t j = 0; j < l; ++j) {
+      const float mv = pm[i * l + j];
+      float* row = p3 + (i * l + j) * d;
+      for (std::int64_t k = 0; k < d; ++k) row[k] = mv;
+    }
+  }
+  Var masked = ag::mul_mask(x, m3);
+  // Sum over L: reshape to [B, L, D] -> per-batch matmul is overkill; use
+  // slice-free trick: sum_{L} via matmul with ones would need bmm; instead
+  // reshape and use a custom reduction op.
+  auto xn = masked.node();
+  Tensor out({b, d});
+  const float* px = masked.val().data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    for (std::int64_t k = 0; k < d; ++k) {
+      double acc = 0.0;
+      for (std::int64_t j = 0; j < l; ++j) acc += px[(i * l + j) * d + k];
+      po[i * d + k] = static_cast<float>(acc) * inv_count[i];
+    }
+  }
+  return ag::make_op(
+      out, {masked},
+      [xn, inv_count, b, l, d](ag::Node& n) {
+        Tensor& g = xn->ensure_grad();
+        float* pg = g.data();
+        const float* pd = n.grad.data();
+        parallel_for(b * l, [&](std::int64_t ij) {
+          const std::int64_t i = ij / l;
+          const float scale = inv_count[i];
+          float* row = pg + ij * d;
+          const float* src = pd + i * d;
+          for (std::int64_t k = 0; k < d; ++k) row[k] += scale * src[k];
+        });
+      },
+      "masked_mean_pool");
+}
+
+}  // namespace apf::models

@@ -1,0 +1,59 @@
+#pragma once
+// Shared transformer stem over PatchSequence batches.
+//
+// Embeds token pixels linearly, adds sinusoidal (cx, cy) positional
+// features and a learned per-quadtree-depth scale embedding, then runs a
+// standard TransformerEncoder. Consumes the SAME structure for uniform and
+// adaptive patching, which is the paper's central design constraint: APF
+// changes only the pre-processing, never the model.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/patcher.h"
+#include "core/posenc.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace apf::models {
+
+/// Hyper-parameters of the transformer stem.
+struct EncoderConfig {
+  std::int64_t token_dim = 48;   ///< C * Pm * Pm of the incoming tokens
+  std::int64_t d_model = 64;
+  std::int64_t depth = 4;
+  std::int64_t heads = 4;
+  std::int64_t mlp_ratio = 4;
+  float dropout = 0.f;
+  std::int64_t max_scale_levels = 32;  ///< depth-embedding table size
+};
+
+/// Patch-embedding + positions + transformer encoder.
+class TokenEncoder : public nn::Module {
+ public:
+  TokenEncoder(const EncoderConfig& cfg, Rng& rng);
+
+  /// Embeds a batch: [B, L, token_dim] -> [B, L, d_model] including
+  /// positional and scale features.
+  Var embed(const core::TokenBatch& batch) const;
+
+  /// Full stem. Returns the final hidden state [B, L, d_model]; when taps
+  /// is non-empty, hidden[i] receives the state after layer taps[i].
+  Var encode(const core::TokenBatch& batch, Rng& rng,
+             const std::vector<int>& taps = {},
+             std::vector<Var>* hidden = nullptr) const;
+
+  const EncoderConfig& config() const { return cfg_; }
+
+ private:
+  EncoderConfig cfg_;
+  nn::Linear patch_embed_;
+  nn::Embedding scale_embed_;
+  nn::TransformerEncoder encoder_;
+};
+
+/// Masked mean over valid tokens: [B, L, D] + mask [B, L] -> [B, D].
+Var masked_mean_pool(const Var& x, const Tensor& mask);
+
+}  // namespace apf::models

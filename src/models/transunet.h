@@ -1,0 +1,54 @@
+#pragma once
+// TransUNet-lite (Chen et al. 2021): CNN encoder stem -> transformer over
+// the bottleneck feature grid -> conv decoder with CNN-stem skips. A
+// faithful small-scale variant of the paper's TransUNet baseline
+// (Tables III & IV). Unlike UNETR it patches internally (the CNN stem is
+// the tokenizer), so it consumes raw images.
+
+#include <memory>
+#include <vector>
+
+#include "models/segmodel.h"
+#include "models/unetr.h"
+#include "nn/attention.h"
+
+namespace apf::models {
+
+/// TransUNet-lite configuration.
+struct TransUnetConfig {
+  std::int64_t image_size = 128;
+  std::int64_t in_channels = 3;
+  std::int64_t out_channels = 1;
+  std::int64_t stem_channels = 16;   ///< width of the first CNN level
+  std::int64_t stem_levels = 3;      ///< downsampling x2 per level
+  std::int64_t d_model = 64;         ///< transformer width at bottleneck
+  std::int64_t depth = 2;            ///< transformer layers
+  std::int64_t heads = 4;
+};
+
+/// CNN stem + ViT bottleneck + skip-connected conv decoder.
+class TransUnetLite : public ImageSegModel {
+ public:
+  TransUnetLite(const TransUnetConfig& cfg, Rng& rng);
+
+  /// x: [B, C, Z, Z] -> logits [B, out_channels, Z, Z].
+  Var forward(const Var& x) const override;
+
+  const TransUnetConfig& config() const { return cfg_; }
+
+ private:
+  TransUnetConfig cfg_;
+  std::int64_t grid_;  ///< bottleneck grid = Z / 2^stem_levels
+  std::vector<std::unique_ptr<ConvBlock2d>> stem_;
+  std::vector<std::unique_ptr<nn::MaxPool2d>> pools_;
+  std::unique_ptr<nn::Linear> to_tokens_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> from_tokens_;
+  std::vector<std::unique_ptr<nn::ConvTranspose2d>> ups_;
+  std::vector<std::unique_ptr<ConvBlock2d>> up_blocks_;
+  std::unique_ptr<nn::Conv2d> head_;
+  Tensor pos_;  ///< fixed sinusoidal grid positions [G*G, d_model]
+  mutable Rng drop_rng_{1};
+};
+
+}  // namespace apf::models

@@ -1,0 +1,43 @@
+#pragma once
+// Classic U-Net (Ronneberger et al.) — the pure-CNN baseline of Tables
+// III & IV. Operates directly on images (no tokens).
+
+#include <memory>
+#include <vector>
+
+#include "models/segmodel.h"
+#include "models/unetr.h"
+#include "nn/conv.h"
+
+namespace apf::models {
+
+/// U-Net configuration.
+struct UnetConfig {
+  std::int64_t in_channels = 3;
+  std::int64_t out_channels = 1;
+  std::int64_t base_channels = 16;  ///< width of the first level
+  std::int64_t levels = 3;          ///< number of down/up levels
+};
+
+/// Standard encoder-decoder U-Net with skip concatenation.
+class Unet2d : public ImageSegModel {
+ public:
+  Unet2d(const UnetConfig& cfg, Rng& rng);
+
+  /// x: [B, C, H, W] -> logits [B, out_channels, H, W]. H, W must be
+  /// divisible by 2^levels.
+  Var forward(const Var& x) const override;
+
+  const UnetConfig& config() const { return cfg_; }
+
+ private:
+  UnetConfig cfg_;
+  std::vector<std::unique_ptr<ConvBlock2d>> down_;
+  std::vector<std::unique_ptr<nn::MaxPool2d>> pools_;
+  std::unique_ptr<ConvBlock2d> bottleneck_;
+  std::vector<std::unique_ptr<nn::ConvTranspose2d>> ups_;
+  std::vector<std::unique_ptr<ConvBlock2d>> up_blocks_;
+  std::unique_ptr<nn::Conv2d> head_;
+};
+
+}  // namespace apf::models

@@ -1,0 +1,20 @@
+#include "models/vit.h"
+
+namespace apf::models {
+
+VitClassifier::VitClassifier(const EncoderConfig& cfg,
+                             std::int64_t num_classes, Rng& rng)
+    : num_classes_(num_classes),
+      encoder_(cfg, rng),
+      head_(cfg.d_model, num_classes, rng) {
+  add_child("encoder", encoder_);
+  add_child("head", head_);
+}
+
+Var VitClassifier::forward(const core::TokenBatch& batch, Rng& rng) const {
+  Var h = encoder_.encode(batch, rng);
+  Var pooled = masked_mean_pool(h, batch.mask);
+  return head_.forward(pooled);
+}
+
+}  // namespace apf::models

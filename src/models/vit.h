@@ -1,0 +1,25 @@
+#pragma once
+// Plain ViT classifier over token sequences (paper Table V "ViT" and
+// "APF-ViT" rows — same model, different patcher).
+
+#include "models/token_encoder.h"
+
+namespace apf::models {
+
+/// ViT classifier: transformer stem + masked mean pool + linear head.
+class VitClassifier : public nn::Module {
+ public:
+  VitClassifier(const EncoderConfig& cfg, std::int64_t num_classes, Rng& rng);
+
+  /// Returns class logits [B, num_classes].
+  Var forward(const core::TokenBatch& batch, Rng& rng) const;
+
+  std::int64_t num_classes() const { return num_classes_; }
+
+ private:
+  std::int64_t num_classes_;
+  TokenEncoder encoder_;
+  nn::Linear head_;
+};
+
+}  // namespace apf::models

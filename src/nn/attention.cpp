@@ -1,0 +1,104 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+namespace apf::nn {
+
+MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
+                                       Rng& rng)
+    : dim_(dim),
+      heads_(heads),
+      head_dim_(dim / heads),
+      qkv_(dim, 3 * dim, rng),
+      proj_(dim, dim, rng) {
+  APF_CHECK(dim % heads == 0,
+            "MHA: dim " << dim << " not divisible by heads " << heads);
+  add_child("qkv", qkv_);
+  add_child("proj", proj_);
+}
+
+Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
+  const std::int64_t b = x.size(0), l = x.size(1);
+  APF_CHECK(x.size(2) == dim_, "MHA: input dim " << x.size(2) << " vs " << dim_);
+
+  Var qkv = qkv_.forward(x);  // [B, L, 3D]
+  // Split into q, k, v then lay out as [B*H, L, Dh].
+  auto to_heads = [&](const Var& t) {
+    Var r = ag::reshape(t, {b, l, heads_, head_dim_});
+    r = ag::permute(r, {0, 2, 1, 3});  // [B, H, L, Dh]
+    return ag::reshape(r, {b * heads_, l, head_dim_});
+  };
+  Var q = to_heads(ag::slice(qkv, 2, 0, dim_));
+  Var k = to_heads(ag::slice(qkv, 2, dim_, dim_));
+  Var v = to_heads(ag::slice(qkv, 2, 2 * dim_, dim_));
+
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
+  Var scores = ag::scale(ag::bmm(q, k, false, true), scale);  // [B*H, L, L]
+  Var probs = ag::softmax_lastdim(scores, key_mask);
+  Var ctx = ag::bmm(probs, v);  // [B*H, L, Dh]
+
+  Var merged = ag::reshape(ctx, {b, heads_, l, head_dim_});
+  merged = ag::permute(merged, {0, 2, 1, 3});  // [B, L, H, Dh]
+  merged = ag::reshape(merged, {b, l, dim_});
+  return proj_.forward(merged);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t dim,
+                                                 std::int64_t heads,
+                                                 std::int64_t mlp_hidden,
+                                                 Rng& rng, float dropout)
+    : ln1_(dim), ln2_(dim), attn_(dim, heads, rng), mlp_(dim, mlp_hidden, rng),
+      dropout_(dropout) {
+  add_child("ln1", ln1_);
+  add_child("ln2", ln2_);
+  add_child("attn", attn_);
+  add_child("mlp", mlp_);
+}
+
+Var TransformerEncoderLayer::forward(const Var& x, const Tensor* key_mask,
+                                     Rng& rng) const {
+  Var a = attn_.forward(ln1_.forward(x), key_mask);
+  a = ag::dropout(a, dropout_, rng, training());
+  Var h = ag::add(x, a);
+  Var m = mlp_.forward(ln2_.forward(h));
+  m = ag::dropout(m, dropout_, rng, training());
+  return ag::add(h, m);
+}
+
+TransformerEncoder::TransformerEncoder(std::int64_t dim, std::int64_t depth,
+                                       std::int64_t heads,
+                                       std::int64_t mlp_hidden, Rng& rng,
+                                       float dropout)
+    : final_ln_(dim) {
+  for (std::int64_t i = 0; i < depth; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        dim, heads, mlp_hidden, rng, dropout));
+    add_child("layer" + std::to_string(i), *layers_.back());
+  }
+  add_child("final_ln", final_ln_);
+}
+
+Var TransformerEncoder::forward(const Var& x, const Tensor* key_mask,
+                                Rng& rng) const {
+  Var h = x;
+  for (const auto& layer : layers_) h = layer->forward(h, key_mask, rng);
+  return final_ln_.forward(h);
+}
+
+Var TransformerEncoder::forward_collect(const Var& x, const Tensor* key_mask,
+                                        Rng& rng,
+                                        const std::vector<int>& tap_layers,
+                                        std::vector<Var>& hidden) const {
+  hidden.clear();
+  Var h = x;
+  int layer_no = 0;
+  for (const auto& layer : layers_) {
+    h = layer->forward(h, key_mask, rng);
+    ++layer_no;
+    for (int tap : tap_layers)
+      if (tap == layer_no) hidden.push_back(h);
+  }
+  return final_ln_.forward(h);
+}
+
+}  // namespace apf::nn

@@ -1,0 +1,373 @@
+#include "nn/conv.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::nn {
+namespace {
+
+/// Copies item b of an NCHW tensor into a standalone [C, H, W] tensor.
+Tensor item(const Tensor& x, std::int64_t b) {
+  const std::int64_t c = x.size(1), h = x.size(2), w = x.size(3);
+  Tensor out({c, h, w});
+  const std::int64_t n = c * h * w;
+  std::copy(x.data() + b * n, x.data() + (b + 1) * n, out.data());
+  return out;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::int64_t in_channels, std::int64_t out_channels,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               Rng& rng, bool bias)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), stride_(stride),
+      pad_(pad) {
+  APF_CHECK(kernel >= 1 && stride >= 1 && pad >= 0, "Conv2d: bad geometry");
+  weight_ = add_param("weight", kaiming_normal({out_c_, in_c_ * k_ * k_},
+                                               in_c_ * k_ * k_, rng));
+  if (bias) bias_ = add_param("bias", Tensor::zeros({out_c_}));
+}
+
+Var Conv2d::forward(const Var& x) const {
+  const Tensor& xv = x.val();
+  APF_CHECK(xv.ndim() == 4 && xv.size(1) == in_c_,
+            "Conv2d: input " << xv.str() << " vs in_channels " << in_c_);
+  const std::int64_t b = xv.size(0), h = xv.size(2), w = xv.size(3);
+  const std::int64_t oh = (h + 2 * pad_ - k_) / stride_ + 1;
+  const std::int64_t ow = (w + 2 * pad_ - k_) / stride_ + 1;
+  APF_CHECK(oh > 0 && ow > 0, "Conv2d: output collapsed for input " << xv.str());
+
+  Tensor y({b, out_c_, oh, ow});
+  for (std::int64_t i = 0; i < b; ++i) {
+    Tensor cols = ops::im2col(item(xv, i), k_, k_, stride_, pad_);
+    Tensor yi = ops::matmul(weight_.val(), cols);  // [OC, OH*OW]
+    std::copy(yi.data(), yi.data() + out_c_ * oh * ow,
+              y.data() + i * out_c_ * oh * ow);
+  }
+  if (bias_.defined()) {
+    float* py = y.data();
+    const float* pb = bias_.val().data();
+    parallel_for(b * out_c_, [&](std::int64_t i) {
+      const float bv = pb[i % out_c_];
+      float* row = py + i * oh * ow;
+      for (std::int64_t j = 0; j < oh * ow; ++j) row[j] += bv;
+    });
+  }
+
+  auto xn = x.node();
+  auto wn = weight_.node();
+  auto bn = bias_.defined() ? bias_.node() : nullptr;
+  const std::int64_t in_c = in_c_, out_c = out_c_, k = k_, stride = stride_,
+                     pad = pad_;
+  std::vector<Var> parents{x, weight_};
+  if (bias_.defined()) parents.push_back(bias_);
+  return ag::make_op(
+      y, parents,
+      [xn, wn, bn, in_c, out_c, k, stride, pad, b, h, w, oh,
+       ow](ag::Node& n) {
+        const Tensor& dy = n.grad;
+        for (std::int64_t i = 0; i < b; ++i) {
+          Tensor dyi({out_c, oh * ow});
+          std::copy(dy.data() + i * out_c * oh * ow,
+                    dy.data() + (i + 1) * out_c * oh * ow, dyi.data());
+          // im2col recomputed from the saved input (memory/compute trade).
+          Tensor cols = ops::im2col(item(xn->value, i), k, k, stride, pad);
+          if (wn->requires_grad)
+            ops::axpy(wn->ensure_grad(), 1.f,
+                      ops::matmul(dyi, cols, false, true));
+          if (xn->requires_grad) {
+            Tensor dcols = ops::matmul(wn->value, dyi, true, false);
+            Tensor dxi = ops::col2im(dcols, in_c, h, w, k, k, stride, pad);
+            float* pg = xn->ensure_grad().data() + i * in_c * h * w;
+            const float* ps = dxi.data();
+            parallel_for(in_c * h * w,
+                         [&](std::int64_t j) { pg[j] += ps[j]; }, 4096);
+          }
+        }
+        if (bn && bn->requires_grad) {
+          Tensor& db = bn->ensure_grad();
+          float* pdb = db.data();
+          const float* pdy = dy.data();
+          parallel_for(out_c, [&](std::int64_t ch) {
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < b; ++i) {
+              const float* row = pdy + (i * out_c + ch) * oh * ow;
+              for (std::int64_t j = 0; j < oh * ow; ++j) acc += row[j];
+            }
+            pdb[ch] += static_cast<float>(acc);
+          }, 1);
+        }
+      },
+      "conv2d");
+}
+
+ConvTranspose2d::ConvTranspose2d(std::int64_t in_channels,
+                                 std::int64_t out_channels,
+                                 std::int64_t kernel, std::int64_t stride,
+                                 Rng& rng, bool bias)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel), stride_(stride) {
+  APF_CHECK(kernel >= 1 && stride >= 1, "ConvTranspose2d: bad geometry");
+  weight_ = add_param(
+      "weight", kaiming_normal({in_c_, out_c_ * k_ * k_}, in_c_ * k_ * k_, rng));
+  if (bias) bias_ = add_param("bias", Tensor::zeros({out_c_}));
+}
+
+Var ConvTranspose2d::forward(const Var& x) const {
+  const Tensor& xv = x.val();
+  APF_CHECK(xv.ndim() == 4 && xv.size(1) == in_c_,
+            "ConvTranspose2d: input " << xv.str() << " vs " << in_c_);
+  const std::int64_t b = xv.size(0), h = xv.size(2), w = xv.size(3);
+  const std::int64_t oh = (h - 1) * stride_ + k_;
+  const std::int64_t ow = (w - 1) * stride_ + k_;
+
+  // y_i = col2im(W^T @ x_i): the exact adjoint of a stride-s conv.
+  Tensor y({b, out_c_, oh, ow});
+  for (std::int64_t i = 0; i < b; ++i) {
+    Tensor xi = item(xv, i).reshape({in_c_, h * w});
+    Tensor cols = ops::matmul(weight_.val(), xi, true, false);
+    Tensor yi = ops::col2im(cols, out_c_, oh, ow, k_, k_, stride_, 0);
+    std::copy(yi.data(), yi.data() + out_c_ * oh * ow,
+              y.data() + i * out_c_ * oh * ow);
+  }
+  if (bias_.defined()) {
+    float* py = y.data();
+    const float* pb = bias_.val().data();
+    parallel_for(b * out_c_, [&](std::int64_t i) {
+      const float bv = pb[i % out_c_];
+      float* row = py + i * oh * ow;
+      for (std::int64_t j = 0; j < oh * ow; ++j) row[j] += bv;
+    });
+  }
+
+  auto xn = x.node();
+  auto wn = weight_.node();
+  auto bn = bias_.defined() ? bias_.node() : nullptr;
+  const std::int64_t in_c = in_c_, out_c = out_c_, k = k_, stride = stride_;
+  std::vector<Var> parents{x, weight_};
+  if (bias_.defined()) parents.push_back(bias_);
+  return ag::make_op(
+      y, parents,
+      [xn, wn, bn, in_c, out_c, k, stride, b, h, w, oh, ow](ag::Node& n) {
+        const Tensor& dy = n.grad;
+        for (std::int64_t i = 0; i < b; ++i) {
+          Tensor dyi({out_c, oh, ow});
+          std::copy(dy.data() + i * out_c * oh * ow,
+                    dy.data() + (i + 1) * out_c * oh * ow, dyi.data());
+          Tensor dy_cols = ops::im2col(dyi, k, k, stride, 0);  // [OC*k*k, h*w]
+          if (xn->requires_grad) {
+            // dX_i = W @ im2col(dY_i).
+            Tensor dxi = ops::matmul(wn->value, dy_cols);
+            float* pg = xn->ensure_grad().data() + i * in_c * h * w;
+            const float* ps = dxi.data();
+            parallel_for(in_c * h * w,
+                         [&](std::int64_t j) { pg[j] += ps[j]; }, 4096);
+          }
+          if (wn->requires_grad) {
+            Tensor xi = item(xn->value, i).reshape({in_c, h * w});
+            ops::axpy(wn->ensure_grad(), 1.f,
+                      ops::matmul(xi, dy_cols, false, true));
+          }
+        }
+        if (bn && bn->requires_grad) {
+          Tensor& db = bn->ensure_grad();
+          float* pdb = db.data();
+          const float* pdy = dy.data();
+          parallel_for(out_c, [&](std::int64_t ch) {
+            double acc = 0.0;
+            for (std::int64_t i = 0; i < b; ++i) {
+              const float* row = pdy + (i * out_c + ch) * oh * ow;
+              for (std::int64_t j = 0; j < oh * ow; ++j) acc += row[j];
+            }
+            pdb[ch] += static_cast<float>(acc);
+          }, 1);
+        }
+      },
+      "conv_transpose2d");
+}
+
+Var MaxPool2d::forward(const Var& x) const {
+  const Tensor& xv = x.val();
+  APF_CHECK(xv.ndim() == 4 && xv.size(2) % 2 == 0 && xv.size(3) % 2 == 0,
+            "MaxPool2d: need even H, W; got " << xv.str());
+  const std::int64_t b = xv.size(0), c = xv.size(1), h = xv.size(2),
+                     w = xv.size(3);
+  const std::int64_t oh = h / 2, ow = w / 2;
+  Tensor y({b, c, oh, ow});
+  auto arg = std::make_shared<std::vector<std::int64_t>>(
+      static_cast<std::size_t>(b * c * oh * ow));
+  const float* px = xv.data();
+  float* py = y.data();
+  parallel_for(b * c, [&](std::int64_t plane) {
+    const float* xp = px + plane * h * w;
+    float* yp = py + plane * oh * ow;
+    std::int64_t* ap = arg->data() + plane * oh * ow;
+    for (std::int64_t i = 0; i < oh; ++i) {
+      for (std::int64_t j = 0; j < ow; ++j) {
+        const std::int64_t base = 2 * i * w + 2 * j;
+        const std::int64_t cand[4] = {base, base + 1, base + w, base + w + 1};
+        std::int64_t best = cand[0];
+        for (int t = 1; t < 4; ++t)
+          if (xp[cand[t]] > xp[best]) best = cand[t];
+        yp[i * ow + j] = xp[best];
+        ap[i * ow + j] = best;
+      }
+    }
+  });
+  auto xn = x.node();
+  return ag::make_op(
+      y, {x},
+      [xn, arg, b, c, h, w, oh, ow](ag::Node& n) {
+        Tensor& g = xn->ensure_grad();
+        float* pg = g.data();
+        const float* pd = n.grad.data();
+        parallel_for(b * c, [&](std::int64_t plane) {
+          float* gp = pg + plane * h * w;
+          const float* dp = pd + plane * oh * ow;
+          const std::int64_t* ap = arg->data() + plane * oh * ow;
+          for (std::int64_t i = 0; i < oh * ow; ++i) gp[ap[i]] += dp[i];
+        });
+      },
+      "maxpool2d");
+}
+
+BatchNorm2d::BatchNorm2d(std::int64_t channels, float eps, float momentum)
+    : c_(channels), eps_(eps), momentum_(momentum) {
+  gamma_ = add_param("gamma", Tensor::ones({c_}));
+  beta_ = add_param("beta", Tensor::zeros({c_}));
+  running_mean_ = Tensor::zeros({c_});
+  running_var_ = Tensor::ones({c_});
+}
+
+Var BatchNorm2d::forward(const Var& x) const {
+  const Tensor& xv = x.val();
+  APF_CHECK(xv.ndim() == 4 && xv.size(1) == c_,
+            "BatchNorm2d: input " << xv.str() << " vs channels " << c_);
+  const std::int64_t b = xv.size(0), h = xv.size(2), w = xv.size(3);
+  const std::int64_t m = b * h * w;  // reduction size per channel
+  const bool train = training();
+
+  Tensor mean({c_}), var({c_});
+  if (train) {
+    const float* px = xv.data();
+    float* pm = mean.data();
+    float* pv = var.data();
+    parallel_for(c_, [&](std::int64_t ch) {
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < b; ++i) {
+        const float* p = px + (i * c_ + ch) * h * w;
+        for (std::int64_t j = 0; j < h * w; ++j) acc += p[j];
+      }
+      const double mu = acc / m;
+      double vacc = 0.0;
+      for (std::int64_t i = 0; i < b; ++i) {
+        const float* p = px + (i * c_ + ch) * h * w;
+        for (std::int64_t j = 0; j < h * w; ++j) {
+          const double d = p[j] - mu;
+          vacc += d * d;
+        }
+      }
+      pm[ch] = static_cast<float>(mu);
+      pv[ch] = static_cast<float>(vacc / m);
+    }, 1);
+    // Update running stats (EMA).
+    for (std::int64_t ch = 0; ch < c_; ++ch) {
+      running_mean_[ch] =
+          (1.f - momentum_) * running_mean_[ch] + momentum_ * mean[ch];
+      running_var_[ch] =
+          (1.f - momentum_) * running_var_[ch] + momentum_ * var[ch];
+    }
+  } else {
+    mean.copy_from(running_mean_);
+    var.copy_from(running_var_);
+  }
+
+  Tensor y(xv.shape());
+  Tensor xhat(xv.shape());
+  Tensor inv_std({c_});
+  {
+    const float* px = xv.data();
+    const float* pg = gamma_.val().data();
+    const float* pb = beta_.val().data();
+    float* py = y.data();
+    float* ph = xhat.data();
+    for (std::int64_t ch = 0; ch < c_; ++ch)
+      inv_std[ch] = 1.f / std::sqrt(var[ch] + eps_);
+    parallel_for(b * c_, [&](std::int64_t plane) {
+      const std::int64_t ch = plane % c_;
+      const float mu = mean[ch], is = inv_std[ch], ga = pg[ch], be = pb[ch];
+      const float* xp = px + plane * h * w;
+      float* yp = py + plane * h * w;
+      float* hp = ph + plane * h * w;
+      for (std::int64_t j = 0; j < h * w; ++j) {
+        hp[j] = (xp[j] - mu) * is;
+        yp[j] = hp[j] * ga + be;
+      }
+    });
+  }
+
+  auto xn = x.node();
+  auto gn = gamma_.node();
+  auto bn = beta_.node();
+  const std::int64_t c = c_;
+  return ag::make_op(
+      y, {x, gamma_, beta_},
+      [xn, gn, bn, xhat, inv_std, b, c, h, w, m, train](ag::Node& n) {
+        const float* pdy = n.grad.data();
+        const float* ph = xhat.data();
+        // Per-channel sums of dy and dy * xhat.
+        std::vector<double> s_dy(static_cast<std::size_t>(c), 0.0);
+        std::vector<double> s_dyh(static_cast<std::size_t>(c), 0.0);
+        for (std::int64_t i = 0; i < b; ++i) {
+          for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float* dp = pdy + (i * c + ch) * h * w;
+            const float* hp = ph + (i * c + ch) * h * w;
+            double a0 = 0.0, a1 = 0.0;
+            for (std::int64_t j = 0; j < h * w; ++j) {
+              a0 += dp[j];
+              a1 += static_cast<double>(dp[j]) * hp[j];
+            }
+            s_dy[static_cast<std::size_t>(ch)] += a0;
+            s_dyh[static_cast<std::size_t>(ch)] += a1;
+          }
+        }
+        if (gn->requires_grad) {
+          Tensor& dg = gn->ensure_grad();
+          for (std::int64_t ch = 0; ch < c; ++ch)
+            dg[ch] += static_cast<float>(s_dyh[static_cast<std::size_t>(ch)]);
+        }
+        if (bn->requires_grad) {
+          Tensor& db = bn->ensure_grad();
+          for (std::int64_t ch = 0; ch < c; ++ch)
+            db[ch] += static_cast<float>(s_dy[static_cast<std::size_t>(ch)]);
+        }
+        if (xn->requires_grad) {
+          Tensor& dx = xn->ensure_grad();
+          float* pdx = dx.data();
+          const float* pg = gn->value.data();
+          parallel_for(b * c, [&](std::int64_t plane) {
+            const std::int64_t ch = plane % c;
+            const float is = inv_std[ch], ga = pg[ch];
+            const float mdy = static_cast<float>(
+                s_dy[static_cast<std::size_t>(ch)] / m);
+            const float mdyh = static_cast<float>(
+                s_dyh[static_cast<std::size_t>(ch)] / m);
+            const float* dp = pdy + plane * h * w;
+            const float* hp = ph + plane * h * w;
+            float* gp = pdx + plane * h * w;
+            if (train) {
+              for (std::int64_t j = 0; j < h * w; ++j)
+                gp[j] += ga * is * (dp[j] - mdy - hp[j] * mdyh);
+            } else {
+              // Eval mode: running stats are constants.
+              for (std::int64_t j = 0; j < h * w; ++j) gp[j] += ga * is * dp[j];
+            }
+          });
+        }
+      },
+      "batchnorm2d");
+}
+
+}  // namespace apf::nn

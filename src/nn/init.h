@@ -1,0 +1,43 @@
+#pragma once
+// Weight initialization schemes (ViT uses truncated normal; conv stacks use
+// Kaiming fan-out — the conventions of the models being reproduced).
+
+#include <cmath>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace apf::nn {
+
+/// N(0, std^2) truncated to +/- 2 std (rejection sampling).
+inline Tensor trunc_normal(Shape shape, Rng& rng, float stddev = 0.02f) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    float v = rng.normal(0.f, stddev);
+    while (std::fabs(v) > 2.f * stddev) v = rng.normal(0.f, stddev);
+    p[i] = v;
+  }
+  return t;
+}
+
+/// Kaiming-normal for ReLU fan_in (He et al.): std = sqrt(2 / fan_in).
+inline Tensor kaiming_normal(Shape shape, std::int64_t fan_in, Rng& rng) {
+  const float stddev = std::sqrt(2.f / static_cast<float>(fan_in));
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(0.f, stddev);
+  return t;
+}
+
+/// Xavier-uniform: U(+/- sqrt(6 / (fan_in + fan_out))).
+inline Tensor xavier_uniform(Shape shape, std::int64_t fan_in,
+                             std::int64_t fan_out, Rng& rng) {
+  const float a = std::sqrt(6.f / static_cast<float>(fan_in + fan_out));
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(-a, a);
+  return t;
+}
+
+}  // namespace apf::nn

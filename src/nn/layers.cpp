@@ -1,0 +1,84 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features), out_(out_features) {
+  weight_ = add_param("weight", trunc_normal({out_, in_}, rng, 0.02f));
+  if (bias) bias_ = add_param("bias", Tensor::zeros({out_}));
+}
+
+Var Linear::forward(const Var& x) const {
+  const Shape& s = x.shape();
+  APF_CHECK(s.size() >= 2 && s.back() == in_,
+            "Linear: input " << x.val().str() << " vs in_features " << in_);
+  Var flat = s.size() == 2 ? x : ag::reshape(x, {-1, in_});
+  Var y = ag::matmul(flat, weight_, false, true);
+  if (bias_.defined()) y = ag::add_bias(y, bias_);
+  if (s.size() != 2) {
+    Shape out_shape = s;
+    out_shape.back() = out_;
+    y = ag::reshape(y, out_shape);
+  }
+  return y;
+}
+
+LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
+  gamma_ = add_param("gamma", Tensor::ones({dim}));
+  beta_ = add_param("beta", Tensor::zeros({dim}));
+}
+
+Var LayerNorm::forward(const Var& x) const {
+  return ag::layernorm(x, gamma_, beta_, eps_);
+}
+
+Embedding::Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng)
+    : n_(num_embeddings), dim_(dim) {
+  weight_ = add_param("weight", trunc_normal({n_, dim_}, rng, 0.02f));
+}
+
+Var Embedding::forward(const std::vector<std::int64_t>& indices) const {
+  const std::int64_t l = static_cast<std::int64_t>(indices.size());
+  Tensor out({l, dim_});
+  const float* pw = weight_.val().data();
+  float* po = out.data();
+  for (std::int64_t i = 0; i < l; ++i) {
+    const std::int64_t ix = indices[static_cast<std::size_t>(i)];
+    APF_CHECK(ix >= 0 && ix < n_, "Embedding: index " << ix << " out of range");
+    std::copy(pw + ix * dim_, pw + (ix + 1) * dim_, po + i * dim_);
+  }
+  auto wn = weight_.node();
+  auto idx = indices;
+  const std::int64_t dim = dim_;
+  return ag::make_op(
+      out, {weight_},
+      [wn, idx, dim](ag::Node& node) {
+        Tensor& g = wn->ensure_grad();
+        float* pg = g.data();
+        const float* pd = node.grad.data();
+        // Serial scatter-add: deterministic and cheap (L is small).
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+          float* row = pg + idx[i] * dim;
+          const float* src = pd + static_cast<std::int64_t>(i) * dim;
+          for (std::int64_t j = 0; j < dim; ++j) row[j] += src[j];
+        }
+      },
+      "embedding");
+}
+
+Mlp::Mlp(std::int64_t dim, std::int64_t hidden, Rng& rng)
+    : fc1_(dim, hidden, rng), fc2_(hidden, dim, rng) {
+  add_child("fc1", fc1_);
+  add_child("fc2", fc2_);
+}
+
+Var Mlp::forward(const Var& x) const {
+  return fc2_.forward(ag::gelu(fc1_.forward(x)));
+}
+
+}  // namespace apf::nn

@@ -1,0 +1,64 @@
+#pragma once
+// Core dense layers: Linear, LayerNorm, Embedding, MLP.
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+
+namespace apf::nn {
+
+/// y = x @ W^T + b for x of shape [..., in_features].
+class Linear : public Module {
+ public:
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  /// Accepts rank >= 2 input with last dim == in_features.
+  Var forward(const Var& x) const;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_, out_;
+  Var weight_;  ///< [out, in]
+  Var bias_;    ///< [out] (undefined when bias = false)
+};
+
+/// LayerNorm over the last dimension with learned affine.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(std::int64_t dim, float eps = 1e-5f);
+  Var forward(const Var& x) const;
+
+ private:
+  float eps_;
+  Var gamma_;  ///< [dim], init 1
+  Var beta_;   ///< [dim], init 0
+};
+
+/// Lookup table: indices -> rows of a learned [num_embeddings, dim] matrix.
+class Embedding : public Module {
+ public:
+  Embedding(std::int64_t num_embeddings, std::int64_t dim, Rng& rng);
+  /// Returns [indices.size(), dim]; differentiable scatter-add backward.
+  Var forward(const std::vector<std::int64_t>& indices) const;
+
+ private:
+  std::int64_t n_, dim_;
+  Var weight_;
+};
+
+/// Transformer MLP block: Linear -> GELU -> Linear (hidden = ratio * dim).
+class Mlp : public Module {
+ public:
+  Mlp(std::int64_t dim, std::int64_t hidden, Rng& rng);
+  Var forward(const Var& x) const;
+
+ private:
+  Linear fc1_, fc2_;
+};
+
+}  // namespace apf::nn

@@ -1,0 +1,54 @@
+#pragma once
+// Module base class: parameter registration, recursive traversal,
+// train/eval mode. Children are registered as non-owning pointers to
+// member sub-objects (constructed before the ctor body runs), which keeps
+// model definitions plain C++ composition.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace apf::nn {
+
+/// Base class for all layers and models.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters, depth-first (Var is a shared handle).
+  std::vector<Var> parameters() const;
+
+  /// Parameters with hierarchical dotted names (for logging/checkpoints).
+  std::vector<std::pair<std::string, Var>> named_parameters(
+      const std::string& prefix = "") const;
+
+  /// Zeroes every parameter gradient.
+  void zero_grad();
+
+  /// Total scalar parameter count.
+  std::int64_t num_parameters() const;
+
+  /// Train/eval mode (affects dropout and batch-norm statistics).
+  void set_training(bool on);
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers a trainable parameter; returns the stored Var handle.
+  Var& add_param(std::string name, Tensor init);
+  /// Registers a non-owning child (a member sub-module).
+  void add_child(std::string name, Module& child);
+
+ private:
+  std::vector<std::pair<std::string, Var>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+}  // namespace apf::nn

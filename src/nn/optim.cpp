@@ -1,0 +1,128 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+#include "tensor/parallel_for.h"
+
+namespace apf::nn {
+
+Optimizer::Optimizer(std::vector<Var> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  APF_CHECK(!params_.empty(), "Optimizer: no parameters");
+  for (const Var& p : params_)
+    APF_CHECK(p.requires_grad(), "Optimizer: parameter without requires_grad");
+}
+
+void Optimizer::zero_grad() {
+  for (Var& p : params_) p.zero_grad();
+}
+
+Sgd::Sgd(std::vector<Var> params, float lr, float momentum, float weight_decay)
+    : Optimizer(std::move(params), lr), momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.f) {
+    velocity_.reserve(params_.size());
+    for (const Var& p : params_) velocity_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    Tensor& g = p.grad();
+    float* pw = p.val_mut().data();
+    float* pg = g.data();
+    float* pv = momentum_ > 0.f ? velocity_[i].data() : nullptr;
+    const float lr = lr_, wd = weight_decay_, mom = momentum_;
+    parallel_for(p.numel(), [&](std::int64_t j) {
+      float grad = pg[j] + wd * pw[j];
+      if (pv) {
+        pv[j] = mom * pv[j] + grad;
+        grad = pv[j];
+      }
+      pw[j] -= lr * grad;
+    }, 4096);
+  }
+}
+
+AdamW::AdamW(std::vector<Var> params, float lr, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.push_back(Tensor::zeros(p.shape()));
+    v_.push_back(Tensor::zeros(p.shape()));
+  }
+}
+
+void AdamW::step() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Var& p = params_[i];
+    float* pw = p.val_mut().data();
+    const float* pg = p.grad().data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    const float lr = lr_, b1 = beta1_, b2 = beta2_, eps = eps_,
+                wd = weight_decay_;
+    parallel_for(p.numel(), [&](std::int64_t j) {
+      pm[j] = b1 * pm[j] + (1.f - b1) * pg[j];
+      pv[j] = b2 * pv[j] + (1.f - b2) * pg[j] * pg[j];
+      const float mhat = pm[j] / bc1;
+      const float vhat = pv[j] / bc2;
+      // Decoupled decay: applied to the weight directly, not the gradient.
+      pw[j] -= lr * (mhat / (std::sqrt(vhat) + eps) + wd * pw[j]);
+    }, 4096);
+  }
+}
+
+float clip_grad_norm(const std::vector<Var>& params, float max_norm) {
+  APF_CHECK(max_norm > 0.f, "clip_grad_norm: max_norm must be positive");
+  double sq = 0.0;
+  for (const Var& p : params) {
+    Var& mp = const_cast<Var&>(p);
+    const Tensor& g = mp.grad();
+    const float* pg = g.data();
+    for (std::int64_t i = 0; i < g.numel(); ++i)
+      sq += static_cast<double>(pg[i]) * pg[i];
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (const Var& p : params) {
+      Var& mp = const_cast<Var&>(p);
+      Tensor& g = mp.grad();
+      float* pg = g.data();
+      parallel_for(g.numel(), [&](std::int64_t i) { pg[i] *= scale; }, 4096);
+    }
+  }
+  return norm;
+}
+
+StepLr::StepLr(Optimizer& opt, std::vector<std::int64_t> milestones,
+               float gamma)
+    : opt_(opt), milestones_(std::move(milestones)), gamma_(gamma),
+      base_lr_(opt.lr()) {}
+
+void StepLr::on_epoch(std::int64_t epoch) {
+  float lr = base_lr_;
+  for (std::int64_t m : milestones_)
+    if (epoch >= m) lr *= gamma_;
+  opt_.set_lr(lr);
+}
+
+CosineLr::CosineLr(Optimizer& opt, std::int64_t total_epochs, float min_lr)
+    : opt_(opt), total_(total_epochs), min_lr_(min_lr), base_lr_(opt.lr()) {}
+
+void CosineLr::on_epoch(std::int64_t epoch) {
+  const double t = std::min<double>(1.0, static_cast<double>(epoch) /
+                                             std::max<std::int64_t>(1, total_));
+  opt_.set_lr(min_lr_ + (base_lr_ - min_lr_) *
+                            0.5f * (1.f + std::cos(M_PI * t)));
+}
+
+}  // namespace apf::nn

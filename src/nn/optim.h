@@ -1,0 +1,91 @@
+#pragma once
+// Optimizers and learning-rate schedules. AdamW with decoupled weight decay
+// is the paper's optimizer (initial lr 1e-4, step decay x0.1); SGD exists
+// for tests and ablations.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace apf::nn {
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ protected:
+  std::vector<Var> params_;
+  float lr_;
+};
+
+/// SGD with optional momentum and L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.f,
+      float weight_decay = 0.f);
+  void step() override;
+
+ private:
+  float momentum_, weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// AdamW (Loshchilov & Hutter): Adam moments + decoupled weight decay.
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Var> params, float lr, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.01f);
+  void step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  std::int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+/// Step decay: lr *= gamma at each listed epoch (paper: x0.1 at
+/// [500, 750, 875]).
+class StepLr {
+ public:
+  StepLr(Optimizer& opt, std::vector<std::int64_t> milestones,
+         float gamma = 0.1f);
+  /// Call once per epoch with the (0-based) epoch that just finished.
+  void on_epoch(std::int64_t epoch);
+
+ private:
+  Optimizer& opt_;
+  std::vector<std::int64_t> milestones_;
+  float gamma_;
+  float base_lr_;
+};
+
+/// Clips the global L2 norm of all parameter gradients to max_norm
+/// (standard transformer-training stabilizer). Returns the pre-clip norm.
+float clip_grad_norm(const std::vector<Var>& params, float max_norm);
+
+/// Cosine decay from base lr to min_lr over total_epochs.
+class CosineLr {
+ public:
+  CosineLr(Optimizer& opt, std::int64_t total_epochs, float min_lr = 0.f);
+  void on_epoch(std::int64_t epoch);
+
+ private:
+  Optimizer& opt_;
+  std::int64_t total_;
+  float min_lr_;
+  float base_lr_;
+};
+
+}  // namespace apf::nn

@@ -1,0 +1,93 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace apf::nn {
+namespace {
+
+constexpr std::uint64_t kMagic = 0x4150465f434b5054ULL;  // "APF_CKPT"
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return v;
+}
+
+void write_string(std::ofstream& f, const std::string& s) {
+  write_u64(f, s.size());
+  f.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::ifstream& f) {
+  const std::uint64_t n = read_u64(f);
+  APF_CHECK(n < (1u << 20), "checkpoint: implausible string length " << n);
+  std::string s(n, '\0');
+  f.read(s.data(), static_cast<std::streamsize>(n));
+  return s;
+}
+
+}  // namespace
+
+void save_parameters(const Module& module, const std::string& path) {
+  std::ofstream f(path, std::ios::binary);
+  APF_CHECK(f.good(), "save_parameters: cannot open " << path);
+  const auto named = module.named_parameters();
+  write_u64(f, kMagic);
+  write_u64(f, named.size());
+  for (const auto& [name, var] : named) {
+    write_string(f, name);
+    const Tensor& t = var.val();
+    write_u64(f, static_cast<std::uint64_t>(t.ndim()));
+    for (std::int64_t d = 0; d < t.ndim(); ++d)
+      write_u64(f, static_cast<std::uint64_t>(t.size(d)));
+    f.write(reinterpret_cast<const char*>(t.data()),
+            static_cast<std::streamsize>(t.numel() * sizeof(float)));
+  }
+  APF_CHECK(f.good(), "save_parameters: write failed for " << path);
+}
+
+void load_parameters(Module& module, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  APF_CHECK(f.good(), "load_parameters: cannot open " << path);
+  APF_CHECK(read_u64(f) == kMagic, "load_parameters: bad magic in " << path);
+  auto named = module.named_parameters();
+  const std::uint64_t count = read_u64(f);
+  APF_CHECK(count == named.size(), "load_parameters: checkpoint has "
+                                       << count << " params, module has "
+                                       << named.size());
+  // Stage everything first so a malformed file cannot half-update.
+  std::vector<Tensor> staged(named.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = read_string(f);
+    APF_CHECK(name == named[i].first, "load_parameters: param "
+                                          << i << " is '" << name
+                                          << "', expected '" << named[i].first
+                                          << "'");
+    const std::uint64_t ndim = read_u64(f);
+    APF_CHECK(ndim <= 8, "load_parameters: implausible rank " << ndim);
+    Shape shape(ndim);
+    for (std::uint64_t d = 0; d < ndim; ++d)
+      shape[d] = static_cast<std::int64_t>(read_u64(f));
+    APF_CHECK(shape == named[i].second.val().shape(),
+              "load_parameters: '" << name << "' shape " << shape_str(shape)
+                                   << " vs module "
+                                   << named[i].second.val().str());
+    Tensor t(shape);
+    f.read(reinterpret_cast<char*>(t.data()),
+           static_cast<std::streamsize>(t.numel() * sizeof(float)));
+    APF_CHECK(f.good(), "load_parameters: truncated at '" << name << "'");
+    staged[i] = t;
+  }
+  for (std::size_t i = 0; i < named.size(); ++i) {
+    Var v = named[i].second;
+    v.val_mut().copy_from(staged[i]);
+  }
+}
+
+}  // namespace apf::nn

@@ -1,0 +1,22 @@
+#pragma once
+// Model checkpointing: saves/loads the named parameters of a Module to a
+// simple self-describing binary format (magic + per-tensor name/shape/data,
+// little-endian float32). Load verifies that names and shapes match the
+// module it is restoring into.
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace apf::nn {
+
+/// Writes every named parameter of the module. Throws CheckError on I/O
+/// failure.
+void save_parameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved by save_parameters. The module must have the
+/// same parameter names and shapes (i.e. the same architecture); anything
+/// else throws CheckError without modifying the module.
+void load_parameters(Module& module, const std::string& path);
+
+}  // namespace apf::nn

@@ -1,0 +1,48 @@
+#pragma once
+// Morton (Z-order) space-filling curve codes.
+//
+// APF linearizes quadtree leaves along the Z-order curve (paper step 5) so
+// geometrically adjacent patches stay adjacent in the token sequence —
+// the same trick tree-based AMR codes use to keep block traversals affine
+// in the geometric domain.
+
+#include <cstdint>
+
+namespace apf::qt {
+
+/// Interleaves the low 32 bits of v with zeros: b31..b0 -> b31 0 b30 0 ...
+constexpr std::uint64_t part1by1(std::uint32_t v) {
+  std::uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000ffff0000ffffULL;
+  x = (x | (x << 8)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x << 4)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+/// Inverse of part1by1 (drops the odd bits).
+constexpr std::uint32_t compact1by1(std::uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0f0f0f0f0f0f0f0fULL;
+  x = (x | (x >> 4)) & 0x00ff00ff00ff00ffULL;
+  x = (x | (x >> 8)) & 0x0000ffff0000ffffULL;
+  x = (x | (x >> 16)) & 0x00000000ffffffffULL;
+  return static_cast<std::uint32_t>(x);
+}
+
+/// Morton code with y in the high interleaved bits: consecutive codes trace
+/// the N-shaped (NW, NE, SW, SE) visit order used by the quadtree.
+constexpr std::uint64_t morton_encode(std::uint32_t x, std::uint32_t y) {
+  return (part1by1(y) << 1) | part1by1(x);
+}
+
+/// Decodes a Morton code back to (x, y).
+constexpr void morton_decode(std::uint64_t code, std::uint32_t& x,
+                             std::uint32_t& y) {
+  x = compact1by1(code);
+  y = compact1by1(code >> 1);
+}
+
+}  // namespace apf::qt

@@ -1,0 +1,195 @@
+#include "quadtree/quadtree.h"
+
+#include <algorithm>
+
+namespace apf::qt {
+
+Quadtree::Quadtree(const img::Image& edge_map, const QuadtreeConfig& cfg)
+    : Quadtree(img::IntegralImage(edge_map), cfg) {}
+
+Quadtree::Quadtree(const img::IntegralImage& integral,
+                   const QuadtreeConfig& cfg)
+    : cfg_(cfg), size_(integral.height()) {
+  APF_CHECK(integral.height() == integral.width(),
+            "Quadtree: domain must be square, got "
+                << integral.height() << "x" << integral.width());
+  APF_CHECK(is_power_of_two(size_),
+            "Quadtree: side must be a power of two, got " << size_);
+  APF_CHECK(cfg_.max_depth >= 0, "Quadtree: negative max_depth");
+  APF_CHECK(cfg_.min_size >= 1, "Quadtree: min_size must be >= 1");
+  build(integral);
+  if (cfg_.enforce_balance) balance(integral);
+  collect_leaves();
+}
+
+void Quadtree::build(const img::IntegralImage& integral) {
+  nodes_.clear();
+  nodes_.push_back(Node{0, 0, size_, 0,
+                        integral.sum(0, 0, size_, size_), {-1, -1, -1, -1}});
+  // Explicit DFS stack; children are created in NW, NE, SW, SE order so a
+  // later depth-first leaf collection is automatically in Morton order.
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const Node n = nodes_[static_cast<std::size_t>(idx)];
+    const bool can_split = n.depth < cfg_.max_depth &&
+                           n.size / 2 >= cfg_.min_size && n.size >= 2;
+    if (!can_split || n.detail <= cfg_.split_value) continue;
+    split(idx, integral);
+    for (int c = 3; c >= 0; --c)
+      stack.push_back(nodes_[static_cast<std::size_t>(idx)].child[c]);
+  }
+}
+
+void Quadtree::split(std::int32_t idx, const img::IntegralImage& integral) {
+  const Node n = nodes_[static_cast<std::size_t>(idx)];
+  APF_DCHECK(n.is_leaf(), "split(): node already split");
+  const std::int64_t hs = n.size / 2;
+  const std::int64_t ys[4] = {n.y, n.y, n.y + hs, n.y + hs};
+  const std::int64_t xs[4] = {n.x, n.x + hs, n.x, n.x + hs};
+  for (int c = 0; c < 4; ++c) {
+    Node child;
+    child.y = ys[c];
+    child.x = xs[c];
+    child.size = hs;
+    child.depth = n.depth + 1;
+    child.detail =
+        integral.sum(child.y, child.x, child.y + hs, child.x + hs);
+    nodes_[static_cast<std::size_t>(idx)].child[c] =
+        static_cast<std::int32_t>(nodes_.size());
+    nodes_.push_back(child);
+  }
+}
+
+void Quadtree::balance(const img::IntegralImage& integral) {
+  // Iterate to fixpoint: any leaf with a neighbouring leaf more than one
+  // level finer gets split (classic 2:1 AMR balance).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::size_t count = nodes_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (!nodes_[i].is_leaf()) continue;
+      const Node n = nodes_[i];
+      const bool can_split =
+          n.size / 2 >= cfg_.min_size && n.size >= 2;
+      if (!can_split) continue;
+      // Probe just outside each side, at the fine end of the edge.
+      const std::int64_t probes[4][2] = {
+          {n.y - 1, n.x},          // above
+          {n.y + n.size, n.x},     // below
+          {n.y, n.x - 1},          // left
+          {n.y, n.x + n.size},     // right
+      };
+      bool needs = false;
+      for (const auto& p : probes) {
+        if (p[0] < 0 || p[0] >= size_ || p[1] < 0 || p[1] >= size_) continue;
+        // Scan along the shared edge for the finest adjacent leaf.
+        for (std::int64_t o = 0; o < n.size && !needs; ++o) {
+          const std::int64_t py = (p[0] == n.y - 1 || p[0] == n.y + n.size)
+                                      ? p[0]
+                                      : n.y + o;
+          const std::int64_t px =
+              (p[1] == n.x - 1 || p[1] == n.x + n.size) ? p[1] : n.x + o;
+          if (py < 0 || py >= size_ || px < 0 || px >= size_) continue;
+          const std::int32_t nb = leaf_node_at(py, px);
+          if (nodes_[static_cast<std::size_t>(nb)].size * 2 < n.size)
+            needs = true;
+        }
+        if (needs) break;
+      }
+      if (needs) {
+        split(static_cast<std::int32_t>(i), integral);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::int32_t Quadtree::leaf_node_at(std::int64_t y, std::int64_t x) const {
+  APF_DCHECK(y >= 0 && y < size_ && x >= 0 && x < size_,
+             "leaf_node_at: out of domain");
+  std::int32_t idx = 0;
+  while (!nodes_[static_cast<std::size_t>(idx)].is_leaf()) {
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    const std::int64_t hs = n.size / 2;
+    const int cy = y >= n.y + hs ? 1 : 0;
+    const int cx = x >= n.x + hs ? 1 : 0;
+    idx = n.child[cy * 2 + cx];
+  }
+  return idx;
+}
+
+void Quadtree::collect_leaves() {
+  leaves_.clear();
+  leaf_index_of_node_.assign(nodes_.size(), -1);
+  max_depth_reached_ = 0;
+  // DFS with NW, NE, SW, SE child order == Morton order of leaves.
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t idx = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.is_leaf()) {
+      Leaf leaf;
+      leaf.y = n.y;
+      leaf.x = n.x;
+      leaf.size = n.size;
+      leaf.depth = n.depth;
+      leaf.detail = n.detail;
+      leaf.morton = morton_encode(static_cast<std::uint32_t>(n.x),
+                                  static_cast<std::uint32_t>(n.y));
+      leaf_index_of_node_[static_cast<std::size_t>(idx)] =
+          static_cast<std::int64_t>(leaves_.size());
+      leaves_.push_back(leaf);
+      max_depth_reached_ = std::max(max_depth_reached_, n.depth);
+    } else {
+      for (int c = 3; c >= 0; --c) stack.push_back(n.child[c]);
+    }
+  }
+}
+
+std::int64_t Quadtree::find_leaf(std::int64_t y, std::int64_t x) const {
+  APF_CHECK(y >= 0 && y < size_ && x >= 0 && x < size_,
+            "find_leaf: (" << y << "," << x << ") outside domain " << size_);
+  return leaf_index_of_node_[static_cast<std::size_t>(leaf_node_at(y, x))];
+}
+
+bool Quadtree::leaves_tile_domain() const {
+  std::int64_t area = 0;
+  for (const Leaf& l : leaves_) {
+    if (l.y < 0 || l.x < 0 || l.y + l.size > size_ || l.x + l.size > size_)
+      return false;
+    area += l.size * l.size;
+  }
+  if (area != size_ * size_) return false;
+  // Morton order of a valid tiling is strictly increasing.
+  for (std::size_t i = 1; i < leaves_.size(); ++i)
+    if (leaves_[i].morton <= leaves_[i - 1].morton) return false;
+  return true;
+}
+
+SequenceStats aggregate_stats(const std::vector<Quadtree>& trees) {
+  SequenceStats s;
+  if (trees.empty()) return s;
+  double len_acc = 0.0, size_acc = 0.0;
+  std::int64_t patch_count = 0;
+  s.min_length = trees[0].num_leaves();
+  s.max_length = trees[0].num_leaves();
+  for (const Quadtree& t : trees) {
+    const std::int64_t n = t.num_leaves();
+    len_acc += static_cast<double>(n);
+    s.min_length = std::min(s.min_length, n);
+    s.max_length = std::max(s.max_length, n);
+    for (const Leaf& l : t.leaves()) {
+      size_acc += static_cast<double>(l.size);
+      ++patch_count;
+    }
+  }
+  s.mean_length = len_acc / static_cast<double>(trees.size());
+  s.mean_patch_size = size_acc / static_cast<double>(patch_count);
+  return s;
+}
+
+}  // namespace apf::qt

@@ -1,0 +1,115 @@
+#pragma once
+// Detail-driven quadtree over an edge map — the AMR-style heart of APF.
+//
+// A node covering [y, y+size) x [x, x+size) splits into its four quadrants
+// when the edge-pixel count inside exceeds the split value v and neither the
+// depth cap H nor the minimum leaf size has been reached (paper Eq. 6).
+// Each detail query is O(1) via a summed-area table, so construction costs
+// O(#nodes) — this is why APF's pre-processing overhead is negligible.
+
+#include <cstdint>
+#include <vector>
+
+#include "img/image.h"
+#include "img/integral.h"
+#include "quadtree/morton.h"
+
+namespace apf::qt {
+
+/// Construction parameters (paper Eq. 6 plus practical caps).
+struct QuadtreeConfig {
+  /// v: a region splits while its edge-pixel sum exceeds this.
+  double split_value = 20.0;
+  /// H: maximum depth (root is depth 0; leaf side = image_size >> depth).
+  int max_depth = 10;
+  /// Leaves never shrink below this side length (paper: down to 2x2).
+  std::int64_t min_size = 2;
+  /// Optional AMR-style 2:1 balance: after building, coarse leaves adjacent
+  /// to much finer ones are split until neighbouring leaves differ by at
+  /// most one level. Off by default (APF itself does not require it).
+  bool enforce_balance = false;
+};
+
+/// One leaf = one prospective patch.
+struct Leaf {
+  std::int64_t y = 0;      ///< top-left row
+  std::int64_t x = 0;      ///< top-left column
+  std::int64_t size = 0;   ///< side length (power of two)
+  int depth = 0;           ///< tree depth (0 = whole image)
+  double detail = 0.0;     ///< edge-pixel sum inside the region
+  std::uint64_t morton = 0;  ///< Z-order key of the top-left corner
+};
+
+/// Region quadtree over a square power-of-two domain.
+class Quadtree {
+ public:
+  /// Builds from a single-channel edge map (values summed as "detail").
+  /// The image must be square with a power-of-two side.
+  Quadtree(const img::Image& edge_map, const QuadtreeConfig& cfg);
+
+  /// Builds from a pre-computed integral image of the edge map.
+  Quadtree(const img::IntegralImage& integral, const QuadtreeConfig& cfg);
+
+  /// Leaves in Morton (Z-order) sequence — the APF token order.
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+
+  std::int64_t num_leaves() const {
+    return static_cast<std::int64_t>(leaves_.size());
+  }
+  /// Side length of the (square) domain.
+  std::int64_t domain_size() const { return size_; }
+  /// Deepest level that actually occurs among the leaves.
+  int max_depth_reached() const { return max_depth_reached_; }
+  /// Total node count (internal + leaves), a proxy for construction work.
+  std::int64_t num_nodes() const {
+    return static_cast<std::int64_t>(nodes_.size());
+  }
+  const QuadtreeConfig& config() const { return cfg_; }
+
+  /// Leaf index (into leaves()) containing pixel (y, x).
+  std::int64_t find_leaf(std::int64_t y, std::int64_t x) const;
+
+  /// True when the leaves tile the domain exactly once (sanity invariant;
+  /// exercised by tests, cheap enough to call in debug paths).
+  bool leaves_tile_domain() const;
+
+  static bool is_power_of_two(std::int64_t v) {
+    return v > 0 && (v & (v - 1)) == 0;
+  }
+
+ private:
+  struct Node {
+    std::int64_t y, x, size;
+    int depth;
+    double detail;
+    std::int32_t child[4] = {-1, -1, -1, -1};  // NW, NE, SW, SE
+    bool is_leaf() const { return child[0] < 0; }
+  };
+
+  void build(const img::IntegralImage& integral);
+  void split(std::int32_t idx, const img::IntegralImage& integral);
+  void balance(const img::IntegralImage& integral);
+  void collect_leaves();
+  std::int32_t leaf_node_at(std::int64_t y, std::int64_t x) const;
+
+  QuadtreeConfig cfg_;
+  std::int64_t size_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<Leaf> leaves_;
+  std::vector<std::int64_t> leaf_index_of_node_;  // node idx -> leaves_ idx
+  int max_depth_reached_ = 0;
+};
+
+/// Sequence-length statistics over a batch of images (used by the growth
+/// benchmarks, Fig. 3).
+struct SequenceStats {
+  double mean_length = 0.0;
+  double mean_patch_size = 0.0;
+  std::int64_t min_length = 0;
+  std::int64_t max_length = 0;
+};
+
+/// Aggregates leaf statistics over several quadtrees.
+SequenceStats aggregate_stats(const std::vector<Quadtree>& trees);
+
+}  // namespace apf::qt

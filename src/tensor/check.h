@@ -1,0 +1,47 @@
+#pragma once
+// Lightweight runtime-check macros used across the library.
+//
+// APF_CHECK is always on (cheap argument/shape validation on public API
+// boundaries); APF_DCHECK compiles out in release builds and guards hot
+// inner-loop invariants.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apf::detail {
+
+/// Thrown by APF_CHECK failures. Distinct type so tests can assert on it.
+class CheckError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "APF_CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace apf::detail
+
+#define APF_CHECK(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::apf::detail::check_failed(__FILE__, __LINE__, #cond,            \
+                                  static_cast<std::ostringstream&&>(    \
+                                      std::ostringstream{} << msg)      \
+                                      .str());                          \
+    }                                                                   \
+  } while (0)
+
+#ifdef NDEBUG
+#define APF_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define APF_DCHECK(cond, msg) APF_CHECK(cond, msg)
+#endif

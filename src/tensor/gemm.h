@@ -1,0 +1,21 @@
+#pragma once
+// Blocked, OpenMP-parallel single-precision GEMM.
+//
+// C = alpha * op(A) * op(B) + beta * C, row-major, where op is optional
+// transposition. This is the compute backbone of every linear / attention /
+// convolution layer in the library, so it gets a cache-blocked kernel
+// rather than a naive triple loop.
+
+#include <cstdint>
+
+namespace apf {
+
+/// Row-major sgemm. A is (m x k) when trans_a is false, (k x m) otherwise;
+/// B is (k x n) / (n x k) likewise; C is always (m x n) with leading
+/// dimension ldc. Parallelized over row panels of C.
+void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+          std::int64_t k, float alpha, const float* a, std::int64_t lda,
+          const float* b, std::int64_t ldb, float beta, float* c,
+          std::int64_t ldc);
+
+}  // namespace apf

@@ -1,0 +1,502 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "tensor/gemm.h"
+#include "tensor/parallel_for.h"
+
+namespace apf::ops {
+namespace {
+
+// Shared implementation for elementwise binary ops.
+template <class F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F&& f, const char* name) {
+  APF_CHECK(a.same_shape(b),
+            name << ": shape mismatch " << a.str() << " vs " << b.str());
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  parallel_for(a.numel(), [&](std::int64_t i) { po[i] = f(pa[i], pb[i]); },
+               /*grain=*/4096);
+  return out;
+}
+
+template <class F>
+Tensor unary_op(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  parallel_for(a.numel(), [&](std::int64_t i) { po[i] = f(pa[i]); },
+               /*grain=*/4096);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x + y; }, "add");
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x - y; }, "sub");
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x * y; }, "mul");
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, [](float x, float y) { return x / y; }, "div");
+}
+
+void axpy(Tensor& a, float alpha, const Tensor& b) {
+  APF_CHECK(a.same_shape(b),
+            "axpy: shape mismatch " << a.str() << " vs " << b.str());
+  float* pa = a.data();
+  const float* pb = b.data();
+  parallel_for(a.numel(), [&](std::int64_t i) { pa[i] += alpha * pb[i]; },
+               /*grain=*/4096);
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+Tensor log(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::log(x); });
+}
+Tensor sqrt(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::sqrt(x); });
+}
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    return 0.5f * x * (1.f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+  });
+}
+
+Tensor gelu_grad(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    const float x3 = x * x * x;
+    const float t = std::tanh(kGeluC * (x + 0.044715f * x3));
+    const float dt = (1.f - t * t) * kGeluC * (1.f + 3.f * 0.044715f * x * x);
+    return 0.5f * (1.f + t) + 0.5f * x * dt;
+  });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary_op(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+Tensor tanh(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::tanh(x); });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  return unary_op(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+
+Tensor add_bias(const Tensor& x, const Tensor& bias) {
+  APF_CHECK(bias.ndim() == 1, "add_bias: bias must be 1-D, got " << bias.str());
+  const std::int64_t d = bias.numel();
+  APF_CHECK(x.ndim() >= 1 && x.size(-1) == d,
+            "add_bias: " << x.str() << " vs bias " << bias.str());
+  Tensor out(x.shape());
+  const std::int64_t rows = x.numel() / d;
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  parallel_for(rows, [&](std::int64_t r) {
+    const float* xr = px + r * d;
+    float* orow = po + r * d;
+    for (std::int64_t j = 0; j < d; ++j) orow[j] = xr[j] + pb[j];
+  });
+  return out;
+}
+
+Tensor sum_to_lastdim(const Tensor& x) {
+  APF_CHECK(x.ndim() >= 1, "sum_to_lastdim: scalar input");
+  const std::int64_t d = x.size(-1);
+  const std::int64_t rows = x.numel() / d;
+  Tensor out({d});
+  float* po = out.data();
+  const float* px = x.data();
+  // Deterministic fixed-order accumulation per output column.
+  parallel_for(d, [&](std::int64_t j) {
+    double acc = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) acc += px[r * d + j];
+    po[j] = static_cast<float>(acc);
+  }, /*grain=*/8);
+  return out;
+}
+
+Tensor mul_lastdim(const Tensor& x, const Tensor& scale) {
+  APF_CHECK(scale.ndim() == 1 && x.size(-1) == scale.numel(),
+            "mul_lastdim: " << x.str() << " vs " << scale.str());
+  const std::int64_t d = scale.numel();
+  const std::int64_t rows = x.numel() / d;
+  Tensor out(x.shape());
+  const float* px = x.data();
+  const float* ps = scale.data();
+  float* po = out.data();
+  parallel_for(rows, [&](std::int64_t r) {
+    for (std::int64_t j = 0; j < d; ++j) po[r * d + j] = px[r * d + j] * ps[j];
+  });
+  return out;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  APF_CHECK(a.ndim() == 2 && b.ndim() == 2,
+            "matmul: need 2-D, got " << a.str() << " @ " << b.str());
+  const std::int64_t m = trans_a ? a.size(1) : a.size(0);
+  const std::int64_t ka = trans_a ? a.size(0) : a.size(1);
+  const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
+  const std::int64_t n = trans_b ? b.size(0) : b.size(1);
+  APF_CHECK(ka == kb, "matmul: inner dims " << ka << " vs " << kb);
+  Tensor c({m, n});
+  gemm(trans_a, trans_b, m, n, ka, 1.f, a.data(), a.size(1), b.data(),
+       b.size(1), 0.f, c.data(), n);
+  return c;
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  APF_CHECK(a.ndim() == 3 && b.ndim() == 3,
+            "bmm: need 3-D, got " << a.str() << " @ " << b.str());
+  APF_CHECK(a.size(0) == b.size(0), "bmm: batch mismatch");
+  const std::int64_t bs = a.size(0);
+  const std::int64_t m = trans_a ? a.size(2) : a.size(1);
+  const std::int64_t ka = trans_a ? a.size(1) : a.size(2);
+  const std::int64_t kb = trans_b ? b.size(2) : b.size(1);
+  const std::int64_t n = trans_b ? b.size(1) : b.size(2);
+  APF_CHECK(ka == kb, "bmm: inner dims " << ka << " vs " << kb);
+  Tensor c({bs, m, n});
+  const std::int64_t sa = a.size(1) * a.size(2);
+  const std::int64_t sb = b.size(1) * b.size(2);
+  const std::int64_t sc = m * n;
+  // Parallelism lives inside gemm; batches run serially to avoid nesting.
+  for (std::int64_t i = 0; i < bs; ++i) {
+    gemm(trans_a, trans_b, m, n, ka, 1.f, a.data() + i * sa, a.size(2),
+         b.data() + i * sb, b.size(2), 0.f, c.data() + i * sc, n);
+  }
+  return c;
+}
+
+Tensor permute(const Tensor& x, const std::vector<int>& perm) {
+  const std::int64_t nd = x.ndim();
+  APF_CHECK(static_cast<std::int64_t>(perm.size()) == nd,
+            "permute: perm size " << perm.size() << " vs rank " << nd);
+  Shape out_shape(perm.size());
+  std::vector<std::int64_t> in_strides(perm.size()), out_strides(perm.size());
+  std::int64_t stride = 1;
+  for (std::int64_t i = nd - 1; i >= 0; --i) {
+    in_strides[static_cast<std::size_t>(i)] = stride;
+    stride *= x.size(i);
+  }
+  for (std::int64_t i = 0; i < nd; ++i)
+    out_shape[static_cast<std::size_t>(i)] = x.size(perm[static_cast<std::size_t>(i)]);
+  stride = 1;
+  for (std::int64_t i = nd - 1; i >= 0; --i) {
+    out_strides[static_cast<std::size_t>(i)] = stride;
+    stride *= out_shape[static_cast<std::size_t>(i)];
+  }
+  Tensor out(out_shape);
+  const float* px = x.data();
+  float* po = out.data();
+  parallel_for(out.numel(), [&](std::int64_t flat) {
+    std::int64_t rem = flat;
+    std::int64_t src = 0;
+    for (std::int64_t d = 0; d < nd; ++d) {
+      const std::int64_t ix = rem / out_strides[static_cast<std::size_t>(d)];
+      rem %= out_strides[static_cast<std::size_t>(d)];
+      src += ix * in_strides[static_cast<std::size_t>(perm[static_cast<std::size_t>(d)])];
+    }
+    po[flat] = px[src];
+  }, /*grain=*/4096);
+  return out;
+}
+
+Tensor transpose_last2(const Tensor& x) {
+  if (x.ndim() == 2) return permute(x, {1, 0});
+  APF_CHECK(x.ndim() == 3, "transpose_last2: need 2-D or 3-D, got " << x.str());
+  return permute(x, {0, 2, 1});
+}
+
+Tensor concat(const std::vector<Tensor>& xs, std::int64_t axis) {
+  APF_CHECK(!xs.empty(), "concat: empty input list");
+  const std::int64_t nd = xs[0].ndim();
+  if (axis < 0) axis += nd;
+  APF_CHECK(axis >= 0 && axis < nd, "concat: bad axis");
+  Shape out_shape = xs[0].shape();
+  std::int64_t total = 0;
+  for (const Tensor& t : xs) {
+    APF_CHECK(t.ndim() == nd, "concat: rank mismatch");
+    for (std::int64_t d = 0; d < nd; ++d) {
+      if (d != axis)
+        APF_CHECK(t.size(d) == xs[0].size(d),
+                  "concat: dim " << d << " mismatch");
+    }
+    total += t.size(axis);
+  }
+  out_shape[static_cast<std::size_t>(axis)] = total;
+  Tensor out(out_shape);
+
+  // outer = product of dims before axis, inner = product after.
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= xs[0].size(d);
+  for (std::int64_t d = axis + 1; d < nd; ++d) inner *= xs[0].size(d);
+
+  std::int64_t off = 0;
+  for (const Tensor& t : xs) {
+    const std::int64_t ax = t.size(axis);
+    const float* pt = t.data();
+    float* po = out.data();
+    parallel_for(outer, [&](std::int64_t o) {
+      std::memcpy(po + (o * total + off) * inner, pt + o * ax * inner,
+                  sizeof(float) * static_cast<std::size_t>(ax * inner));
+    });
+    off += ax;
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& x, std::int64_t axis, std::int64_t start,
+             std::int64_t len) {
+  const std::int64_t nd = x.ndim();
+  if (axis < 0) axis += nd;
+  APF_CHECK(axis >= 0 && axis < nd, "slice: bad axis");
+  APF_CHECK(start >= 0 && len >= 0 && start + len <= x.size(axis),
+            "slice: [" << start << ", " << start + len << ") out of range for "
+                       << x.str() << " axis " << axis);
+  Shape out_shape = x.shape();
+  out_shape[static_cast<std::size_t>(axis)] = len;
+  Tensor out(out_shape);
+  std::int64_t outer = 1, inner = 1;
+  for (std::int64_t d = 0; d < axis; ++d) outer *= x.size(d);
+  for (std::int64_t d = axis + 1; d < nd; ++d) inner *= x.size(d);
+  const std::int64_t ax = x.size(axis);
+  const float* px = x.data();
+  float* po = out.data();
+  parallel_for(outer, [&](std::int64_t o) {
+    std::memcpy(po + o * len * inner, px + (o * ax + start) * inner,
+                sizeof(float) * static_cast<std::size_t>(len * inner));
+  });
+  return out;
+}
+
+float sum_all(const Tensor& a) {
+  // Deterministic: serial Kahan-style double accumulation.
+  double acc = 0.0;
+  const float* p = a.data();
+  for (std::int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float mean_all(const Tensor& a) {
+  APF_CHECK(a.numel() > 0, "mean_all: empty tensor");
+  return sum_all(a) / static_cast<float>(a.numel());
+}
+
+float max_all(const Tensor& a) {
+  APF_CHECK(a.numel() > 0, "max_all: empty tensor");
+  const float* p = a.data();
+  float m = p[0];
+  for (std::int64_t i = 1; i < a.numel(); ++i) m = std::max(m, p[i]);
+  return m;
+}
+
+std::vector<std::int64_t> argmax_lastdim(const Tensor& x) {
+  APF_CHECK(x.ndim() >= 1, "argmax_lastdim: scalar input");
+  const std::int64_t d = x.size(-1);
+  const std::int64_t rows = x.numel() / d;
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  const float* px = x.data();
+  parallel_for(rows, [&](std::int64_t r) {
+    const float* row = px + r * d;
+    std::int64_t best = 0;
+    for (std::int64_t j = 1; j < d; ++j)
+      if (row[j] > row[best]) best = j;
+    out[static_cast<std::size_t>(r)] = best;
+  });
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask) {
+  APF_CHECK(x.ndim() >= 1, "softmax: scalar input");
+  const std::int64_t n = x.size(-1);
+  const std::int64_t rows = x.numel() / n;
+  std::int64_t rows_per_b = 1;
+  const float* pm = nullptr;
+  if (key_mask != nullptr) {
+    APF_CHECK(key_mask->ndim() == 2 && key_mask->size(1) == n,
+              "softmax: key_mask " << key_mask->str() << " vs lastdim " << n);
+    const std::int64_t b = key_mask->size(0);
+    APF_CHECK(rows % b == 0, "softmax: rows " << rows
+                                              << " not divisible by batch " << b);
+    rows_per_b = rows / b;
+    pm = key_mask->data();
+  }
+  Tensor out(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  parallel_for(rows, [&](std::int64_t r) {
+    const float* xr = px + r * n;
+    float* orow = po + r * n;
+    const float* mrow = pm ? pm + (r / rows_per_b) * n : nullptr;
+    float mx = -std::numeric_limits<float>::infinity();
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (mrow && mrow[j] == 0.f) continue;
+      mx = std::max(mx, xr[j]);
+    }
+    if (mx == -std::numeric_limits<float>::infinity()) {
+      // Fully masked row: all-zero output (no probability mass).
+      std::fill(orow, orow + n, 0.f);
+      return;
+    }
+    double denom = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (mrow && mrow[j] == 0.f) {
+        orow[j] = 0.f;
+      } else {
+        orow[j] = std::exp(xr[j] - mx);
+        denom += orow[j];
+      }
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  });
+  return out;
+}
+
+Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy) {
+  APF_CHECK(y.same_shape(dy), "softmax_grad: shape mismatch");
+  const std::int64_t n = y.size(-1);
+  const std::int64_t rows = y.numel() / n;
+  Tensor dx(y.shape());
+  const float* py = y.data();
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  parallel_for(rows, [&](std::int64_t r) {
+    const float* yr = py + r * n;
+    const float* dyr = pdy + r * n;
+    float* dxr = pdx + r * n;
+    double dot = 0.0;
+    for (std::int64_t j = 0; j < n; ++j) dot += static_cast<double>(yr[j]) * dyr[j];
+    const float d = static_cast<float>(dot);
+    for (std::int64_t j = 0; j < n; ++j) dxr[j] = yr[j] * (dyr[j] - d);
+  });
+  return dx;
+}
+
+Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad) {
+  APF_CHECK(x.ndim() == 3, "im2col: need [C,H,W], got " << x.str());
+  const std::int64_t c = x.size(0), h = x.size(1), w = x.size(2);
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  APF_CHECK(oh > 0 && ow > 0, "im2col: kernel larger than padded input");
+  Tensor cols({c * kh * kw, oh * ow});
+  const float* px = x.data();
+  float* pc = cols.data();
+  parallel_for(c * kh * kw, [&](std::int64_t row) {
+    const std::int64_t ch = row / (kh * kw);
+    const std::int64_t ki = (row / kw) % kh;
+    const std::int64_t kj = row % kw;
+    float* crow = pc + row * oh * ow;
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      const std::int64_t ii = oi * stride + ki - pad;
+      for (std::int64_t oj = 0; oj < ow; ++oj) {
+        const std::int64_t jj = oj * stride + kj - pad;
+        crow[oi * ow + oj] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
+                                 ? px[(ch * h + ii) * w + jj]
+                                 : 0.f;
+      }
+    }
+  }, /*grain=*/1);
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
+              std::int64_t w, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad) {
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  APF_CHECK(cols.ndim() == 2 && cols.size(0) == c * kh * kw &&
+                cols.size(1) == oh * ow,
+            "col2im: cols " << cols.str() << " inconsistent with geometry");
+  Tensor x({c, h, w});
+  const float* pc = cols.data();
+  float* px = x.data();
+  // Parallel over channels: rows of `cols` for one channel only touch that
+  // channel's plane, so there are no races.
+  parallel_for(c, [&](std::int64_t ch) {
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const std::int64_t row = (ch * kh + ki) * kw + kj;
+        const float* crow = pc + row * oh * ow;
+        for (std::int64_t oi = 0; oi < oh; ++oi) {
+          const std::int64_t ii = oi * stride + ki - pad;
+          if (ii < 0 || ii >= h) continue;
+          for (std::int64_t oj = 0; oj < ow; ++oj) {
+            const std::int64_t jj = oj * stride + kj - pad;
+            if (jj < 0 || jj >= w) continue;
+            px[(ch * h + ii) * w + jj] += crow[oi * ow + oj];
+          }
+        }
+      }
+    }
+  }, /*grain=*/1);
+  return x;
+}
+
+Tensor upsample2x_nearest(const Tensor& x) {
+  APF_CHECK(x.ndim() == 3, "upsample2x: need [C,H,W], got " << x.str());
+  const std::int64_t c = x.size(0), h = x.size(1), w = x.size(2);
+  Tensor out({c, h * 2, w * 2});
+  const float* px = x.data();
+  float* po = out.data();
+  parallel_for(c * h, [&](std::int64_t idx) {
+    const std::int64_t ch = idx / h, i = idx % h;
+    const float* row = px + (ch * h + i) * w;
+    float* o0 = po + (ch * 2 * h + 2 * i) * 2 * w;
+    float* o1 = o0 + 2 * w;
+    for (std::int64_t j = 0; j < w; ++j) {
+      o0[2 * j] = o0[2 * j + 1] = o1[2 * j] = o1[2 * j + 1] = row[j];
+    }
+  });
+  return out;
+}
+
+Tensor upsample2x_nearest_grad(const Tensor& dy) {
+  APF_CHECK(dy.ndim() == 3 && dy.size(1) % 2 == 0 && dy.size(2) % 2 == 0,
+            "upsample2x_grad: bad shape " << dy.str());
+  const std::int64_t c = dy.size(0), h = dy.size(1) / 2, w = dy.size(2) / 2;
+  Tensor dx({c, h, w});
+  const float* pdy = dy.data();
+  float* pdx = dx.data();
+  parallel_for(c * h, [&](std::int64_t idx) {
+    const std::int64_t ch = idx / h, i = idx % h;
+    const float* y0 = pdy + (ch * 2 * h + 2 * i) * 2 * w;
+    const float* y1 = y0 + 2 * w;
+    float* row = pdx + (ch * h + i) * w;
+    for (std::int64_t j = 0; j < w; ++j) {
+      row[j] = y0[2 * j] + y0[2 * j + 1] + y1[2 * j] + y1[2 * j + 1];
+    }
+  });
+  return dx;
+}
+
+}  // namespace apf::ops

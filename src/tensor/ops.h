@@ -1,0 +1,104 @@
+#pragma once
+// Forward-only tensor math kernels.
+//
+// These are the non-differentiable building blocks; the autograd layer
+// (tensor/autograd.h) and the nn modules compose them into differentiable
+// operations. All functions allocate and return fresh contiguous tensors
+// unless documented otherwise.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apf::ops {
+
+// ---- Elementwise binary (same shape) -----------------------------------
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// In-place a += alpha * b (same shape). The one mutating op, used by
+/// optimizers and gradient accumulation.
+void axpy(Tensor& a, float alpha, const Tensor& b);
+
+// ---- Elementwise with scalar --------------------------------------------
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+
+// ---- Elementwise unary ----------------------------------------------------
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor relu(const Tensor& a);
+/// Tanh-approximation GELU (the variant used by ViT implementations).
+Tensor gelu(const Tensor& a);
+/// d gelu(x) / dx, elementwise (used by the autograd layer).
+Tensor gelu_grad(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+
+// ---- Broadcast helpers ------------------------------------------------------
+/// x of shape [..., D] plus bias of shape [D].
+Tensor add_bias(const Tensor& x, const Tensor& bias);
+/// Sum of x over all leading dims: [..., D] -> [D]. (Bias gradient.)
+Tensor sum_to_lastdim(const Tensor& x);
+/// x of shape [..., D] times scale of shape [D] (elementwise per column).
+Tensor mul_lastdim(const Tensor& x, const Tensor& scale);
+
+// ---- Matrix products ---------------------------------------------------------
+/// 2-D matmul with optional transposes: op(a)[m,k] @ op(b)[k,n] -> [m,n].
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+/// Batched 3-D matmul: op(a)[B,m,k] @ op(b)[B,k,n] -> [B,m,n].
+Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a = false,
+           bool trans_b = false);
+
+// ---- Shape manipulation -----------------------------------------------------
+/// General permutation copy, e.g. permute(x, {0,2,1,3}).
+Tensor permute(const Tensor& x, const std::vector<int>& perm);
+/// Transpose the last two dims of a 2-D or 3-D tensor (copy).
+Tensor transpose_last2(const Tensor& x);
+/// Concatenate along axis; all inputs must agree on the other dims.
+Tensor concat(const std::vector<Tensor>& xs, std::int64_t axis);
+/// Contiguous slice [start, start+len) along axis.
+Tensor slice(const Tensor& x, std::int64_t axis, std::int64_t start,
+             std::int64_t len);
+
+// ---- Reductions ----------------------------------------------------------------
+float sum_all(const Tensor& a);
+float mean_all(const Tensor& a);
+float max_all(const Tensor& a);
+/// Row-wise argmax over the last dim; returns indices of shape rows.
+std::vector<std::int64_t> argmax_lastdim(const Tensor& x);
+
+// ---- Softmax -------------------------------------------------------------------
+/// Numerically stable softmax over the last dimension. If key_mask is
+/// non-null it must have shape [B, N] matching x's layout [B*rows_per_b, N]
+/// (rows_per_b = x.numel()/(B*N)); masked (0) keys get probability 0. Rows
+/// whose keys are all masked become all-zero.
+Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask = nullptr);
+/// Backward of softmax_lastdim: given y = softmax(x) and dL/dy, returns
+/// dL/dx = y * (dy - sum(dy * y)).
+Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy);
+
+// ---- Convolution support (NCHW) ----------------------------------------------
+/// im2col: input [C, H, W] -> columns [C*kh*kw, out_h*out_w] for the given
+/// kernel/stride/padding (zero padding).
+Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad);
+/// col2im: reverse scatter-add of im2col, producing [C, H, W].
+Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
+              std::int64_t w, std::int64_t kh, std::int64_t kw,
+              std::int64_t stride, std::int64_t pad);
+
+// ---- Spatial resampling (NCHW, single image [C,H,W]) ---------------------------
+/// 2x nearest-neighbour upsample.
+Tensor upsample2x_nearest(const Tensor& x);
+/// Backward of upsample2x_nearest (sums the 2x2 cells).
+Tensor upsample2x_nearest_grad(const Tensor& dy);
+
+}  // namespace apf::ops

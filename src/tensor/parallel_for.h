@@ -1,0 +1,51 @@
+#pragma once
+// Single choke point for shared-memory parallelism (OpenMP).
+//
+// Every data-parallel loop in the library goes through parallel_for /
+// parallel_for_2d so threading policy (grain size, nesting, determinism)
+// is controlled in one place.
+
+#include <cstdint>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace apf {
+
+/// Number of worker threads the runtime will use for parallel loops.
+inline int num_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Runs f(i) for i in [0, n). Parallelizes when n >= grain; loops with
+/// fewer iterations run serially to avoid fork/join overhead on tiny work.
+/// f must be safe to call concurrently for distinct i.
+template <class F>
+void parallel_for(std::int64_t n, F&& f, std::int64_t grain = 256) {
+  if (n <= 0) return;
+#ifdef _OPENMP
+  if (n >= grain && !omp_in_parallel()) {
+#pragma omp parallel for schedule(static)
+    for (std::int64_t i = 0; i < n; ++i) f(i);
+    return;
+  }
+#endif
+  (void)grain;
+  for (std::int64_t i = 0; i < n; ++i) f(i);
+}
+
+/// Runs f(i, j) over the [0,n0) x [0,n1) grid, parallelizing the collapsed
+/// iteration space. Used by image kernels (rows x cols).
+template <class F>
+void parallel_for_2d(std::int64_t n0, std::int64_t n1, F&& f,
+                     std::int64_t grain = 256) {
+  parallel_for(
+      n0 * n1, [&](std::int64_t idx) { f(idx / n1, idx % n1); }, grain);
+}
+
+}  // namespace apf

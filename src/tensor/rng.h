@@ -1,0 +1,83 @@
+#pragma once
+// Deterministic, stream-splittable pseudo-random number generation.
+//
+// Every stochastic component in the library (weight init, data generation,
+// dropout, shuffling, token dropping) takes an explicit Rng so experiments
+// are reproducible bit-for-bit from a single root seed.
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace apf {
+
+/// SplitMix64 generator. Tiny state, excellent statistical quality for
+/// non-cryptographic use, and cheap to fork into independent streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return lo + static_cast<float>(uniform()) * (hi - lo);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::int64_t randint(std::int64_t n) {
+    return static_cast<std::int64_t>(next_u64() % static_cast<std::uint64_t>(n));
+  }
+
+  /// Standard normal via Box-Muller (caches the second sample).
+  float normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    while (u1 <= 1e-12) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double t = 2.0 * M_PI * u2;
+    cached_ = static_cast<float>(r * std::sin(t));
+    has_cached_ = true;
+    return static_cast<float>(r * std::cos(t));
+  }
+
+  /// Normal with given mean/stddev.
+  float normal(float mean, float stddev) { return mean + stddev * normal(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Forks an independent child stream; the parent advances once.
+  /// Children with distinct fork orders are statistically independent.
+  Rng fork() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+  /// In-place Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::int64_t i = static_cast<std::int64_t>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[i], v[randint(i + 1)]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  float cached_ = 0.f;
+  bool has_cached_ = false;
+};
+
+}  // namespace apf

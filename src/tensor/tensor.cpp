@@ -1,0 +1,152 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "tensor/parallel_for.h"
+
+namespace apf {
+
+std::int64_t shape_numel(const Shape& s) {
+  std::int64_t n = 1;
+  for (std::int64_t d : s) {
+    APF_CHECK(d >= 0, "negative dimension in shape " << shape_str(s));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& s) {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) os << ", ";
+    os << s[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : storage_(std::make_shared<std::vector<float>>(shape_numel(shape), 0.f)),
+      shape_(std::move(shape)),
+      numel_(static_cast<std::int64_t>(storage_->size())) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<float> values, Shape shape) {
+  const std::int64_t n = shape_numel(shape);
+  APF_CHECK(static_cast<std::int64_t>(values.size()) == n,
+            "from(): " << values.size() << " values for shape "
+                       << shape_str(shape));
+  Tensor t;
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.shape_ = std::move(shape);
+  t.numel_ = n;
+  return t;
+}
+
+Tensor Tensor::arange(std::int64_t n) {
+  Tensor t({n});
+  std::iota(t.storage_->begin(), t.storage_->end(), 0.f);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.normal(mean, stddev);
+  return t;
+}
+
+Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] = rng.uniform(lo, hi);
+  return t;
+}
+
+std::int64_t Tensor::size(std::int64_t i) const {
+  const std::int64_t nd = ndim();
+  if (i < 0) i += nd;
+  APF_CHECK(i >= 0 && i < nd, "size(" << i << ") on shape " << str());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::initializer_list<std::int64_t> idx) {
+  APF_CHECK(static_cast<std::int64_t>(idx.size()) == ndim(),
+            "at(): rank mismatch on shape " << str());
+  std::int64_t flat = 0;
+  std::size_t d = 0;
+  for (std::int64_t ix : idx) {
+    APF_CHECK(ix >= 0 && ix < shape_[d],
+              "at(): index " << ix << " out of bounds for dim " << d
+                             << " of shape " << str());
+    flat = flat * shape_[d] + ix;
+    ++d;
+  }
+  return (*storage_)[static_cast<std::size_t>(flat)];
+}
+
+float Tensor::at(std::initializer_list<std::int64_t> idx) const {
+  return const_cast<Tensor*>(this)->at(idx);
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  APF_CHECK(defined(), "reshape() on undefined tensor");
+  // Resolve a single -1 dimension.
+  std::int64_t known = 1;
+  std::int64_t infer_at = -1;
+  for (std::size_t i = 0; i < new_shape.size(); ++i) {
+    if (new_shape[i] == -1) {
+      APF_CHECK(infer_at < 0, "reshape(): more than one -1 dim");
+      infer_at = static_cast<std::int64_t>(i);
+    } else {
+      known *= new_shape[i];
+    }
+  }
+  if (infer_at >= 0) {
+    APF_CHECK(known > 0 && numel_ % known == 0,
+              "reshape(): cannot infer dim for " << shape_str(new_shape)
+                                                 << " from " << str());
+    new_shape[static_cast<std::size_t>(infer_at)] = numel_ / known;
+  }
+  APF_CHECK(shape_numel(new_shape) == numel_,
+            "reshape(): numel mismatch " << str() << " -> "
+                                         << shape_str(new_shape));
+  Tensor t;
+  t.storage_ = storage_;
+  t.shape_ = std::move(new_shape);
+  t.numel_ = numel_;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  if (!defined()) return Tensor();
+  Tensor t;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  if (!defined()) return;
+  std::fill(storage_->begin(), storage_->end(), value);
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  APF_CHECK(same_shape(src), "copy_from(): " << src.str() << " into " << str());
+  std::copy(src.storage_->begin(), src.storage_->end(), storage_->begin());
+}
+
+}  // namespace apf

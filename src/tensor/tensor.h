@@ -1,0 +1,106 @@
+#pragma once
+// Dense float32 tensor with shared, contiguous, row-major storage.
+//
+// Design notes:
+//  * Value-semantic handle: copying a Tensor is O(1) and shares storage
+//    (like a shared_ptr). clone() deep-copies.
+//  * Always contiguous. reshape() is zero-copy; transposes/permutes
+//    materialize. This keeps every kernel a flat loop and makes OpenMP
+//    parallelization trivial (Core Guidelines: prefer simple, regular data).
+//  * No dtype zoo: float32 only, which is what the training pipeline needs.
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/check.h"
+#include "tensor/rng.h"
+
+namespace apf {
+
+/// Shape type used across the library.
+using Shape = std::vector<std::int64_t>;
+
+/// Returns the number of elements a shape describes (product of dims).
+std::int64_t shape_numel(const Shape& s);
+
+/// Human-readable "[2, 3, 4]" form for error messages.
+std::string shape_str(const Shape& s);
+
+/// Dense float32 tensor (see file comment for the storage model).
+class Tensor {
+ public:
+  /// Empty tensor (numel 0, rank 0). defined() is false.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  // -- Factories -------------------------------------------------------
+
+  static Tensor zeros(Shape shape);
+  static Tensor ones(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Takes ownership of values; values.size() must equal shape's numel.
+  static Tensor from(std::vector<float> values, Shape shape);
+  /// [0, 1, 2, ..., n-1] as a 1-D tensor.
+  static Tensor arange(std::int64_t n);
+  /// I.i.d. N(mean, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
+                      float stddev = 1.f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
+
+  // -- Introspection ----------------------------------------------------
+
+  /// True once the tensor has storage (even a zero-dim scalar).
+  bool defined() const { return storage_ != nullptr; }
+  const Shape& shape() const { return shape_; }
+  std::int64_t ndim() const { return static_cast<std::int64_t>(shape_.size()); }
+  /// Size along dimension i; negative i counts from the end.
+  std::int64_t size(std::int64_t i) const;
+  std::int64_t numel() const { return numel_; }
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  // -- Raw access -------------------------------------------------------
+
+  float* data() { return storage_ ? storage_->data() : nullptr; }
+  const float* data() const { return storage_ ? storage_->data() : nullptr; }
+  float& operator[](std::int64_t i) { return (*storage_)[i]; }
+  float operator[](std::int64_t i) const { return (*storage_)[i]; }
+
+  /// Multi-index accessor (slow; intended for tests and small setup code).
+  float& at(std::initializer_list<std::int64_t> idx);
+  float at(std::initializer_list<std::int64_t> idx) const;
+
+  // -- Shape manipulation ------------------------------------------------
+
+  /// Zero-copy reshape; new shape must have the same numel. One dimension
+  /// may be -1 (inferred).
+  Tensor reshape(Shape new_shape) const;
+
+  /// Deep copy with fresh storage.
+  Tensor clone() const;
+
+  /// Sets every element to value.
+  void fill(float value);
+
+  /// Whether this tensor aliases the same storage as other.
+  bool shares_storage(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  /// Copies contents of src (same shape required) into this storage.
+  void copy_from(const Tensor& src);
+
+  std::string str() const { return shape_str(shape_); }
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  Shape shape_;
+  std::int64_t numel_ = 0;
+};
+
+}  // namespace apf

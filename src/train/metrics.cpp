@@ -1,0 +1,89 @@
+#include "train/metrics.h"
+
+#include "tensor/check.h"
+#include "tensor/ops.h"
+
+namespace apf::train {
+namespace {
+
+void binary_counts(const Tensor& logits, const Tensor& targets,
+                   double& inter, double& px, double& pt, double& correct) {
+  APF_CHECK(logits.numel() == targets.numel(),
+            "metrics: numel mismatch " << logits.str() << " vs "
+                                       << targets.str());
+  inter = px = pt = correct = 0.0;
+  const float* pl = logits.data();
+  const float* pg = targets.data();
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const bool p = pl[i] > 0.f;
+    const bool t = pg[i] >= 0.5f;
+    inter += (p && t) ? 1.0 : 0.0;
+    px += p ? 1.0 : 0.0;
+    pt += t ? 1.0 : 0.0;
+    correct += (p == t) ? 1.0 : 0.0;
+  }
+}
+
+}  // namespace
+
+double dice_binary(const Tensor& logits, const Tensor& targets) {
+  double inter, px, pt, correct;
+  binary_counts(logits, targets, inter, px, pt, correct);
+  if (px + pt == 0.0) return 1.0;
+  return 2.0 * inter / (px + pt);
+}
+
+double iou_binary(const Tensor& logits, const Tensor& targets) {
+  double inter, px, pt, correct;
+  binary_counts(logits, targets, inter, px, pt, correct);
+  const double uni = px + pt - inter;
+  if (uni == 0.0) return 1.0;
+  return inter / uni;
+}
+
+double pixel_accuracy(const Tensor& logits, const Tensor& targets) {
+  double inter, px, pt, correct;
+  binary_counts(logits, targets, inter, px, pt, correct);
+  return correct / static_cast<double>(logits.numel());
+}
+
+double dice_multiclass(const std::vector<std::int64_t>& pred,
+                       const std::vector<std::int64_t>& truth,
+                       std::int64_t n_classes, std::int64_t first_class) {
+  APF_CHECK(pred.size() == truth.size(), "dice_multiclass: size mismatch");
+  std::vector<double> inter(static_cast<std::size_t>(n_classes), 0.0);
+  std::vector<double> np(static_cast<std::size_t>(n_classes), 0.0);
+  std::vector<double> nt(static_cast<std::size_t>(n_classes), 0.0);
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const std::int64_t p = pred[i], t = truth[i];
+    if (p >= 0 && p < n_classes) np[static_cast<std::size_t>(p)] += 1.0;
+    if (t >= 0 && t < n_classes) nt[static_cast<std::size_t>(t)] += 1.0;
+    if (p == t && p >= 0 && p < n_classes)
+      inter[static_cast<std::size_t>(p)] += 1.0;
+  }
+  double acc = 0.0;
+  std::int64_t count = 0;
+  for (std::int64_t c = first_class; c < n_classes; ++c) {
+    const double denom = np[static_cast<std::size_t>(c)] +
+                         nt[static_cast<std::size_t>(c)];
+    acc += denom == 0.0 ? 1.0
+                        : 2.0 * inter[static_cast<std::size_t>(c)] / denom;
+    ++count;
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+double top1_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels) {
+  APF_CHECK(logits.ndim() == 2 &&
+                logits.size(0) == static_cast<std::int64_t>(labels.size()),
+            "top1_accuracy: logits " << logits.str() << " vs "
+                                     << labels.size() << " labels");
+  const auto pred = ops::argmax_lastdim(logits);
+  double correct = 0.0;
+  for (std::size_t i = 0; i < labels.size(); ++i)
+    correct += pred[i] == labels[i] ? 1.0 : 0.0;
+  return correct / static_cast<double>(labels.size());
+}
+
+}  // namespace apf::train

@@ -1,0 +1,35 @@
+#pragma once
+// Evaluation metrics: dice similarity (the paper's quality metric for both
+// PAIP and BTCV), IoU, pixel accuracy, top-1 accuracy.
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace apf::train {
+
+/// Binary dice = 2|X∩Y| / (|X|+|Y|) on thresholded prediction (logits > 0,
+/// i.e. sigmoid > 0.5). Both tensors flattened, same numel. Empty-vs-empty
+/// counts as dice 1.
+double dice_binary(const Tensor& logits, const Tensor& targets);
+
+/// Binary IoU (Jaccard) on the same inputs.
+double iou_binary(const Tensor& logits, const Tensor& targets);
+
+/// Pixel accuracy of the thresholded prediction.
+double pixel_accuracy(const Tensor& logits, const Tensor& targets);
+
+/// Mean over classes [first_class, n_classes) of per-class dice between
+/// predicted and true label maps (paper: BTCV dice = mean over the 13 organ
+/// classes, background excluded -> first_class = 1). Classes absent from
+/// both prediction and truth count as dice 1 for that image.
+double dice_multiclass(const std::vector<std::int64_t>& pred,
+                       const std::vector<std::int64_t>& truth,
+                       std::int64_t n_classes, std::int64_t first_class = 1);
+
+/// Top-1 accuracy of logits [B, C] against labels.
+double top1_accuracy(const Tensor& logits,
+                     const std::vector<std::int64_t>& labels);
+
+}  // namespace apf::train

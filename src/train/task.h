@@ -1,0 +1,192 @@
+#pragma once
+// Task abstraction binding (model, patcher, dataset, loss) for the Trainer.
+//
+// Tasks pre-process every sample exactly once (APF is a pre-processing
+// step whose cost amortizes over epochs — paper §IV.G.3) and cache the
+// token sequences / targets.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/patcher.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "models/hipt.h"
+#include "models/segmodel.h"
+#include "models/vit.h"
+#include "train/metrics.h"
+
+namespace apf::train {
+
+/// Interface consumed by Trainer::fit.
+class Task {
+ public:
+  virtual ~Task() = default;
+  virtual nn::Module& model() = 0;
+  /// Differentiable training loss over a batch of dataset indices.
+  virtual Var loss(const std::vector<std::int64_t>& batch, Rng& rng) = 0;
+  /// Quality metric (dice / accuracy) over indices, in eval mode.
+  virtual double metric(const std::vector<std::int64_t>& indices) = 0;
+  /// Validation loss (default: training loss under NoGrad, eval mode).
+  virtual double eval_loss(const std::vector<std::int64_t>& batch, Rng& rng);
+};
+
+/// Patcher strategy: image -> token sequence.
+using PatchFn = std::function<core::PatchSequence(const img::Image&)>;
+
+/// Binary segmentation (PAIP) with a token model (UNETR / TransUNet / ...).
+class BinaryTokenSegTask : public Task {
+ public:
+  /// sampler draws SegSamples by index (binary mask).
+  BinaryTokenSegTask(models::TokenSegModel& model, PatchFn patcher,
+                     std::function<data::SegSample(std::int64_t)> sampler,
+                     float loss_weight = 0.5f);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+
+  /// Eval-mode prediction mask for one sample (for Fig. 2 renders).
+  img::Image predict_mask(std::int64_t index);
+  /// Cached sequence access (exposed for sequence-length reporting).
+  const core::PatchSequence& sequence(std::int64_t index);
+
+ private:
+  struct Cached {
+    core::PatchSequence seq;
+    Tensor target;  // [Z*Z]
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::TokenSegModel& model_;
+  PatchFn patcher_;
+  std::function<data::SegSample(std::int64_t)> sampler_;
+  float w_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+/// Binary segmentation with an image (CNN) model.
+class BinaryImageSegTask : public Task {
+ public:
+  BinaryImageSegTask(models::ImageSegModel& model,
+                     std::function<data::SegSample(std::int64_t)> sampler,
+                     float loss_weight = 0.5f);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+  img::Image predict_mask(std::int64_t index);
+
+ private:
+  struct Cached {
+    Tensor image;   // [C, Z, Z]
+    Tensor target;  // [Z*Z]
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::ImageSegModel& model_;
+  std::function<data::SegSample(std::int64_t)> sampler_;
+  float w_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+/// Multi-class segmentation (BTCV) with a token model: CE + multiclass dice.
+class MultiTokenSegTask : public Task {
+ public:
+  MultiTokenSegTask(models::TokenSegModel& model, PatchFn patcher,
+                    std::function<data::SegSample(std::int64_t)> sampler,
+                    std::int64_t n_classes, float loss_weight = 0.5f);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+
+ private:
+  struct Cached {
+    core::PatchSequence seq;
+    std::vector<std::int64_t> labels;  // per pixel
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::TokenSegModel& model_;
+  PatchFn patcher_;
+  std::function<data::SegSample(std::int64_t)> sampler_;
+  std::int64_t n_classes_;
+  float w_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+/// Multi-class segmentation with an image model.
+class MultiImageSegTask : public Task {
+ public:
+  MultiImageSegTask(models::ImageSegModel& model,
+                    std::function<data::SegSample(std::int64_t)> sampler,
+                    std::int64_t n_classes, float loss_weight = 0.5f);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+
+ private:
+  struct Cached {
+    Tensor image;
+    std::vector<std::int64_t> labels;
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::ImageSegModel& model_;
+  std::function<data::SegSample(std::int64_t)> sampler_;
+  std::int64_t n_classes_;
+  float w_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+/// Image classification with an image-consuming model (HIPT-lite) that
+/// tokenizes internally — same metric/loss as ClassificationTask.
+class ImageClassificationTask : public Task {
+ public:
+  ImageClassificationTask(models::ImageClsModel& model,
+                          std::function<data::ClsSample(std::int64_t)> sampler);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+
+ private:
+  struct Cached {
+    Tensor image;  // [C, Z, Z]
+    std::int64_t label;
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::ImageClsModel& model_;
+  std::function<data::ClsSample(std::int64_t)> sampler_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+/// Image classification with a ViT over tokens (Table V).
+class ClassificationTask : public Task {
+ public:
+  ClassificationTask(models::VitClassifier& model, PatchFn patcher,
+                     std::function<data::ClsSample(std::int64_t)> sampler);
+
+  nn::Module& model() override { return model_; }
+  Var loss(const std::vector<std::int64_t>& batch, Rng& rng) override;
+  double metric(const std::vector<std::int64_t>& indices) override;
+
+ private:
+  struct Cached {
+    core::PatchSequence seq;
+    std::int64_t label;
+  };
+  const Cached& cached(std::int64_t index);
+
+  models::VitClassifier& model_;
+  PatchFn patcher_;
+  std::function<data::ClsSample(std::int64_t)> sampler_;
+  std::unordered_map<std::int64_t, Cached> cache_;
+};
+
+}  // namespace apf::train

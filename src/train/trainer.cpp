@@ -1,0 +1,134 @@
+#include "train/trainer.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/loader.h"
+#include "nn/serialize.h"
+
+namespace apf::train {
+
+double History::best_metric() const {
+  double best = 0.0;
+  for (const EpochStats& e : epochs) best = std::max(best, e.val_metric);
+  return best;
+}
+
+std::int64_t History::best_epoch() const {
+  std::int64_t best = -1;
+  double bm = -1.0;
+  for (const EpochStats& e : epochs) {
+    if (e.val_metric > bm) {
+      bm = e.val_metric;
+      best = e.epoch;
+    }
+  }
+  return best;
+}
+
+std::int64_t History::epochs_to_reach(double target) const {
+  for (const EpochStats& e : epochs)
+    if (e.val_metric >= target) return e.epoch;
+  return -1;
+}
+
+double History::seconds_to_reach(double target) const {
+  double acc = 0.0;
+  for (const EpochStats& e : epochs) {
+    acc += e.seconds;
+    if (e.val_metric >= target) return acc;
+  }
+  return -1.0;
+}
+
+void History::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  APF_CHECK(f.good(), "History::write_csv: cannot open " << path);
+  f << "epoch,train_loss,val_loss,val_metric,seconds\n";
+  for (const EpochStats& e : epochs) {
+    f << e.epoch << "," << e.train_loss << "," << e.val_loss << ","
+      << e.val_metric << "," << e.seconds << "\n";
+  }
+}
+
+History Trainer::fit(Task& task, const std::vector<std::int64_t>& train_idx,
+                     const std::vector<std::int64_t>& val_idx) const {
+  using Clock = std::chrono::steady_clock;
+  Rng rng(cfg_.seed);
+
+  nn::AdamW opt(task.model().parameters(), cfg_.lr, 0.9f, 0.999f, 1e-8f,
+                cfg_.weight_decay);
+  nn::StepLr sched(opt, cfg_.lr_milestones, cfg_.lr_gamma);
+  data::BatchSampler sampler(train_idx, cfg_.batch_size, cfg_.seed ^ 0xabcd);
+
+  // Best-checkpoint scratch file (unique per trainer instance).
+  const std::string best_path =
+      (std::filesystem::temp_directory_path() /
+       ("apf_best_" + std::to_string(reinterpret_cast<std::uintptr_t>(&task)) +
+        "_" + std::to_string(cfg_.seed) + ".ckpt"))
+          .string();
+  double best_metric = -1.0;
+
+  History hist;
+  const auto params = task.model().parameters();
+  for (std::int64_t epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    sched.on_epoch(epoch);
+    task.model().set_training(true);
+    const auto t0 = Clock::now();
+    double loss_acc = 0.0;
+    std::int64_t n_batches = 0;
+    for (const auto& batch : sampler.epoch_batches(epoch)) {
+      opt.zero_grad();
+      Var loss = task.loss(batch, rng);
+      loss.backward();
+      if (cfg_.grad_clip > 0.f) nn::clip_grad_norm(params, cfg_.grad_clip);
+      opt.step();
+      loss_acc += loss.val()[0];
+      ++n_batches;
+    }
+    const double train_secs =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    EpochStats st;
+    st.epoch = epoch;
+    st.train_loss = n_batches ? loss_acc / n_batches : 0.0;
+    st.seconds = train_secs;
+    if (!val_idx.empty() &&
+        (epoch % cfg_.eval_every == 0 || epoch == cfg_.epochs - 1)) {
+      st.val_loss = task.eval_loss(val_idx, rng);
+      st.val_metric = task.metric(val_idx);
+      if (cfg_.restore_best && st.val_metric > best_metric) {
+        best_metric = st.val_metric;
+        nn::save_parameters(task.model(), best_path);
+      }
+    } else if (!hist.epochs.empty()) {
+      st.val_loss = hist.epochs.back().val_loss;
+      st.val_metric = hist.epochs.back().val_metric;
+    }
+    hist.total_seconds += train_secs;
+    if (cfg_.verbose) {
+      std::printf("  epoch %3lld  train %.4f  val %.4f  metric %.4f  %.2fs\n",
+                  static_cast<long long>(epoch), st.train_loss, st.val_loss,
+                  st.val_metric, st.seconds);
+      std::fflush(stdout);
+    }
+    hist.epochs.push_back(st);
+  }
+  if (cfg_.restore_best && best_metric >= 0.0 &&
+      std::filesystem::exists(best_path)) {
+    nn::load_parameters(task.model(), best_path);
+    std::filesystem::remove(best_path);
+  }
+  return hist;
+}
+
+void allreduce_gradients(dist::Comm& comm, const std::vector<Var>& params) {
+  for (const Var& p : params) {
+    Var& mp = const_cast<Var&>(p);
+    comm.allreduce_mean(mp.grad().data(), mp.grad().numel());
+  }
+}
+
+}  // namespace apf::train

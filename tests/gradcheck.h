@@ -1,0 +1,47 @@
+#pragma once
+// Numeric gradient checking against central differences. Every
+// differentiable op in the library is validated through this harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/autograd.h"
+
+namespace apf::test {
+
+/// Checks d loss / d param for every element of every listed parameter.
+/// build_loss must rebuild the graph from the current parameter values and
+/// return a scalar Var. Tolerances are loose-ish because the library is
+/// float32 and the check is O(eps^2) central differencing.
+inline void expect_gradients_close(
+    const std::function<Var()>& build_loss, std::vector<Var> params,
+    float eps = 5e-3f, float rel_tol = 4e-2f, float abs_tol = 2e-3f) {
+  // Analytic pass.
+  for (Var& p : params) p.zero_grad();
+  Var loss = build_loss();
+  ASSERT_EQ(loss.numel(), 1) << "gradcheck: loss must be scalar";
+  loss.backward();
+
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Var& p = params[pi];
+    Tensor analytic = p.grad().clone();
+    float* w = p.val_mut().data();
+    for (std::int64_t i = 0; i < p.numel(); ++i) {
+      const float orig = w[i];
+      w[i] = orig + eps;
+      const float lp = build_loss().val()[0];
+      w[i] = orig - eps;
+      const float lm = build_loss().val()[0];
+      w[i] = orig;
+      const float numeric = (lp - lm) / (2.f * eps);
+      const float a = analytic[i];
+      const float denom = std::max({std::fabs(numeric), std::fabs(a), 1e-4f});
+      EXPECT_NEAR(a, numeric, std::max(abs_tol, rel_tol * denom))
+          << "param " << pi << " element " << i;
+    }
+  }
+}
+
+}  // namespace apf::test

@@ -1,0 +1,280 @@
+// Gradient correctness: every differentiable op is checked against central
+// differences, plus tape-mechanics tests (accumulation, reuse, NoGrad).
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace apf {
+namespace {
+
+using test::expect_gradients_close;
+
+Var make_param(Shape s, std::uint64_t seed, float scale = 1.f) {
+  Rng rng(seed);
+  return Var::param(Tensor::randn(std::move(s), rng, 0.f, scale));
+}
+
+TEST(Autograd, AddGrad) {
+  Var a = make_param({2, 3}, 1);
+  Var b = make_param({2, 3}, 2);
+  expect_gradients_close([&] { return ag::sum(ag::add(a, b)); }, {a, b});
+}
+
+TEST(Autograd, SubGrad) {
+  Var a = make_param({2, 3}, 3);
+  Var b = make_param({2, 3}, 4);
+  expect_gradients_close([&] { return ag::sum(ag::sub(a, b)); }, {a, b});
+}
+
+TEST(Autograd, MulGrad) {
+  Var a = make_param({2, 3}, 5);
+  Var b = make_param({2, 3}, 6);
+  expect_gradients_close([&] { return ag::mean(ag::mul(a, b)); }, {a, b});
+}
+
+TEST(Autograd, ScaleAndAddScalar) {
+  Var a = make_param({4}, 7);
+  expect_gradients_close(
+      [&] { return ag::sum(ag::add_scalar(ag::scale(a, 2.5f), 1.f)); }, {a});
+}
+
+TEST(Autograd, AddBiasGrad) {
+  Var x = make_param({3, 4}, 8);
+  Var b = make_param({4}, 9);
+  expect_gradients_close(
+      [&] { return ag::mean(ag::mul(ag::add_bias(x, b), ag::add_bias(x, b))); },
+      {x, b});
+}
+
+TEST(Autograd, MatmulGradAllTransposeCombos) {
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      Var a = make_param(ta ? Shape{4, 3} : Shape{3, 4}, 10 + ta);
+      Var b = make_param(tb ? Shape{5, 4} : Shape{4, 5}, 20 + tb);
+      expect_gradients_close(
+          [&] {
+            Var c = ag::matmul(a, b, ta, tb);
+            return ag::mean(ag::mul(c, c));
+          },
+          {a, b});
+    }
+  }
+}
+
+TEST(Autograd, BmmGrad) {
+  Var a = make_param({2, 3, 4}, 30);
+  Var b = make_param({2, 4, 2}, 31);
+  expect_gradients_close(
+      [&] {
+        Var c = ag::bmm(a, b);
+        return ag::mean(ag::mul(c, c));
+      },
+      {a, b});
+}
+
+TEST(Autograd, BmmTransGrad) {
+  Var a = make_param({2, 4, 3}, 32);
+  Var b = make_param({2, 4, 2}, 33);
+  expect_gradients_close(
+      [&] {
+        Var c = ag::bmm(a, b, true, false);
+        return ag::mean(ag::mul(c, c));
+      },
+      {a, b});
+}
+
+TEST(Autograd, ReluGrad) {
+  Var a = make_param({3, 3}, 40);
+  expect_gradients_close([&] { return ag::sum(ag::relu(a)); }, {a});
+}
+
+TEST(Autograd, GeluGrad) {
+  Var a = make_param({3, 3}, 41);
+  expect_gradients_close([&] { return ag::sum(ag::gelu(a)); }, {a});
+}
+
+TEST(Autograd, SigmoidTanhGrad) {
+  Var a = make_param({2, 4}, 42);
+  expect_gradients_close([&] { return ag::sum(ag::sigmoid(a)); }, {a});
+  expect_gradients_close([&] { return ag::sum(ag::tanh(a)); }, {a});
+}
+
+TEST(Autograd, SoftmaxGrad) {
+  Var a = make_param({3, 5}, 43);
+  // Weighted sum so the gradient isn't trivially zero.
+  Rng rng(44);
+  Tensor w = Tensor::randn({3, 5}, rng);
+  expect_gradients_close(
+      [&] { return ag::sum(ag::mul_mask(ag::softmax_lastdim(a), w)); }, {a});
+}
+
+TEST(Autograd, SoftmaxMaskedGrad) {
+  Var a = make_param({2, 4}, 45);  // B=2, N=4
+  Tensor mask = Tensor::from({1, 1, 1, 0, 1, 1, 1, 1}, {2, 4});
+  Rng rng(46);
+  Tensor w = Tensor::randn({2, 4}, rng);
+  expect_gradients_close(
+      [&] { return ag::sum(ag::mul_mask(ag::softmax_lastdim(a, &mask), w)); },
+      {a});
+}
+
+TEST(Autograd, LayerNormGrad) {
+  Var x = make_param({4, 6}, 47);
+  Var g = Var::param(Tensor::ones({6}));
+  Var b = Var::param(Tensor::zeros({6}));
+  Rng rng(48);
+  Tensor w = Tensor::randn({4, 6}, rng);
+  expect_gradients_close(
+      [&] { return ag::sum(ag::mul_mask(ag::layernorm(x, g, b), w)); },
+      {x, g, b}, 5e-3f, 6e-2f, 4e-3f);
+}
+
+TEST(Autograd, ReshapePermuteGrad) {
+  Var a = make_param({2, 3, 4}, 49);
+  expect_gradients_close(
+      [&] {
+        Var r = ag::permute(ag::reshape(a, {6, 4}), {1, 0});
+        return ag::mean(ag::mul(r, r));
+      },
+      {a});
+}
+
+TEST(Autograd, ConcatGrad) {
+  Var a = make_param({2, 3}, 50);
+  Var b = make_param({2, 2}, 51);
+  expect_gradients_close(
+      [&] {
+        Var c = ag::concat({a, b}, 1);
+        return ag::mean(ag::mul(c, c));
+      },
+      {a, b});
+}
+
+TEST(Autograd, SliceGrad) {
+  Var a = make_param({3, 5}, 52);
+  expect_gradients_close(
+      [&] {
+        Var s = ag::slice(a, 1, 1, 3);
+        return ag::mean(ag::mul(s, s));
+      },
+      {a});
+}
+
+TEST(Autograd, MeanGrad) {
+  Var a = make_param({7}, 53);
+  expect_gradients_close([&] { return ag::mean(ag::mul(a, a)); }, {a});
+}
+
+TEST(Autograd, BceWithLogitsGrad) {
+  Var z = make_param({2, 5}, 54);
+  Tensor t = Tensor::from({1, 0, 1, 0, 1, 0, 0, 1, 1, 0}, {2, 5});
+  expect_gradients_close([&] { return ag::bce_with_logits_mean(z, t); }, {z});
+}
+
+TEST(Autograd, BinaryDiceGrad) {
+  Var z = make_param({12}, 55);
+  Tensor t = Tensor::from({1, 0, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1}, {12});
+  expect_gradients_close([&] { return ag::binary_dice_loss(z, t); }, {z});
+}
+
+TEST(Autograd, CombinedSegLossGrad) {
+  Var z = make_param({8}, 56);
+  Tensor t = Tensor::from({1, 0, 1, 0, 1, 0, 0, 1}, {8});
+  expect_gradients_close([&] { return ag::combined_seg_loss(z, t, 0.5f); },
+                         {z});
+}
+
+TEST(Autograd, CrossEntropyGrad) {
+  Var z = make_param({4, 3}, 57);
+  std::vector<std::int64_t> labels{0, 2, 1, 2};
+  expect_gradients_close([&] { return ag::cross_entropy_mean(z, labels); },
+                         {z});
+}
+
+TEST(Autograd, MulticlassDiceGrad) {
+  Var z = make_param({10, 3}, 58);
+  std::vector<std::int64_t> labels{0, 1, 2, 1, 0, 2, 2, 1, 0, 1};
+  expect_gradients_close(
+      [&] { return ag::multiclass_dice_loss(z, labels, true); }, {z});
+  expect_gradients_close(
+      [&] { return ag::multiclass_dice_loss(z, labels, false); }, {z});
+}
+
+// ------------------------------------------------------------ tape mechanics
+
+TEST(Autograd, GradAccumulatesAcrossBackwards) {
+  Var a = Var::param(Tensor::ones({3}));
+  Var l1 = ag::sum(a);
+  l1.backward();
+  Var l2 = ag::sum(a);
+  l2.backward();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 2.f);
+}
+
+TEST(Autograd, ZeroGradResets) {
+  Var a = Var::param(Tensor::ones({3}));
+  ag::sum(a).backward();
+  a.zero_grad();
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.grad()[i], 0.f);
+}
+
+TEST(Autograd, ReusedNodeGetsSummedGradient) {
+  // loss = sum(a + a) => dloss/da = 2.
+  Var a = Var::param(Tensor::ones({2}));
+  ag::sum(ag::add(a, a)).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.f);
+}
+
+TEST(Autograd, DiamondGraph) {
+  // b = 2a; c = 3a; loss = sum(b * c) = sum(6 a^2) => grad = 12 a.
+  Var a = Var::param(Tensor::from({2.f}, {1}));
+  ag::sum(ag::mul(ag::scale(a, 2.f), ag::scale(a, 3.f))).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 24.f);
+}
+
+TEST(Autograd, NoGradGuardDetaches) {
+  Var a = Var::param(Tensor::ones({2}));
+  {
+    NoGradGuard guard;
+    Var l = ag::sum(a);
+    EXPECT_FALSE(l.requires_grad());
+  }
+  Var l2 = ag::sum(a);
+  EXPECT_TRUE(l2.requires_grad());
+}
+
+TEST(Autograd, ConstantHasNoGrad) {
+  Var c = Var::constant(Tensor::ones({2}));
+  Var l = ag::sum(c);
+  EXPECT_FALSE(l.requires_grad());
+  l.backward(Tensor::ones({1}));  // no-op, must not crash
+}
+
+TEST(Autograd, DropoutEvalIsIdentity) {
+  Var a = Var::param(Tensor::ones({100}));
+  Rng rng(1);
+  Var y = ag::dropout(a, 0.5f, rng, /*training=*/false);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(y.val()[i], 1.f);
+}
+
+TEST(Autograd, DropoutTrainKeepsExpectation) {
+  Var a = Var::param(Tensor::ones({20000}));
+  Rng rng(2);
+  Var y = ag::dropout(a, 0.3f, rng, true);
+  EXPECT_NEAR(ops::mean_all(y.val()), 1.0, 0.03);
+  // Gradient equals the applied mask.
+  ag::sum(y).backward();
+  for (std::int64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(a.grad()[i] == 0.f, y.val()[i] == 0.f);
+}
+
+TEST(Autograd, BackwardShapeMismatchThrows) {
+  Var a = Var::param(Tensor::ones({2, 2}));
+  Var l = ag::scale(a, 2.f);
+  EXPECT_THROW(l.backward(Tensor::ones({3})), detail::CheckError);
+}
+
+}  // namespace
+}  // namespace apf

@@ -1,0 +1,320 @@
+// Core APF pipeline tests: adaptive/uniform patchers, pad/drop, batching,
+// positional encoding, differentiable scatter-to-grid, and the headline
+// sequence-length reduction property.
+
+#include <gtest/gtest.h>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "core/posenc.h"
+#include "core/scatter.h"
+#include "core/visualize.h"
+#include "data/synthetic.h"
+#include "gradcheck.h"
+#include "tensor/ops.h"
+
+namespace apf::core {
+namespace {
+
+img::Image test_image(std::int64_t z, std::uint64_t seed = 3) {
+  data::PaipConfig pc;
+  pc.resolution = z;
+  pc.seed = seed;
+  return data::SyntheticPaip(pc).sample(0).image;
+}
+
+TEST(ApfConfig, ResolutionScheduleMatchesPaper) {
+  EXPECT_EQ(ApfConfig::for_resolution(512).gaussian_ksize, 3);
+  EXPECT_EQ(ApfConfig::for_resolution(512).max_depth, 9);
+  EXPECT_EQ(ApfConfig::for_resolution(4096).gaussian_ksize, 5);
+  EXPECT_EQ(ApfConfig::for_resolution(4096).max_depth, 12);
+  EXPECT_EQ(ApfConfig::for_resolution(65536).gaussian_ksize, 13);
+  EXPECT_EQ(ApfConfig::for_resolution(65536).max_depth, 16);
+  // Between table rows: use the largest row <= z.
+  EXPECT_EQ(ApfConfig::for_resolution(2048).max_depth, 10);
+}
+
+TEST(UniformPatcher, CountAndOrder) {
+  img::Image im(16, 16, 1);
+  im.at(0, 5) = 1.f;  // marks patch (0, 1) for p=4
+  UniformPatcher up(4);
+  PatchSequence seq = up.process(im);
+  EXPECT_EQ(seq.length(), 16);
+  EXPECT_EQ(seq.tokens.size(1), 16);  // 1 channel * 4 * 4
+  // Token 1 covers columns [4, 8) of row band [0, 4): contains the pixel.
+  EXPECT_EQ(seq.meta[1].x, 4);
+  EXPECT_EQ(seq.meta[1].y, 0);
+  float s = 0;
+  for (std::int64_t j = 0; j < 16; ++j) s += seq.tokens.at({1, j});
+  EXPECT_FLOAT_EQ(s, 1.f);
+}
+
+TEST(UniformPatcher, RejectsIndivisiblePatch) {
+  img::Image im(16, 16, 1);
+  EXPECT_THROW(UniformPatcher(5).process(im), detail::CheckError);
+}
+
+TEST(AdaptivePatcher, ProducesFewerTokensThanUniform) {
+  // The headline claim (Fig. 1): adaptive patching cuts sequence length by
+  // ~an order of magnitude on pathology-like images.
+  const std::int64_t z = 256;
+  img::Image im = test_image(z);
+  ApfConfig cfg = ApfConfig::for_resolution(z);
+  cfg.split_value = 20;
+  cfg.patch_size = 4;
+  cfg.min_patch = 4;
+  AdaptivePatcher ap(cfg);
+  PatchSequence aseq = ap.process(im);
+  const std::int64_t uniform_len = (z / 4) * (z / 4);
+  EXPECT_LT(aseq.length(), uniform_len / 4);
+  EXPECT_GT(aseq.length(), 4);
+}
+
+TEST(AdaptivePatcher, Deterministic) {
+  img::Image im = test_image(128);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  AdaptivePatcher ap(cfg);
+  PatchSequence a = ap.process(im);
+  PatchSequence b = ap.process(im);
+  ASSERT_EQ(a.length(), b.length());
+  for (std::int64_t i = 0; i < a.tokens.numel(); ++i)
+    EXPECT_EQ(a.tokens[i], b.tokens[i]);
+}
+
+TEST(AdaptivePatcher, TokensAreResampledLeafContent) {
+  // A flat image yields one leaf; its token must equal the downsampled
+  // image, i.e. constant values.
+  img::Image im(64, 64, 1);
+  im.fill(0.5f);
+  ApfConfig cfg;
+  cfg.patch_size = 8;
+  AdaptivePatcher ap(cfg);
+  PatchSequence seq = ap.process(im);
+  ASSERT_EQ(seq.length(), 1);
+  for (std::int64_t j = 0; j < seq.tokens.size(1); ++j)
+    EXPECT_NEAR(seq.tokens.at({0, j}), 0.5f, 1e-5);
+  EXPECT_EQ(seq.meta[0].size, 64);
+  EXPECT_TRUE(seq.meta[0].valid);
+}
+
+TEST(AdaptivePatcher, MetaCoversImageExactly) {
+  img::Image im = test_image(128);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  AdaptivePatcher ap(cfg);
+  PatchSequence seq = ap.process(im);
+  std::int64_t area = 0;
+  for (const PatchToken& t : seq.meta) area += t.size * t.size;
+  EXPECT_EQ(area, 128 * 128);
+}
+
+TEST(FitToLength, PadsWithMaskedZeroTokens) {
+  img::Image im(32, 32, 1);
+  im.fill(0.3f);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  cfg.seq_len = 8;
+  AdaptivePatcher ap(cfg);
+  PatchSequence seq = ap.process(im);
+  ASSERT_EQ(seq.length(), 8);
+  EXPECT_EQ(seq.num_valid(), 1);
+  EXPECT_EQ(seq.mask[0], 1.f);
+  for (std::int64_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(seq.mask[i], 0.f);
+    EXPECT_FALSE(seq.meta[static_cast<std::size_t>(i)].valid);
+    for (std::int64_t j = 0; j < seq.tokens.size(1); ++j)
+      EXPECT_EQ(seq.tokens.at({i, j}), 0.f);
+  }
+}
+
+TEST(FitToLength, DropCoarsestKeepsFineTokens) {
+  img::Image im = test_image(128);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  AdaptivePatcher ap(cfg);
+  PatchSequence full = ap.process(im);
+  ASSERT_GT(full.length(), 16);
+  PatchSequence cut = fit_to_length(full, 16, /*drop_coarsest_first=*/true,
+                                    nullptr);
+  ASSERT_EQ(cut.length(), 16);
+  // Survivors must be the 16 smallest sizes (up to ties).
+  std::int64_t max_kept = 0;
+  for (const PatchToken& t : cut.meta) max_kept = std::max(max_kept, t.size);
+  std::int64_t smaller_dropped = 0;
+  for (const PatchToken& t : full.meta)
+    if (t.size < max_kept) ++smaller_dropped;
+  EXPECT_LE(smaller_dropped, 16);
+}
+
+TEST(FitToLength, RandomDropKeepsMortonOrder) {
+  img::Image im = test_image(128);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  AdaptivePatcher ap(cfg);
+  PatchSequence full = ap.process(im);
+  Rng rng(9);
+  PatchSequence cut = fit_to_length(full, 20, false, &rng);
+  ASSERT_EQ(cut.length(), 20);
+  for (std::size_t i = 1; i < cut.meta.size(); ++i) {
+    const std::uint64_t prev = qt::morton_encode(
+        static_cast<std::uint32_t>(cut.meta[i - 1].x),
+        static_cast<std::uint32_t>(cut.meta[i - 1].y));
+    const std::uint64_t cur =
+        qt::morton_encode(static_cast<std::uint32_t>(cut.meta[i].x),
+                          static_cast<std::uint32_t>(cut.meta[i].y));
+    EXPECT_LT(prev, cur);
+  }
+}
+
+TEST(MakeBatch, StacksAndValidates) {
+  img::Image im(32, 32, 1);
+  im.fill(0.3f);
+  ApfConfig cfg;
+  cfg.patch_size = 4;
+  cfg.seq_len = 8;
+  AdaptivePatcher ap(cfg);
+  PatchSequence a = ap.process(im);
+  im.at(0, 0) = 1.f;
+  PatchSequence b = ap.process(im);
+  b = fit_to_length(b, 8, true, nullptr);
+  TokenBatch tb = make_batch({a, b});
+  EXPECT_EQ(tb.batch(), 2);
+  EXPECT_EQ(tb.length(), 8);
+  EXPECT_EQ(tb.meta.size(), 2u);
+}
+
+TEST(PosEnc, PaddingRowsAreZero) {
+  std::vector<PatchToken> meta(4);
+  meta[0] = {0, 0, 16, 2, true};
+  // meta[1..3] invalid (padding).
+  Tensor pe = sincos_position(meta, 64, 16);
+  ASSERT_EQ(pe.shape(), (Shape{4, 16}));
+  for (std::int64_t j = 0; j < 16; ++j) {
+    EXPECT_EQ(pe.at({1, j}), 0.f);
+  }
+  // Valid row is non-zero (cos(0) terms).
+  float mag = 0;
+  for (std::int64_t j = 0; j < 16; ++j) mag += std::abs(pe.at({0, j}));
+  EXPECT_GT(mag, 0.1f);
+}
+
+TEST(PosEnc, DistinguishesPositions) {
+  std::vector<PatchToken> meta(2);
+  meta[0] = {0, 0, 4, 3, true};
+  meta[1] = {32, 48, 4, 3, true};
+  Tensor pe = sincos_position(meta, 64, 32);
+  float diff = 0;
+  for (std::int64_t j = 0; j < 32; ++j)
+    diff += std::abs(pe.at({0, j}) - pe.at({1, j}));
+  EXPECT_GT(diff, 0.5f);
+}
+
+TEST(PosEnc, DepthIndices) {
+  std::vector<PatchToken> meta(3);
+  meta[0] = {0, 0, 16, 2, true};
+  meta[1] = {0, 0, 4, 4, true};
+  meta[2] = {0, 0, 0, 0, false};
+  auto d = depth_indices(meta);
+  EXPECT_EQ(d[0], 2);
+  EXPECT_EQ(d[1], 4);
+  EXPECT_EQ(d[2], 0);
+}
+
+// ---------------------------------------------------------------- scatter
+
+TEST(Scatter, UniformTokensFormIdentityGrid) {
+  // 4 uniform tokens on a 2x2 grid: each cell gets its token's embedding.
+  std::vector<PatchToken> meta(4);
+  meta[0] = {0, 0, 8, 1, true};
+  meta[1] = {0, 8, 8, 1, true};
+  meta[2] = {8, 0, 8, 1, true};
+  meta[3] = {8, 8, 8, 1, true};
+  GridScatterPlan plan(meta, 16, 2);
+  EXPECT_DOUBLE_EQ(plan.coverage(), 1.0);
+  Tensor tok = Tensor::from({1, 2, 3, 4}, {4, 1});
+  Var out = plan.scatter(Var::constant(tok));
+  ASSERT_EQ(out.shape(), (Shape{1, 2, 2}));
+  // Morton/token order: (0,0), (0,8)=NE, (8,0)=SW, (8,8).
+  EXPECT_FLOAT_EQ(out.val().at({0, 0, 0}), 1.f);
+  EXPECT_FLOAT_EQ(out.val().at({0, 0, 1}), 2.f);
+  EXPECT_FLOAT_EQ(out.val().at({0, 1, 0}), 3.f);
+  EXPECT_FLOAT_EQ(out.val().at({0, 1, 1}), 4.f);
+}
+
+TEST(Scatter, CoarseTokenPaintsItsFootprint) {
+  // One token covering the whole 16px image on a 4x4 grid.
+  std::vector<PatchToken> meta(1);
+  meta[0] = {0, 0, 16, 0, true};
+  GridScatterPlan plan(meta, 16, 4);
+  Tensor tok = Tensor::from({5.f}, {1, 1});
+  Var out = plan.scatter(Var::constant(tok));
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_FLOAT_EQ(out.val()[i], 5.f);
+}
+
+TEST(Scatter, FineTokensAverageWithinCell) {
+  // Four 4px tokens inside one 8px cell: cell = mean of the four.
+  std::vector<PatchToken> meta(4);
+  meta[0] = {0, 0, 4, 2, true};
+  meta[1] = {0, 4, 4, 2, true};
+  meta[2] = {4, 0, 4, 2, true};
+  meta[3] = {4, 4, 4, 2, true};
+  GridScatterPlan plan(meta, 8, 1);
+  Tensor tok = Tensor::from({1, 2, 3, 6}, {4, 1});
+  Var out = plan.scatter(Var::constant(tok));
+  EXPECT_FLOAT_EQ(out.val()[0], 3.f);
+}
+
+TEST(Scatter, DroppedTokensLeaveZeroCells) {
+  std::vector<PatchToken> meta(2);
+  meta[0] = {0, 0, 8, 1, true};
+  meta[1] = {0, 0, 0, 0, false};  // padding
+  GridScatterPlan plan(meta, 16, 2);
+  EXPECT_DOUBLE_EQ(plan.coverage(), 0.25);
+  Tensor tok = Tensor::from({7.f, 9.f}, {2, 1});
+  Var out = plan.scatter(Var::constant(tok));
+  EXPECT_FLOAT_EQ(out.val().at({0, 0, 0}), 7.f);
+  EXPECT_FLOAT_EQ(out.val().at({0, 1, 1}), 0.f);
+}
+
+TEST(Scatter, GradientMatchesNumeric) {
+  std::vector<PatchToken> meta(3);
+  meta[0] = {0, 0, 8, 1, true};   // covers 4 cells on a 4x4 grid of 16px img
+  meta[1] = {8, 0, 4, 2, true};   // 1 cell
+  meta[2] = {8, 4, 4, 2, true};   // 1 cell
+  GridScatterPlan plan(meta, 16, 4);
+  Rng rng(12);
+  Var tokens = Var::param(Tensor::randn({3, 2}, rng));
+  Tensor w = Tensor::randn({2, 4, 4}, rng);
+  test::expect_gradients_close(
+      [&] { return ag::sum(ag::mul_mask(plan.scatter(tokens), w)); },
+      {tokens});
+}
+
+TEST(Visualize, PartitionOverlayDrawsLines) {
+  img::Image im(64, 64, 1);
+  im.at(3, 3) = 1.f;
+  qt::QuadtreeConfig qc;
+  qc.split_value = 0.5;
+  qc.max_depth = 3;
+  qt::Quadtree tree(im, qc);
+  img::Image vis = render_partition(im, tree, 1.f);
+  EXPECT_EQ(vis.at(0, 10), 1.f);   // top border of root
+  EXPECT_EQ(vis.at(10, 0), 1.f);
+}
+
+TEST(Visualize, MaskComparisonPanels) {
+  img::Image im(8, 8, 1);
+  img::Image truth(8, 8, 1);
+  img::Image pred(8, 8, 1);
+  truth.at(2, 2) = 1.f;
+  pred.at(3, 3) = 1.f;
+  img::Image cmp = render_mask_comparison(im, truth, pred);
+  EXPECT_EQ(cmp.w, 24);
+  EXPECT_EQ(cmp.at(2, 8 + 2, 0), 1.f);   // truth panel
+  EXPECT_EQ(cmp.at(3, 16 + 3, 0), 1.f);  // prediction (false positive = red)
+  EXPECT_EQ(cmp.at(3, 16 + 3, 1), 0.f);
+}
+
+}  // namespace
+}  // namespace apf::core

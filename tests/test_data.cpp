@@ -1,0 +1,208 @@
+// Synthetic dataset tests: determinism, mask consistency, class structure,
+// split disjointness, and batch sampling.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "img/filters.h"
+
+namespace apf::data {
+namespace {
+
+TEST(SyntheticPaip, Deterministic) {
+  PaipConfig cfg;
+  cfg.resolution = 64;
+  SyntheticPaip gen(cfg);
+  SegSample a = gen.sample(5);
+  SegSample b = gen.sample(5);
+  for (std::size_t i = 0; i < a.image.data.size(); ++i)
+    EXPECT_EQ(a.image.data[i], b.image.data[i]);
+  for (std::size_t i = 0; i < a.mask.data.size(); ++i)
+    EXPECT_EQ(a.mask.data[i], b.mask.data[i]);
+}
+
+TEST(SyntheticPaip, DistinctIndicesDiffer) {
+  PaipConfig cfg;
+  cfg.resolution = 64;
+  SyntheticPaip gen(cfg);
+  SegSample a = gen.sample(0);
+  SegSample b = gen.sample(1);
+  double diff = 0;
+  for (std::size_t i = 0; i < a.image.data.size(); ++i)
+    diff += std::abs(a.image.data[i] - b.image.data[i]);
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(SyntheticPaip, MaskIsBinaryAndNonTrivial) {
+  PaipConfig cfg;
+  cfg.resolution = 96;
+  SyntheticPaip gen(cfg);
+  for (std::int64_t ix = 0; ix < 4; ++ix) {
+    SegSample s = gen.sample(ix);
+    double area = 0;
+    for (float v : s.mask.data) {
+      EXPECT_TRUE(v == 0.f || v == 1.f);
+      area += v;
+    }
+    const double frac = area / static_cast<double>(s.mask.numel());
+    EXPECT_GT(frac, 0.005) << "index " << ix;
+    EXPECT_LT(frac, 0.7) << "index " << ix;
+  }
+}
+
+TEST(SyntheticPaip, TumorIsDarkerThanTissue) {
+  PaipConfig cfg;
+  cfg.resolution = 96;
+  SyntheticPaip gen(cfg);
+  SegSample s = gen.sample(2);
+  double in_sum = 0, out_sum = 0;
+  std::int64_t in_n = 0, out_n = 0;
+  for (std::int64_t y = 0; y < 96; ++y)
+    for (std::int64_t x = 0; x < 96; ++x) {
+      const float g = (s.image.at(y, x, 0) + s.image.at(y, x, 1) +
+                       s.image.at(y, x, 2)) / 3.f;
+      if (s.mask.at(y, x) > 0.5f) {
+        in_sum += g;
+        ++in_n;
+      } else {
+        out_sum += g;
+        ++out_n;
+      }
+    }
+  EXPECT_LT(in_sum / in_n, out_sum / out_n);
+}
+
+TEST(SyntheticPaip, EdgesAreSparse) {
+  // The premise of APF: edge pixels are a small fraction of the image.
+  PaipConfig cfg;
+  cfg.resolution = 128;
+  SyntheticPaip gen(cfg);
+  img::Image gray = img::to_gray(gen.sample(0).image);
+  img::Image edges = img::canny(img::gaussian_blur(gray, 3), 100, 200);
+  double frac = 0;
+  for (float v : edges.data) frac += v;
+  frac /= static_cast<double>(edges.numel());
+  EXPECT_LT(frac, 0.15);
+  EXPECT_GT(frac, 0.001);
+}
+
+TEST(SyntheticBtcv, MaskClassesInRange) {
+  BtcvConfig cfg;
+  cfg.resolution = 96;
+  SyntheticBtcv gen(cfg);
+  SegSample s = gen.sample(0);
+  std::set<int> seen;
+  for (float v : s.mask.data) {
+    const int c = static_cast<int>(std::lround(v));
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, SyntheticBtcv::kNumClasses);
+    seen.insert(c);
+  }
+  // All 13 organs plus background should appear at this resolution.
+  EXPECT_GE(static_cast<int>(seen.size()), 12);
+}
+
+TEST(SyntheticBtcv, Deterministic) {
+  BtcvConfig cfg;
+  cfg.resolution = 64;
+  SyntheticBtcv gen(cfg);
+  SegSample a = gen.sample(3);
+  SegSample b = gen.sample(3);
+  for (std::size_t i = 0; i < a.image.data.size(); ++i)
+    EXPECT_EQ(a.image.data[i], b.image.data[i]);
+}
+
+TEST(SyntheticBtcv, OrgansBrighterThanBackground) {
+  BtcvConfig cfg;
+  cfg.resolution = 96;
+  SyntheticBtcv gen(cfg);
+  SegSample s = gen.sample(1);
+  double organ = 0, bg = 0;
+  std::int64_t n_organ = 0, n_bg = 0;
+  for (std::int64_t i = 0; i < s.mask.numel(); ++i) {
+    if (s.mask.data[static_cast<std::size_t>(i)] > 0.5f) {
+      organ += s.image.data[static_cast<std::size_t>(i)];
+      ++n_organ;
+    } else {
+      bg += s.image.data[static_cast<std::size_t>(i)];
+      ++n_bg;
+    }
+  }
+  EXPECT_GT(organ / n_organ, bg / n_bg);
+}
+
+TEST(PaipClassification, LabelsCycleAndDeterministic) {
+  PaipClsConfig cfg;
+  cfg.resolution = 64;
+  PaipClassification gen(cfg);
+  for (std::int64_t i = 0; i < 12; ++i)
+    EXPECT_EQ(gen.sample(i).label, i % PaipClassification::kNumClasses);
+  ClsSample a = gen.sample(7);
+  ClsSample b = gen.sample(7);
+  for (std::size_t i = 0; i < a.image.data.size(); ++i)
+    EXPECT_EQ(a.image.data[i], b.image.data[i]);
+}
+
+TEST(Splits, DisjointAndComplete) {
+  SplitIndices s = make_splits(100, 0.7, 0.1, 11);
+  EXPECT_EQ(s.train.size(), 70u);
+  EXPECT_EQ(s.val.size(), 10u);
+  EXPECT_EQ(s.test.size(), 20u);
+  std::set<std::int64_t> all;
+  for (auto v : s.train) all.insert(v);
+  for (auto v : s.val) all.insert(v);
+  for (auto v : s.test) all.insert(v);
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(Splits, SeedChangesShuffle) {
+  SplitIndices a = make_splits(50, 0.5, 0.2, 1);
+  SplitIndices b = make_splits(50, 0.5, 0.2, 2);
+  EXPECT_NE(a.train, b.train);
+}
+
+TEST(BatchSampler, CoversAllIndicesEachEpoch) {
+  BatchSampler sampler({0, 1, 2, 3, 4, 5, 6}, 3, 99);
+  EXPECT_EQ(sampler.num_batches(), 3);
+  auto batches = sampler.epoch_batches(0);
+  std::set<std::int64_t> seen;
+  for (const auto& b : batches)
+    for (auto v : b) seen.insert(v);
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(batches.back().size(), 1u);  // 3 + 3 + 1
+}
+
+TEST(BatchSampler, EpochsShuffleDifferently) {
+  BatchSampler sampler({0, 1, 2, 3, 4, 5, 6, 7}, 8, 5);
+  auto e0 = sampler.epoch_batches(0)[0];
+  auto e1 = sampler.epoch_batches(1)[0];
+  EXPECT_NE(e0, e1);
+  // Same epoch is reproducible.
+  EXPECT_EQ(e0, sampler.epoch_batches(0)[0]);
+}
+
+TEST(Targets, BinaryTargetThresholds) {
+  img::Image m(2, 2, 1);
+  m.at(0, 0) = 0.9f;
+  m.at(1, 1) = 0.2f;
+  Tensor t = binary_target(m);
+  EXPECT_EQ(t[0], 1.f);
+  EXPECT_EQ(t[3], 0.f);
+}
+
+TEST(Targets, LabelTargetRounds) {
+  img::Image m(1, 3, 1);
+  m.at(0, 0) = 0.f;
+  m.at(0, 1) = 7.f;
+  m.at(0, 2) = 13.f;
+  auto labels = label_target(m);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 7);
+  EXPECT_EQ(labels[2], 13);
+}
+
+}  // namespace
+}  // namespace apf::data

@@ -1,0 +1,175 @@
+// Distributed substrate tests: communicator collectives (correctness,
+// determinism, concurrency) and the Frontier performance model.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "dist/comm.h"
+#include "dist/perf_model.h"
+
+namespace apf::dist {
+namespace {
+
+TEST(Comm, BarrierSynchronizes) {
+  std::atomic<int> counter{0};
+  run_parallel(4, [&](Comm& comm) {
+    counter.fetch_add(1);
+    comm.barrier();
+    // After the barrier every rank must see all increments.
+    EXPECT_EQ(counter.load(), 4);
+  });
+}
+
+TEST(Comm, AllreduceSumsAcrossRanks) {
+  constexpr int kRanks = 4;
+  constexpr std::int64_t kN = 1000;
+  run_parallel(kRanks, [&](Comm& comm) {
+    std::vector<float> data(kN);
+    for (std::int64_t i = 0; i < kN; ++i)
+      data[static_cast<std::size_t>(i)] =
+          static_cast<float>(comm.rank() + 1) * 0.5f +
+          static_cast<float>(i % 7);
+    comm.allreduce_sum(data.data(), kN);
+    for (std::int64_t i = 0; i < kN; ++i) {
+      const float want = (1 + 2 + 3 + 4) * 0.5f +
+                         kRanks * static_cast<float>(i % 7);
+      EXPECT_NEAR(data[static_cast<std::size_t>(i)], want, 1e-4);
+    }
+  });
+}
+
+TEST(Comm, AllreduceMeanAverages) {
+  run_parallel(3, [&](Comm& comm) {
+    float v = static_cast<float>(comm.rank());  // 0, 1, 2
+    comm.allreduce_mean(&v, 1);
+    EXPECT_NEAR(v, 1.f, 1e-6);
+  });
+}
+
+TEST(Comm, AllreduceSingleRankIsNoop) {
+  run_parallel(1, [&](Comm& comm) {
+    float v = 3.5f;
+    comm.allreduce_sum(&v, 1);
+    EXPECT_EQ(v, 3.5f);
+  });
+}
+
+TEST(Comm, RepeatedAllreducesStayConsistent) {
+  run_parallel(4, [&](Comm& comm) {
+    for (int round = 0; round < 20; ++round) {
+      float v = static_cast<float>(comm.rank() + round);
+      comm.allreduce_sum(&v, 1);
+      const float want = static_cast<float>(0 + 1 + 2 + 3 + 4 * round);
+      EXPECT_EQ(v, want);
+    }
+  });
+}
+
+TEST(Comm, BroadcastFromRoot) {
+  run_parallel(4, [&](Comm& comm) {
+    std::vector<float> data(8, static_cast<float>(comm.rank()));
+    comm.broadcast(data.data(), 8, /*root=*/2);
+    for (float v : data) EXPECT_EQ(v, 2.f);
+  });
+}
+
+TEST(Comm, AllreduceScalarAndAllgather) {
+  run_parallel(3, [&](Comm& comm) {
+    const double sum = comm.allreduce_scalar(comm.rank() + 1.0);
+    EXPECT_DOUBLE_EQ(sum, 6.0);
+    const auto gathered = comm.allgather(static_cast<double>(comm.rank()));
+    ASSERT_EQ(gathered.size(), 3u);
+    for (int r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], r);
+  });
+}
+
+TEST(Comm, ExceptionsPropagate) {
+  EXPECT_THROW(run_parallel(2,
+                            [&](Comm& comm) {
+                              if (comm.rank() == 1)
+                                throw std::runtime_error("rank 1 failed");
+                              // rank 0 must not deadlock; it just returns.
+                            }),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- perf model
+
+TEST(PerfModel, FlopsGrowQuadraticallyInSequence) {
+  VitSpec a;
+  a.seq_len = 1024;
+  VitSpec b = a;
+  b.seq_len = 16384;  // 16x longer
+  const double fa = vit_flops_per_image(a);
+  const double fb = vit_flops_per_image(b);
+  // Quadratic term dominates at 16K: expect much more than 16x.
+  EXPECT_GT(fb / fa, 30.0);
+}
+
+TEST(PerfModel, AllreduceScalesWithRanksAndSize) {
+  FrontierModel m;
+  EXPECT_EQ(m.allreduce_sec(1000000, 1), 0.0);
+  const double t2 = m.allreduce_sec(100000000, 2);
+  const double t1024 = m.allreduce_sec(100000000, 1024);
+  EXPECT_GT(t2, 0.0);
+  EXPECT_GT(t1024, t2);
+}
+
+TEST(PerfModel, SecPerImageDecreasesWithFasterGpu) {
+  ClusterSpec fast;
+  fast.gpu_tflops = 120;
+  ClusterSpec slow;
+  slow.gpu_tflops = 30;
+  VitSpec v;
+  const double f = vit_flops_per_image(v);
+  const std::int64_t p = vit_param_count(v);
+  EXPECT_LT(FrontierModel(fast).sec_per_image(f, 16, 1, p),
+            FrontierModel(slow).sec_per_image(f, 16, 1, p));
+}
+
+TEST(PerfModel, CalibrationReproducesMeasurement) {
+  VitSpec v;
+  v.seq_len = 16384;
+  const double f = vit_flops_per_image(v);
+  const std::int64_t p = vit_param_count(v);
+  FrontierModel base;
+  // Paper Table II: UNETR-4 at 512^2, 1 GPU = 0.4863 s/image.
+  FrontierModel cal = base.calibrated(0.4863, f, 16, 1, p);
+  EXPECT_NEAR(cal.sec_per_image(f, 16, 1, p), 0.4863, 1e-6);
+}
+
+TEST(PerfModel, ApfBeatsUniformAtEveryScale) {
+  // Core sanity: the sequence reduction translates to predicted speedup.
+  FrontierModel m;
+  VitSpec uniform;
+  uniform.seq_len = 16384;
+  VitSpec apf;
+  apf.seq_len = 1024;
+  const std::int64_t p = vit_param_count(uniform);
+  for (int gpus : {1, 8, 128, 2048}) {
+    const double tu = m.sec_per_image(vit_flops_per_image(uniform),
+                                      16L * gpus, gpus, p);
+    const double ta =
+        m.sec_per_image(vit_flops_per_image(apf), 16L * gpus, gpus, p);
+    EXPECT_GT(tu / ta, 2.0) << gpus << " gpus";
+  }
+}
+
+TEST(PerfModel, ParamCountMatchesViTBaseOrder) {
+  VitSpec v;  // ViT-Base-ish
+  const std::int64_t p = vit_param_count(v);
+  EXPECT_GT(p, 60'000'000);
+  EXPECT_LT(p, 120'000'000);
+}
+
+TEST(PerfModel, DecoderFlopsPositiveAndGrowWithResolution) {
+  const double f128 = decoder_flops_per_image(128, 16, 32, 64);
+  const double f256 = decoder_flops_per_image(256, 16, 32, 64);
+  EXPECT_GT(f128, 0.0);
+  EXPECT_GT(f256, f128);
+}
+
+}  // namespace
+}  // namespace apf::dist

@@ -1,0 +1,411 @@
+// Model zoo tests: shape correctness for every model, patcher
+// interchangeability (the "model intact" property), and tiny-overfit
+// sanity runs.
+
+#include <gtest/gtest.h>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/loader.h"
+#include "data/synthetic.h"
+#include "models/hipt.h"
+#include "models/swin.h"
+#include "models/token_encoder.h"
+#include "models/transunet.h"
+#include "models/unet.h"
+#include "models/unetr.h"
+#include "models/vit.h"
+#include "nn/optim.h"
+
+namespace apf::models {
+namespace {
+
+core::TokenBatch paip_batch(std::int64_t z, std::int64_t patch,
+                            std::int64_t seq_len, bool adaptive,
+                            std::int64_t b = 2) {
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  std::vector<core::PatchSequence> seqs;
+  for (std::int64_t i = 0; i < b; ++i) {
+    img::Image im = gen.sample(i).image;
+    if (adaptive) {
+      core::ApfConfig cfg;
+      cfg.patch_size = patch;
+      cfg.min_patch = patch;
+      cfg.seq_len = seq_len;
+      cfg.max_depth = 8;
+      seqs.push_back(core::AdaptivePatcher(cfg).process(im));
+    } else {
+      seqs.push_back(core::UniformPatcher(patch, seq_len).process(im));
+    }
+  }
+  return core::make_batch(seqs);
+}
+
+EncoderConfig small_encoder(std::int64_t token_dim) {
+  EncoderConfig cfg;
+  cfg.token_dim = token_dim;
+  cfg.d_model = 32;
+  cfg.depth = 2;
+  cfg.heads = 4;
+  cfg.mlp_ratio = 2;
+  return cfg;
+}
+
+TEST(TokenEncoder, EmbedShape) {
+  Rng rng(1);
+  TokenEncoder enc(small_encoder(3 * 4 * 4), rng);
+  core::TokenBatch tb = paip_batch(64, 4, 64, true);
+  Var h = enc.embed(tb);
+  EXPECT_EQ(h.shape(), (Shape{2, 64, 32}));
+}
+
+TEST(TokenEncoder, EncodeWithTaps) {
+  Rng rng(2);
+  TokenEncoder enc(small_encoder(3 * 4 * 4), rng);
+  core::TokenBatch tb = paip_batch(64, 4, 32, true);
+  Rng drop(1);
+  std::vector<Var> hidden;
+  Var out = enc.encode(tb, drop, {1}, &hidden);
+  EXPECT_EQ(out.shape(), (Shape{2, 32, 32}));
+  ASSERT_EQ(hidden.size(), 1u);
+  EXPECT_EQ(hidden[0].shape(), (Shape{2, 32, 32}));
+}
+
+TEST(MaskedMeanPool, IgnoresPaddingTokens) {
+  Tensor x = Tensor::zeros({1, 3, 2});
+  x.at({0, 0, 0}) = 2.f;
+  x.at({0, 1, 0}) = 4.f;
+  x.at({0, 2, 0}) = 100.f;  // padding token, must not contribute
+  Tensor mask = Tensor::from({1, 1, 0}, {1, 3});
+  Var pooled = masked_mean_pool(Var::constant(x), mask);
+  EXPECT_FLOAT_EQ(pooled.val().at({0, 0}), 3.f);
+}
+
+TEST(VitClassifier, LogitShapeBothPatchers) {
+  Rng rng(3);
+  VitClassifier model(small_encoder(3 * 4 * 4), 6, rng);
+  Rng drop(1);
+  for (bool adaptive : {true, false}) {
+    core::TokenBatch tb = paip_batch(64, 4, adaptive ? 48 : 0, adaptive);
+    Var logits = model.forward(tb, drop);
+    EXPECT_EQ(logits.shape(), (Shape{2, 6}));
+  }
+}
+
+TEST(Unetr2d, OutputShapeAdaptive) {
+  Rng rng(4);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(3 * 4 * 4);
+  cfg.image_size = 64;
+  cfg.grid = 16;
+  cfg.base_channels = 16;
+  Unetr2d model(cfg, rng);
+  core::TokenBatch tb = paip_batch(64, 4, 48, true);
+  Rng drop(1);
+  Var logits = model.forward(tb, drop);
+  EXPECT_EQ(logits.shape(), (Shape{2, 1, 64, 64}));
+}
+
+TEST(Unetr2d, OutputShapeUniform) {
+  Rng rng(5);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(3 * 8 * 8);
+  cfg.image_size = 64;
+  cfg.grid = 8;
+  cfg.base_channels = 16;
+  Unetr2d model(cfg, rng);
+  core::TokenBatch tb = paip_batch(64, 8, 0, false);
+  Rng drop(1);
+  Var logits = model.forward(tb, drop);
+  EXPECT_EQ(logits.shape(), (Shape{2, 1, 64, 64}));
+}
+
+TEST(Unetr2d, SameModelConsumesBothPatchers) {
+  // The paper's central property: one model, two patchers.
+  Rng rng(6);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(3 * 4 * 4);
+  cfg.image_size = 64;
+  cfg.grid = 16;
+  Unetr2d model(cfg, rng);
+  Rng drop(1);
+  Var a = model.forward(paip_batch(64, 4, 64, true), drop);
+  Var u = model.forward(paip_batch(64, 4, 0, false), drop);
+  EXPECT_EQ(a.shape(), u.shape());
+}
+
+TEST(Unetr2d, MulticlassOutput) {
+  Rng rng(7);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(1 * 4 * 4);
+  cfg.image_size = 64;
+  cfg.grid = 16;
+  cfg.out_channels = 14;
+  Unetr2d model(cfg, rng);
+  data::BtcvConfig bc;
+  bc.resolution = 64;
+  data::SyntheticBtcv gen(bc);
+  core::ApfConfig acfg;
+  acfg.patch_size = 4;
+  acfg.min_patch = 4;
+  acfg.seq_len = 48;
+  acfg.max_depth = 8;
+  core::AdaptivePatcher ap(acfg);
+  core::TokenBatch tb =
+      core::make_batch({ap.process(gen.sample(0).image)});
+  Rng drop(1);
+  EXPECT_EQ(model.forward(tb, drop).shape(), (Shape{1, 14, 64, 64}));
+}
+
+TEST(Unetr2d, RejectsWrongImageSize) {
+  Rng rng(8);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(3 * 4 * 4);
+  cfg.image_size = 128;
+  cfg.grid = 16;
+  Unetr2d model(cfg, rng);
+  Rng drop(1);
+  core::TokenBatch tb = paip_batch(64, 4, 32, true);
+  EXPECT_THROW(model.forward(tb, drop), detail::CheckError);
+}
+
+TEST(Unet2d, OutputShape) {
+  Rng rng(9);
+  UnetConfig cfg;
+  cfg.in_channels = 3;
+  cfg.out_channels = 1;
+  cfg.base_channels = 8;
+  cfg.levels = 3;
+  Unet2d model(cfg, rng);
+  Var x = Var::constant(Tensor::zeros({2, 3, 64, 64}));
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, 1, 64, 64}));
+}
+
+TEST(Unet2d, ParameterCountReasonable) {
+  Rng rng(10);
+  UnetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.levels = 2;
+  Unet2d model(cfg, rng);
+  EXPECT_GT(model.num_parameters(), 1000);
+  EXPECT_LT(model.num_parameters(), 2'000'000);
+}
+
+TEST(TransUnetLite, OutputShape) {
+  Rng rng(20);
+  TransUnetConfig cfg;
+  cfg.image_size = 64;
+  cfg.stem_channels = 8;
+  cfg.stem_levels = 2;
+  cfg.d_model = 32;
+  cfg.depth = 1;
+  TransUnetLite model(cfg, rng);
+  Var x = Var::constant(Tensor::zeros({2, 3, 64, 64}));
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, 1, 64, 64}));
+}
+
+TEST(TransUnetLite, RejectsWrongSize) {
+  Rng rng(21);
+  TransUnetConfig cfg;
+  cfg.image_size = 64;
+  cfg.stem_levels = 2;
+  TransUnetLite model(cfg, rng);
+  Var x = Var::constant(Tensor::zeros({1, 3, 32, 32}));
+  EXPECT_THROW(model.forward(x), detail::CheckError);
+}
+
+TEST(TransUnetLite, LossDecreasesWhenTrained) {
+  Rng rng(22);
+  TransUnetConfig cfg;
+  cfg.image_size = 32;
+  cfg.stem_channels = 8;
+  cfg.stem_levels = 2;
+  cfg.d_model = 32;
+  cfg.depth = 1;
+  TransUnetLite model(cfg, rng);
+  data::PaipConfig pc;
+  pc.resolution = 32;
+  data::SyntheticPaip gen(pc);
+  data::SegSample s = gen.sample(0);
+  Tensor x = img::to_chw_tensor(s.image).reshape({1, 3, 32, 32});
+  Tensor target = data::binary_target(s.mask);
+  nn::AdamW opt(model.parameters(), 3e-3f, 0.9f, 0.999f, 1e-8f, 0.f);
+  double first = 0, last = 0;
+  for (int step = 0; step < 20; ++step) {
+    opt.zero_grad();
+    Var loss = ag::combined_seg_loss(
+        ag::reshape(model.forward(Var::constant(x)), {-1}), target);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.val()[0];
+    last = loss.val()[0];
+  }
+  EXPECT_LT(last, 0.8 * first);
+}
+
+TEST(SwinUnetrLite, OutputShape) {
+  Rng rng(23);
+  SwinUnetrConfig cfg;
+  cfg.token_dim = 3 * 8 * 8;
+  cfg.image_size = 64;
+  cfg.patch = 8;  // grid 8
+  cfg.d_model = 32;
+  cfg.depth_pairs = 1;
+  cfg.window = 4;
+  cfg.base_channels = 8;
+  SwinUnetrLite model(cfg, rng);
+  core::TokenBatch tb = paip_batch(64, 8, 0, false);
+  Rng drop(1);
+  EXPECT_EQ(model.forward(tb, drop).shape(), (Shape{2, 1, 64, 64}));
+}
+
+TEST(SwinUnetrLite, RejectsPaddedBatch) {
+  Rng rng(24);
+  SwinUnetrConfig cfg;
+  cfg.token_dim = 3 * 8 * 8;
+  cfg.image_size = 64;
+  cfg.patch = 8;
+  cfg.d_model = 32;
+  cfg.depth_pairs = 1;
+  cfg.window = 4;
+  SwinUnetrLite model(cfg, rng);
+  // Uniform batch padded to a longer length has mask zeros -> rejected.
+  core::TokenBatch tb = paip_batch(64, 8, 80, false);
+  Rng drop(1);
+  EXPECT_THROW(model.forward(tb, drop), detail::CheckError);
+}
+
+TEST(SwinUnetrLite, WindowAttentionIsLocalButShiftsMix) {
+  // With one (regular, shifted) pair, information can cross window borders
+  // — the shifted block's purpose. Just verify forward differs when a
+  // far-away token changes (via the shifted path + decoder).
+  Rng rng(25);
+  SwinUnetrConfig cfg;
+  cfg.token_dim = 1 * 8 * 8;
+  cfg.image_size = 64;
+  cfg.patch = 8;
+  cfg.d_model = 16;
+  cfg.depth_pairs = 1;
+  cfg.window = 4;
+  cfg.base_channels = 8;
+  SwinUnetrLite model(cfg, rng);
+  img::Image im(64, 64, 1);
+  im.fill(0.5f);
+  core::UniformPatcher up(8);
+  core::TokenBatch a = core::make_batch({up.process(im)});
+  im.at(63, 63) = 1.f;  // far corner
+  core::TokenBatch b = core::make_batch({up.process(im)});
+  Rng drop(1);
+  NoGradGuard ng;
+  Var ya = model.forward(a, drop);
+  Var yb = model.forward(b, drop);
+  double diff = 0;
+  // Check output at the opposite corner region changed (global mixing).
+  for (std::int64_t i = 0; i < 8; ++i) diff += std::abs(ya.val()[i] - yb.val()[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(HiptLite, OutputShape) {
+  Rng rng(26);
+  HiptConfig cfg;
+  cfg.image_size = 64;
+  cfg.region = 16;
+  cfg.sub_patch = 8;
+  cfg.d_level1 = 16;
+  cfg.d_level2 = 32;
+  cfg.depth_level1 = 1;
+  cfg.depth_level2 = 1;
+  cfg.num_classes = 6;
+  HiptLite model(cfg, rng);
+  Rng drop(1);
+  Tensor x = Tensor::zeros({2, 3, 64, 64});
+  EXPECT_EQ(model.forward(x, drop).shape(), (Shape{2, 6}));
+}
+
+TEST(HiptLite, GeometryValidation) {
+  Rng rng(27);
+  HiptConfig cfg;
+  cfg.image_size = 65;  // not divisible by region
+  EXPECT_THROW(HiptLite(cfg, rng), detail::CheckError);
+  HiptConfig cfg2;
+  cfg2.region = 30;  // sub_patch 8 does not divide 30
+  cfg2.image_size = 60;
+  EXPECT_THROW(HiptLite(cfg2, rng), detail::CheckError);
+}
+
+TEST(HiptLite, LossDecreasesWhenTrained) {
+  Rng rng(28);
+  HiptConfig cfg;
+  cfg.image_size = 32;
+  cfg.region = 16;
+  cfg.sub_patch = 8;
+  cfg.d_level1 = 16;
+  cfg.d_level2 = 16;
+  cfg.depth_level1 = 1;
+  cfg.depth_level2 = 1;
+  cfg.num_classes = 3;
+  HiptLite model(cfg, rng);
+  Rng data_rng(5);
+  // Class-separable inputs: per-class intensity shift on top of noise.
+  Tensor x = Tensor::randn({3, 3, 32, 32}, data_rng, 0.f, 0.15f);
+  for (std::int64_t c = 0; c < 3; ++c)
+    for (std::int64_t i = 0; i < 3 * 32 * 32; ++i)
+      x[c * 3 * 32 * 32 + i] += 0.25f + 0.25f * static_cast<float>(c);
+  std::vector<std::int64_t> labels{0, 1, 2};
+  nn::AdamW opt(model.parameters(), 3e-3f, 0.9f, 0.999f, 1e-8f, 0.f);
+  Rng drop(1);
+  double first = 0, last = 0;
+  for (int step = 0; step < 60; ++step) {
+    opt.zero_grad();
+    Var loss = ag::cross_entropy_mean(model.forward(x, drop), labels);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.val()[0];
+    last = loss.val()[0];
+  }
+  EXPECT_LT(last, 0.5 * first);
+}
+
+TEST(Unetr2d, OverfitsTinyBatch) {
+  // One tiny image, a few dozen steps: loss must drop substantially.
+  Rng rng(11);
+  UnetrConfig cfg;
+  cfg.enc = small_encoder(3 * 4 * 4);
+  cfg.enc.d_model = 32;
+  cfg.image_size = 32;
+  cfg.grid = 8;
+  cfg.base_channels = 8;
+  Unetr2d model(cfg, rng);
+
+  data::PaipConfig pc;
+  pc.resolution = 32;
+  data::SyntheticPaip gen(pc);
+  data::SegSample s = gen.sample(0);
+  core::ApfConfig acfg;
+  acfg.patch_size = 4;
+  acfg.min_patch = 4;
+  acfg.max_depth = 5;
+  acfg.seq_len = 32;
+  core::AdaptivePatcher ap(acfg);
+  core::TokenBatch tb = core::make_batch({ap.process(s.image)});
+  Tensor target = data::binary_target(s.mask);
+
+  nn::AdamW opt(model.parameters(), 3e-3f, 0.9f, 0.999f, 1e-8f, 0.f);
+  Rng drop(1);
+  double first = 0, last = 0;
+  for (int step = 0; step < 30; ++step) {
+    opt.zero_grad();
+    Var logits = model.forward(tb, drop);
+    Var loss = ag::combined_seg_loss(ag::reshape(logits, {-1}), target);
+    loss.backward();
+    opt.step();
+    if (step == 0) first = loss.val()[0];
+    last = loss.val()[0];
+  }
+  EXPECT_LT(last, 0.7 * first);
+}
+
+}  // namespace
+}  // namespace apf::models

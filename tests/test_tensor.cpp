@@ -1,0 +1,379 @@
+// Unit tests for the tensor substrate: storage semantics, shape handling,
+// elementwise kernels, GEMM against a naive reference, softmax, reductions,
+// and im2col/col2im geometry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace apf {
+namespace {
+
+TEST(Tensor, DefaultIsUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_TRUE(t.defined());
+  EXPECT_EQ(t.numel(), 24);
+  EXPECT_EQ(t.ndim(), 3);
+  EXPECT_EQ(t.size(0), 2);
+  EXPECT_EQ(t.size(-1), 4);
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.f);
+}
+
+TEST(Tensor, FromTakesValues) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at({0, 0}), 1.f);
+  EXPECT_EQ(t.at({1, 2}), 6.f);
+}
+
+TEST(Tensor, FromRejectsBadCount) {
+  EXPECT_THROW(Tensor::from({1, 2, 3}, {2, 2}), detail::CheckError);
+}
+
+TEST(Tensor, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::ones({4});
+  Tensor b = a;  // shares
+  Tensor c = a.clone();
+  b[0] = 9.f;
+  EXPECT_EQ(a[0], 9.f);
+  EXPECT_EQ(c[0], 1.f);
+  EXPECT_TRUE(a.shares_storage(b));
+  EXPECT_FALSE(a.shares_storage(c));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a = Tensor::arange(12);
+  Tensor b = a.reshape({3, 4});
+  EXPECT_TRUE(a.shares_storage(b));
+  EXPECT_EQ(b.at({2, 3}), 11.f);
+}
+
+TEST(Tensor, ReshapeInfersMinusOne) {
+  Tensor a = Tensor::arange(12);
+  Tensor b = a.reshape({2, -1});
+  EXPECT_EQ(b.size(1), 6);
+  EXPECT_THROW(a.reshape({5, -1}), detail::CheckError);
+  EXPECT_THROW(a.reshape({-1, -1}), detail::CheckError);
+}
+
+TEST(Tensor, ReshapeRejectsWrongNumel) {
+  Tensor a = Tensor::arange(12);
+  EXPECT_THROW(a.reshape({5, 3}), detail::CheckError);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor a = Tensor::zeros({2, 2});
+  EXPECT_THROW(a.at({2, 0}), detail::CheckError);
+  EXPECT_THROW(a.at({0}), detail::CheckError);
+}
+
+TEST(Tensor, RandnMoments) {
+  Rng rng(7);
+  Tensor t = Tensor::randn({20000}, rng);
+  double mean = 0, var = 0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= t.numel();
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    var += (t[i] - mean) * (t[i] - mean);
+  var /= t.numel();
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(42);
+  Rng c1 = a.fork();
+  Rng c2 = a.fork();
+  EXPECT_NE(c1.next_u64(), c2.next_u64());
+}
+
+// ---------------------------------------------------------------- element
+
+TEST(Ops, AddSubMulDiv) {
+  Tensor a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from({4, 3, 2, 1}, {2, 2});
+  EXPECT_EQ(ops::add(a, b)[0], 5.f);
+  EXPECT_EQ(ops::sub(a, b)[3], 3.f);
+  EXPECT_EQ(ops::mul(a, b)[1], 6.f);
+  EXPECT_EQ(ops::div(a, b)[2], 1.5f);
+}
+
+TEST(Ops, ShapeMismatchThrows) {
+  Tensor a = Tensor::zeros({2, 2});
+  Tensor b = Tensor::zeros({4});
+  EXPECT_THROW(ops::add(a, b), detail::CheckError);
+}
+
+TEST(Ops, AxpyAccumulates) {
+  Tensor a = Tensor::ones({3});
+  Tensor b = Tensor::from({1, 2, 3}, {3});
+  ops::axpy(a, 2.f, b);
+  EXPECT_EQ(a[2], 7.f);
+}
+
+TEST(Ops, AddBiasBroadcasts) {
+  Tensor x = Tensor::zeros({2, 3});
+  Tensor b = Tensor::from({1, 2, 3}, {3});
+  Tensor y = ops::add_bias(x, b);
+  EXPECT_EQ(y.at({0, 2}), 3.f);
+  EXPECT_EQ(y.at({1, 0}), 1.f);
+}
+
+TEST(Ops, SumToLastdim) {
+  Tensor x = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor s = ops::sum_to_lastdim(x);
+  EXPECT_EQ(s.numel(), 3);
+  EXPECT_EQ(s[0], 5.f);
+  EXPECT_EQ(s[2], 9.f);
+}
+
+TEST(Ops, GeluMatchesReference) {
+  // gelu(0) = 0; gelu(large) ~ identity; gelu(-large) ~ 0.
+  Tensor x = Tensor::from({0.f, 5.f, -5.f, 1.f}, {4});
+  Tensor y = ops::gelu(x);
+  EXPECT_NEAR(y[0], 0.f, 1e-6);
+  EXPECT_NEAR(y[1], 5.f, 1e-3);
+  EXPECT_NEAR(y[2], 0.f, 1e-3);
+  EXPECT_NEAR(y[3], 0.8412f, 1e-3);
+}
+
+// ------------------------------------------------------------------- gemm
+
+void naive_gemm(bool ta, bool tb, std::int64_t m, std::int64_t n,
+                std::int64_t k, const Tensor& a, const Tensor& b, Tensor& c) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at({p, i}) : a.at({i, p});
+        const float bv = tb ? b.at({j, p}) : b.at({p, j});
+        acc += static_cast<double>(av) * bv;
+      }
+      c.at({i, j}) = static_cast<float>(acc);
+    }
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int, bool, bool>> {};
+
+TEST_P(GemmShapes, MatchesNaive) {
+  auto [m, n, k, ta, tb] = GetParam();
+  Rng rng(m * 100 + n * 10 + k + (ta ? 7 : 0) + (tb ? 13 : 0));
+  Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+  Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+  Tensor want({m, n});
+  naive_gemm(ta, tb, m, n, k, a, b, want);
+  Tensor got = ops::matmul(a, b, ta, tb);
+  ASSERT_EQ(got.size(0), m);
+  ASSERT_EQ(got.size(1), n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    EXPECT_NEAR(got[i], want[i], 1e-3 * std::max(1.f, std::fabs(want[i])))
+        << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1, false, false),
+                      std::make_tuple(3, 5, 7, false, false),
+                      std::make_tuple(3, 5, 7, true, false),
+                      std::make_tuple(3, 5, 7, false, true),
+                      std::make_tuple(3, 5, 7, true, true),
+                      std::make_tuple(64, 64, 64, false, false),
+                      std::make_tuple(65, 63, 129, false, false),
+                      std::make_tuple(65, 63, 129, true, true),
+                      std::make_tuple(128, 300, 17, false, true),
+                      std::make_tuple(1, 256, 256, false, false)));
+
+TEST(Gemm, BetaScalesExisting) {
+  Tensor c = Tensor::ones({2, 2});
+  Tensor a = Tensor::ones({2, 1});
+  Tensor b = Tensor::ones({1, 2});
+  gemm(false, false, 2, 2, 1, 1.f, a.data(), 1, b.data(), 2, 0.5f, c.data(), 2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 1.5f);
+}
+
+TEST(Gemm, KZeroOnlyScales) {
+  Tensor c = Tensor::full({2, 2}, 3.f);
+  gemm(false, false, 2, 2, 0, 1.f, nullptr, 1, nullptr, 1, 0.f, c.data(), 2);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(c[i], 0.f);
+}
+
+TEST(Ops, BmmBatches) {
+  Rng rng(3);
+  Tensor a = Tensor::randn({4, 3, 5}, rng);
+  Tensor b = Tensor::randn({4, 5, 2}, rng);
+  Tensor c = ops::bmm(a, b);
+  ASSERT_EQ(c.shape(), (Shape{4, 3, 2}));
+  // Batch 2 equals standalone matmul of its slices.
+  Tensor a2 = ops::slice(a, 0, 2, 1).reshape({3, 5});
+  Tensor b2 = ops::slice(b, 0, 2, 1).reshape({5, 2});
+  Tensor want = ops::matmul(a2, b2);
+  for (std::int64_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(c[2 * 6 + i], want[i], 1e-4);
+}
+
+// ------------------------------------------------------------------ shape
+
+TEST(Ops, PermuteRoundTrip) {
+  Rng rng(1);
+  Tensor x = Tensor::randn({2, 3, 4}, rng);
+  Tensor y = ops::permute(x, {2, 0, 1});
+  ASSERT_EQ(y.shape(), (Shape{4, 2, 3}));
+  EXPECT_EQ(y.at({1, 0, 2}), x.at({0, 2, 1}));
+  Tensor back = ops::permute(y, {1, 2, 0});
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+TEST(Ops, ConcatAxis0And1) {
+  Tensor a = Tensor::from({1, 2, 3, 4}, {2, 2});
+  Tensor b = Tensor::from({5, 6}, {1, 2});
+  Tensor c0 = ops::concat({a, b}, 0);
+  ASSERT_EQ(c0.shape(), (Shape{3, 2}));
+  EXPECT_EQ(c0.at({2, 1}), 6.f);
+  Tensor d = Tensor::from({7, 8}, {2, 1});
+  Tensor c1 = ops::concat({a, d}, 1);
+  ASSERT_EQ(c1.shape(), (Shape{2, 3}));
+  EXPECT_EQ(c1.at({1, 2}), 8.f);
+}
+
+TEST(Ops, SliceMiddle) {
+  Tensor x = Tensor::arange(24).reshape({2, 3, 4});
+  Tensor s = ops::slice(x, 1, 1, 2);
+  ASSERT_EQ(s.shape(), (Shape{2, 2, 4}));
+  EXPECT_EQ(s.at({0, 0, 0}), 4.f);
+  EXPECT_EQ(s.at({1, 1, 3}), 23.f);
+}
+
+TEST(Ops, SliceOutOfRangeThrows) {
+  Tensor x = Tensor::zeros({4});
+  EXPECT_THROW(ops::slice(x, 0, 2, 3), detail::CheckError);
+}
+
+// ---------------------------------------------------------------- softmax
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor x = Tensor::randn({7, 11}, rng, 0.f, 3.f);
+  Tensor y = ops::softmax_lastdim(x);
+  for (std::int64_t r = 0; r < 7; ++r) {
+    double s = 0;
+    for (std::int64_t j = 0; j < 11; ++j) {
+      EXPECT_GE(y.at({r, j}), 0.f);
+      s += y.at({r, j});
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+  }
+}
+
+TEST(Ops, SoftmaxStableForHugeLogits) {
+  Tensor x = Tensor::from({1000.f, 1000.f, -1000.f}, {1, 3});
+  Tensor y = ops::softmax_lastdim(x);
+  EXPECT_NEAR(y[0], 0.5f, 1e-5);
+  EXPECT_NEAR(y[2], 0.f, 1e-6);
+}
+
+TEST(Ops, SoftmaxMaskZeroesKeys) {
+  Tensor x = Tensor::zeros({2, 4});  // B=2, N=4, one row per batch
+  Tensor mask = Tensor::from({1, 1, 0, 0, 1, 1, 1, 1}, {2, 4});
+  Tensor y = ops::softmax_lastdim(x, &mask);
+  EXPECT_NEAR(y.at({0, 0}), 0.5f, 1e-5);
+  EXPECT_EQ(y.at({0, 2}), 0.f);
+  EXPECT_NEAR(y.at({1, 3}), 0.25f, 1e-5);
+}
+
+TEST(Ops, SoftmaxFullyMaskedRowIsZero) {
+  Tensor x = Tensor::zeros({1, 3});
+  Tensor mask = Tensor::zeros({1, 3});
+  Tensor y = ops::softmax_lastdim(x, &mask);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(y[i], 0.f);
+}
+
+TEST(Ops, SoftmaxMaskWithMultipleRowsPerBatch) {
+  // x is [B*rows_per_b, N] with B=2, rows_per_b=2.
+  Tensor x = Tensor::zeros({4, 2});
+  Tensor mask = Tensor::from({1, 0, 1, 1}, {2, 2});
+  Tensor y = ops::softmax_lastdim(x, &mask);
+  // First two rows use mask row 0 -> all mass on key 0.
+  EXPECT_NEAR(y.at({0, 0}), 1.f, 1e-6);
+  EXPECT_NEAR(y.at({1, 0}), 1.f, 1e-6);
+  EXPECT_NEAR(y.at({2, 0}), 0.5f, 1e-6);
+}
+
+// -------------------------------------------------------------- reductions
+
+TEST(Ops, SumMeanMax) {
+  Tensor x = Tensor::from({1, -2, 3, 0}, {4});
+  EXPECT_FLOAT_EQ(ops::sum_all(x), 2.f);
+  EXPECT_FLOAT_EQ(ops::mean_all(x), 0.5f);
+  EXPECT_FLOAT_EQ(ops::max_all(x), 3.f);
+}
+
+TEST(Ops, ArgmaxLastdim) {
+  Tensor x = Tensor::from({1, 5, 2, 9, 0, 3}, {2, 3});
+  auto idx = ops::argmax_lastdim(x);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+// ------------------------------------------------------------------ im2col
+
+TEST(Ops, Im2ColIdentityKernel) {
+  // 1x1 kernel, stride 1: columns == flattened image.
+  Tensor x = Tensor::arange(12).reshape({1, 3, 4});
+  Tensor cols = ops::im2col(x, 1, 1, 1, 0);
+  ASSERT_EQ(cols.shape(), (Shape{1, 12}));
+  for (std::int64_t i = 0; i < 12; ++i) EXPECT_EQ(cols[i], x[i]);
+}
+
+TEST(Ops, Im2ColGeometry) {
+  Tensor x = Tensor::arange(16).reshape({1, 4, 4});
+  Tensor cols = ops::im2col(x, 3, 3, 1, 1);
+  ASSERT_EQ(cols.shape(), (Shape{9, 16}));
+  // Centre tap (ki=1, kj=1) row equals the image itself.
+  for (std::int64_t i = 0; i < 16; ++i) EXPECT_EQ(cols.at({4, i}), x[i]);
+  // Top-left tap at output (0,0) reads padded zero.
+  EXPECT_EQ(cols.at({0, 0}), 0.f);
+}
+
+TEST(Ops, Col2ImAdjointOfIm2Col) {
+  // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property.
+  Rng rng(11);
+  Tensor x = Tensor::randn({2, 5, 6}, rng);
+  Tensor cols = ops::im2col(x, 3, 3, 2, 1);
+  Tensor y = Tensor::randn(cols.shape(), rng);
+  Tensor back = ops::col2im(y, 2, 5, 6, 3, 3, 2, 1);
+  double lhs = 0, rhs = 0;
+  for (std::int64_t i = 0; i < cols.numel(); ++i) lhs += cols[i] * y[i];
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * back[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs)));
+}
+
+TEST(Ops, Upsample2xAndAdjoint) {
+  Tensor x = Tensor::arange(4).reshape({1, 2, 2});
+  Tensor y = ops::upsample2x_nearest(x);
+  ASSERT_EQ(y.shape(), (Shape{1, 4, 4}));
+  EXPECT_EQ(y.at({0, 0, 1}), 0.f);
+  EXPECT_EQ(y.at({0, 3, 3}), 3.f);
+  Tensor dy = Tensor::ones({1, 4, 4});
+  Tensor dx = ops::upsample2x_nearest_grad(dy);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(dx[i], 4.f);
+}
+
+}  // namespace
+}  // namespace apf
