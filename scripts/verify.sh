@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything, run the full test
+# suite. This is the exact command sequence CI runs and the bar every PR
+# must keep green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

@@ -1,0 +1,195 @@
+#include "dist/comm.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "tensor/check.h"
+
+namespace apf::dist {
+
+namespace detail {
+
+/// Thrown inside ranks blocked in a collective when a peer aborts the
+/// world. Derives from runtime_error so a stray escape still reads as an
+/// ordinary failure, but run_parallel prefers the peer's original
+/// exception over these secondary unwinds.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("dist: world aborted by a peer rank") {}
+};
+
+/// Shared state of one run_parallel world. One mutex + condvar serializes
+/// all rendezvous bookkeeping; the data copies themselves happen outside
+/// any per-element locking (each rank touches disjoint buffers).
+class World {
+ public:
+  explicit World(int size)
+      : size_(size), slots_(static_cast<std::size_t>(size), nullptr),
+        doubles_(static_cast<std::size_t>(size), 0.0) {}
+
+  int size() const { return size_; }
+
+  /// Sense-counting barrier. Throws AbortedError if the world aborted.
+  void barrier() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (aborted_) throw AbortedError();
+    const std::uint64_t gen = generation_;
+    if (++arrived_ == size_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lk, [&] { return generation_ != gen || aborted_; });
+    if (generation_ == gen && aborted_) throw AbortedError();
+  }
+
+  /// Wakes every rank blocked in a collective; they unwind via
+  /// AbortedError. Called once a rank's user function throws.
+  void abort() {
+    std::lock_guard<std::mutex> lk(mu_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  void publish(int rank, float* ptr) {
+    std::lock_guard<std::mutex> lk(mu_);
+    slots_[static_cast<std::size_t>(rank)] = ptr;
+  }
+
+  float* slot(int rank) const {
+    return slots_[static_cast<std::size_t>(rank)];
+  }
+
+  void publish_double(int rank, double v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    doubles_[static_cast<std::size_t>(rank)] = v;
+  }
+
+  const std::vector<double>& doubles() const { return doubles_; }
+
+  std::vector<float>& reduce_buffer() { return reduce_; }
+
+ private:
+  const int size_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool aborted_ = false;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<float*> slots_;
+  std::vector<double> doubles_;
+  std::vector<float> reduce_;
+};
+
+}  // namespace detail
+
+int Comm::size() const { return world_->size(); }
+
+void Comm::barrier() { world_->barrier(); }
+
+void Comm::broadcast(float* data, std::int64_t n, int root) {
+  APF_CHECK(n >= 0, "broadcast: negative length " << n);
+  APF_CHECK(root >= 0 && root < size(),
+            "broadcast: root " << root << " outside world of " << size());
+  if (size() == 1) return;
+  world_->publish(rank_, data);
+  world_->barrier();
+  if (rank_ != root) {
+    const float* src = world_->slot(root);
+    for (std::int64_t i = 0; i < n; ++i) data[i] = src[i];
+  }
+  // Keep root's buffer pinned until every rank has copied out of it.
+  world_->barrier();
+}
+
+void Comm::allreduce_sum(float* data, std::int64_t n) {
+  APF_CHECK(n >= 0, "allreduce_sum: negative length " << n);
+  if (size() == 1) return;
+  world_->publish(rank_, data);
+  world_->barrier();
+  if (rank_ == 0) world_->reduce_buffer().resize(static_cast<std::size_t>(n));
+  world_->barrier();
+  // Each rank reduces its own contiguous chunk; accumulation stays in
+  // fixed rank order and in double, so one shared bitwise-deterministic
+  // result emerges while the O(n * size) work is split across the world.
+  {
+    std::vector<float>& out = world_->reduce_buffer();
+    std::vector<const float*> srcs(static_cast<std::size_t>(size()));
+    for (int r = 0; r < size(); ++r)
+      srcs[static_cast<std::size_t>(r)] = world_->slot(r);
+    const std::int64_t lo = n * rank_ / size();
+    const std::int64_t hi = n * (rank_ + 1) / size();
+    for (std::int64_t i = lo; i < hi; ++i) {
+      double acc = 0.0;
+      for (int r = 0; r < size(); ++r)
+        acc += static_cast<double>(srcs[static_cast<std::size_t>(r)][i]);
+      out[static_cast<std::size_t>(i)] = static_cast<float>(acc);
+    }
+  }
+  world_->barrier();
+  const std::vector<float>& out = world_->reduce_buffer();
+  for (std::int64_t i = 0; i < n; ++i)
+    data[i] = out[static_cast<std::size_t>(i)];
+  // Result buffer is world-owned scratch: hold it until all ranks copied.
+  world_->barrier();
+}
+
+void Comm::allreduce_mean(float* data, std::int64_t n) {
+  allreduce_sum(data, n);
+  const float inv = 1.f / static_cast<float>(size());
+  for (std::int64_t i = 0; i < n; ++i) data[i] *= inv;
+}
+
+double Comm::allreduce_scalar(double value) {
+  if (size() == 1) return value;
+  world_->publish_double(rank_, value);
+  world_->barrier();
+  double acc = 0.0;
+  for (int r = 0; r < size(); ++r)
+    acc += world_->doubles()[static_cast<std::size_t>(r)];
+  world_->barrier();
+  return acc;
+}
+
+std::vector<double> Comm::allgather(double value) {
+  if (size() == 1) return {value};
+  world_->publish_double(rank_, value);
+  world_->barrier();
+  std::vector<double> out = world_->doubles();
+  world_->barrier();
+  return out;
+}
+
+void run_parallel(int ranks, const std::function<void(Comm&)>& fn) {
+  APF_CHECK(ranks >= 1, "run_parallel: need at least 1 rank, got " << ranks);
+  detail::World world(ranks);
+  std::mutex err_mu;
+  std::exception_ptr user_error;   // first exception thrown by fn itself
+  std::exception_ptr abort_error;  // secondary AbortedError unwinds
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&world, r);
+      try {
+        fn(comm);
+      } catch (const detail::AbortedError&) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!abort_error) abort_error = std::current_exception();
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!user_error) user_error = std::current_exception();
+        }
+        world.abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  if (user_error) std::rethrow_exception(user_error);
+  if (abort_error) std::rethrow_exception(abort_error);
+}
+
+}  // namespace apf::dist

@@ -1,0 +1,61 @@
+#pragma once
+// In-process, MPI-style communicator over std::thread ranks.
+//
+// run_parallel(n, fn) launches n threads, hands each a Comm bound to its
+// rank, and joins them all. Collectives are deterministic: reductions
+// accumulate in fixed rank order on every rank, so replicated training is
+// bitwise reproducible (tests/test_train.cpp relies on this). A rank that
+// throws aborts the world — peers blocked in a collective wake up and
+// unwind instead of deadlocking, and run_parallel rethrows the original
+// exception.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace apf::dist {
+
+namespace detail {
+class World;
+}  // namespace detail
+
+/// Per-rank handle onto a thread world. Cheap to copy around within the
+/// owning rank; not meant to be shared across ranks.
+class Comm {
+ public:
+  Comm(detail::World* world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocks until every rank has entered the barrier.
+  void barrier();
+
+  /// Replaces data on every rank with root's buffer.
+  void broadcast(float* data, std::int64_t n, int root);
+
+  /// Element-wise sum across ranks, in place, identical on all ranks.
+  void allreduce_sum(float* data, std::int64_t n);
+
+  /// Element-wise mean across ranks, in place, identical on all ranks.
+  void allreduce_mean(float* data, std::int64_t n);
+
+  /// Sum of one double per rank; every rank gets the same total.
+  double allreduce_scalar(double value);
+
+  /// Gathers one double per rank; result[r] is rank r's value.
+  std::vector<double> allgather(double value);
+
+ private:
+  detail::World* world_;
+  int rank_;
+};
+
+/// Runs fn(comm) on `ranks` threads, each bound to one rank of a fresh
+/// world. Joins all threads before returning. If any rank throws, the
+/// world is aborted (peers blocked in collectives unwind) and the first
+/// user exception is rethrown here.
+void run_parallel(int ranks, const std::function<void(Comm&)>& fn);
+
+}  // namespace apf::dist

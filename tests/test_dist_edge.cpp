@@ -1,0 +1,175 @@
+// Edge cases of the dist::Comm communicator, complementing test_dist.cpp:
+// single-rank worlds, zero-length buffers, long repeated collective
+// sequences, non-zero broadcast roots, and cross-run determinism.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/comm.h"
+#include "dist/perf_model.h"
+#include "tensor/check.h"
+
+namespace apf::dist {
+namespace {
+
+// ------------------------------------------------------- single-rank world
+
+TEST(CommEdge, SingleRankCollectivesAreIdentities) {
+  run_parallel(1, [&](Comm& comm) {
+    EXPECT_EQ(comm.rank(), 0);
+    EXPECT_EQ(comm.size(), 1);
+    comm.barrier();  // must not block
+
+    std::vector<float> data{1.f, -2.f, 3.f};
+    const std::vector<float> orig = data;
+    comm.broadcast(data.data(), 3, /*root=*/0);
+    EXPECT_EQ(data, orig);
+    comm.allreduce_sum(data.data(), 3);
+    EXPECT_EQ(data, orig);
+    comm.allreduce_mean(data.data(), 3);
+    EXPECT_EQ(data, orig);
+
+    EXPECT_DOUBLE_EQ(comm.allreduce_scalar(2.25), 2.25);
+    const auto gathered = comm.allgather(-7.5);
+    ASSERT_EQ(gathered.size(), 1u);
+    EXPECT_DOUBLE_EQ(gathered[0], -7.5);
+  });
+}
+
+// ------------------------------------------------------ zero-length buffers
+
+TEST(CommEdge, ZeroLengthBuffersDoNotDeadlockOrWrite) {
+  run_parallel(4, [&](Comm& comm) {
+    // Guard value right past the zero-length "buffer": must stay intact.
+    float guard = 42.f + static_cast<float>(comm.rank());
+    comm.allreduce_sum(&guard, 0);
+    comm.allreduce_mean(&guard, 0);
+    comm.broadcast(&guard, 0, /*root=*/3);
+    EXPECT_EQ(guard, 42.f + static_cast<float>(comm.rank()));
+    // A real collective afterwards still works (world state not corrupted).
+    float v = 1.f;
+    comm.allreduce_sum(&v, 1);
+    EXPECT_EQ(v, 4.f);
+  });
+}
+
+// -------------------------------------------------- repeated mixed rounds
+
+TEST(CommEdge, ManyMixedRoundsStayConsistent) {
+  constexpr int kRanks = 5;
+  run_parallel(kRanks, [&](Comm& comm) {
+    for (int round = 0; round < 50; ++round) {
+      // Alternate collective kinds so scratch-buffer reuse across types
+      // is exercised, not just back-to-back allreduces.
+      std::vector<float> data(static_cast<std::size_t>(1 + round % 3),
+                              static_cast<float>(comm.rank() + 1));
+      comm.allreduce_sum(data.data(),
+                         static_cast<std::int64_t>(data.size()));
+      for (float v : data) EXPECT_EQ(v, 1.f + 2.f + 3.f + 4.f + 5.f);
+
+      float m = static_cast<float>(comm.rank());
+      comm.allreduce_mean(&m, 1);
+      EXPECT_NEAR(m, 2.f, 1e-6);
+
+      const int root = round % kRanks;
+      float b = comm.rank() == root ? static_cast<float>(round) : -1.f;
+      comm.broadcast(&b, 1, root);
+      EXPECT_EQ(b, static_cast<float>(round));
+
+      const auto gathered = comm.allgather(static_cast<double>(comm.rank()));
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(kRanks));
+      for (int r = 0; r < kRanks; ++r)
+        EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], r);
+    }
+  });
+}
+
+// ------------------------------------------------- broadcast root handling
+
+TEST(CommEdge, BroadcastFromLastRank) {
+  constexpr int kRanks = 6;
+  run_parallel(kRanks, [&](Comm& comm) {
+    std::vector<float> data(16, static_cast<float>(comm.rank()) * 10.f);
+    comm.broadcast(data.data(), 16, /*root=*/kRanks - 1);
+    for (float v : data) EXPECT_EQ(v, (kRanks - 1) * 10.f);
+  });
+}
+
+TEST(CommEdge, BroadcastRootOutOfRangeThrows) {
+  EXPECT_THROW(run_parallel(2,
+                            [&](Comm& comm) {
+                              float v = 0.f;
+                              comm.broadcast(&v, 1, /*root=*/2);
+                            }),
+               apf::detail::CheckError);
+}
+
+// ----------------------------------------------------------- determinism
+
+TEST(CommEdge, AllreduceBitwiseDeterministicAcrossRuns) {
+  // Summation order must be fixed (rank order), so two identical worlds
+  // produce bitwise-equal floats even for ill-conditioned inputs.
+  auto one_run = [] {
+    std::vector<float> out(4);
+    run_parallel(4, [&](Comm& comm) {
+      std::vector<float> data{1e8f, -1e8f, 1.5e-7f,
+                              static_cast<float>(comm.rank()) * 1e-3f};
+      comm.allreduce_sum(data.data(), 4);
+      if (comm.rank() == 0) out = data;
+    });
+    return out;
+  };
+  const auto a = one_run();
+  const auto b = one_run();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(CommEdge, ResultsIdenticalOnEveryRank) {
+  constexpr int kRanks = 4;
+  std::vector<std::vector<float>> per_rank(kRanks);
+  run_parallel(kRanks, [&](Comm& comm) {
+    std::vector<float> data{0.1f * static_cast<float>(comm.rank() + 1),
+                            3.3f, -7.7f};
+    comm.allreduce_sum(data.data(), 3);
+    per_rank[static_cast<std::size_t>(comm.rank())] = data;
+  });
+  for (int r = 1; r < kRanks; ++r) {
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(per_rank[0][i], per_rank[static_cast<std::size_t>(r)][i]);
+  }
+}
+
+// --------------------------------------------------------- invalid worlds
+
+TEST(CommEdge, ZeroRanksRejected) {
+  EXPECT_THROW(run_parallel(0, [](Comm&) {}), apf::detail::CheckError);
+}
+
+// ------------------------------------------------------ perf-model edges
+
+TEST(PerfModelEdge, DecoderFlopsMonotoneForNonPowerOfTwoResolutions) {
+  // 192/16 is not a power of two: the final stage must clamp to the
+  // requested resolution, keeping the count between the bracketing
+  // power-of-two outputs.
+  const double f128 = decoder_flops_per_image(128, 16, 32, 64);
+  const double f192 = decoder_flops_per_image(192, 16, 32, 64);
+  const double f256 = decoder_flops_per_image(256, 16, 32, 64);
+  EXPECT_GT(f192, f128);
+  EXPECT_LT(f192, f256);
+}
+
+TEST(PerfModelEdge, CalibratedRejectsInvalidBatchOrGpus) {
+  FrontierModel m;
+  VitSpec v;
+  const double f = vit_flops_per_image(v);
+  const std::int64_t p = vit_param_count(v);
+  EXPECT_THROW(m.calibrated(0.5, f, /*global_batch=*/0, /*gpus=*/1, p),
+               apf::detail::CheckError);
+  EXPECT_THROW(m.calibrated(0.5, f, /*global_batch=*/1, /*gpus=*/2, p),
+               apf::detail::CheckError);
+}
+
+}  // namespace
+}  // namespace apf::dist

@@ -65,7 +65,9 @@ TEST_P(QuadtreeInvariants, TilingMortonDepthHold) {
     // and depth cap with detail > v would have split, so it cannot exist.
     const bool could_split =
         l.depth < c.max_depth && l.size / 2 >= c.min_size;
-    if (could_split) EXPECT_LE(l.detail, c.split_value);
+    if (could_split) {
+      EXPECT_LE(l.detail, c.split_value);
+    }
   }
   // Invariant 4: point location agrees with the leaf list.
   for (std::int64_t y = 0; y < 128; y += 17) {
@@ -105,7 +107,9 @@ TEST_P(PatcherProperties, SequenceGeometryConsistent) {
   Rng rng(5);
   core::PatchSequence seq = core::AdaptivePatcher(cfg).process(im, &rng);
 
-  if (seq_len > 0) EXPECT_EQ(seq.length(), seq_len);
+  if (seq_len > 0) {
+    EXPECT_EQ(seq.length(), seq_len);
+  }
   EXPECT_EQ(seq.tokens.size(1), 3 * patch * patch);
   for (std::int64_t i = 0; i < seq.length(); ++i) {
     const core::PatchToken& t = seq.meta[static_cast<std::size_t>(i)];
@@ -173,8 +177,9 @@ TEST_P(ResizeProperties, AreaResampleBoundsAndMean) {
   // preserve the mean when the ratio is integral.
   EXPECT_GE(lo, 0.f);
   EXPECT_LE(hi, 1.f);
-  if (64 % out == 0)
+  if (64 % out == 0) {
     EXPECT_NEAR(m_in / im.data.size(), m_out / r.data.size(), 1e-4);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ResizeProperties,
