@@ -1,0 +1,182 @@
+// Inference fast-path benchmark: grad-free fused forward vs the taped
+// training-mode forward on the same UNETR model, plus the end-to-end
+// InferenceEngine throughput (patching included).
+//
+//   ./bench_inference [resolution=128] [patch=4] [depth=4] [iters=5]
+//
+// Two workloads share one model:
+//   * uniform   — every token valid (no padding): the fused path saves the
+//                 tape, the saved activations, and the L x L intermediates;
+//   * adaptive  — the serving case: adaptive patching padded to the fixed
+//                 token budget L, where the fused kernel also prunes all
+//                 attention work on padding while the taped path pays the
+//                 full quadratic cost.
+// Final logits must match bitwise (max |diff| 0) in both: padding never
+// leaks past the masked softmax / scatter, and valid rows are computed in
+// the exact same floating-point order.
+//
+// Reports per-image forward latency, speedup, max |diff|, and peak RSS
+// after the grad-free block vs after the taped block (peak RSS is
+// process-monotone, so the cheap grad-free forwards all run first).
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/engine.h"
+
+using namespace apf;
+
+namespace {
+
+double peak_rss_mb() {
+  struct rusage ru;
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // KiB -> MiB on Linux
+}
+
+struct PathResult {
+  double sec = 0;
+  Tensor out;
+};
+
+PathResult time_forward(const models::Unetr2d& model,
+                        const core::TokenBatch& batch, bool grad,
+                        std::int64_t iters) {
+  PathResult r;
+  Rng rng(0);
+  if (grad) {
+    r.out = model.forward(batch, rng).val();  // warm-up
+    bench::Stopwatch sw;
+    for (std::int64_t i = 0; i < iters; ++i)
+      r.out = model.forward(batch, rng).val();
+    r.sec = sw.seconds() / static_cast<double>(iters);
+  } else {
+    NoGradGuard no_grad;
+    r.out = model.forward(batch, rng).val();
+    bench::Stopwatch sw;
+    for (std::int64_t i = 0; i < iters; ++i)
+      r.out = model.forward(batch, rng).val();
+    r.sec = sw.seconds() / static_cast<double>(iters);
+  }
+  return r;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  float m = 0.f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::int64_t z = argc > 1 ? std::atoll(argv[1]) : 128;
+  const std::int64_t patch = argc > 2 ? std::atoll(argv[2]) : 4;
+  const std::int64_t depth = argc > 3 ? std::atoll(argv[3]) : 4;
+  const std::int64_t iters = argc > 4 ? std::atoll(argv[4]) : 5;
+
+  // Fixed serving token budget: the uniform grid's natural length.
+  const std::int64_t seq_len = (z / patch) * (z / patch);
+  models::UnetrConfig mcfg;
+  mcfg.enc = bench::bench_encoder(3 * patch * patch, /*d_model=*/64, depth);
+  mcfg.image_size = z;
+  mcfg.grid = 16;
+  mcfg.base_channels = 8;
+
+  std::printf(
+      "=== bench_inference: UNETR z=%lld, L=%lld, d=%lld, depth=%lld ===\n",
+      static_cast<long long>(z), static_cast<long long>(seq_len),
+      static_cast<long long>(mcfg.enc.d_model),
+      static_cast<long long>(depth));
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  const img::Image image = gen.sample(0).image;
+
+  Rng rng_model(1);
+  models::Unetr2d model(mcfg, rng_model);
+  model.set_training(false);  // identical dropout/BN behavior in both modes
+  std::printf("model parameters: %lld\n",
+              static_cast<long long>(model.num_parameters()));
+
+  core::ApfConfig acfg = core::ApfConfig::for_resolution(z);
+  acfg.patch_size = patch;
+  acfg.min_patch = patch;
+  acfg.max_depth = 8;
+  acfg.seq_len = seq_len;  // pad to the serving budget
+  core::TokenBatch uniform_batch =
+      core::make_batch({core::UniformPatcher(patch, seq_len).process(image)});
+  core::PatchSequence aseq = core::AdaptivePatcher(acfg).process(image);
+  core::TokenBatch adaptive_batch = core::make_batch({aseq});
+
+  struct Row {
+    const char* name;
+    const core::TokenBatch* batch;
+    std::int64_t valid;
+  };
+  const Row rows[] = {
+      {"uniform (all valid)", &uniform_batch, seq_len},
+      {"adaptive (padded)", &adaptive_batch, aseq.num_valid()},
+  };
+
+  // Peak RSS is process-monotone (ru_maxrss never decreases), so per-phase
+  // readings are only meaningful in increasing-cost order: ALL grad-free
+  // forwards run first and their peak is snapshotted once, then the taped
+  // forwards run and the growth is attributable to the tape.
+  const std::size_t n_rows = sizeof(rows) / sizeof(rows[0]);
+  PathResult nograd[n_rows], grad[n_rows];
+  for (std::size_t i = 0; i < n_rows; ++i)
+    nograd[i] = time_forward(model, *rows[i].batch, /*grad=*/false, iters);
+  const double rss_nograd = peak_rss_mb();
+  for (std::size_t i = 0; i < n_rows; ++i)
+    grad[i] = time_forward(model, *rows[i].batch, /*grad=*/true, iters);
+  const double rss_grad = peak_rss_mb();
+
+  bench::rule(78);
+  std::printf("%-22s %6s | %10s %10s | %8s %9s\n", "workload", "valid",
+              "grad ms", "nograd ms", "speedup", "maxdiff");
+  bench::rule(78);
+  bool identical = true;
+  double headline_speedup = 0.0;
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    const float diff = max_abs_diff(grad[i].out, nograd[i].out);
+    identical = identical && diff == 0.f;
+    std::printf("%-22s %6lld | %10.2f %10.2f | %7.2fx %9g\n", rows[i].name,
+                static_cast<long long>(rows[i].valid), 1e3 * grad[i].sec,
+                1e3 * nograd[i].sec, grad[i].sec / nograd[i].sec,
+                static_cast<double>(diff));
+    headline_speedup = grad[i].sec / nograd[i].sec;  // last row = serving
+  }
+  bench::rule(78);
+  std::printf(
+      "serving speedup (grad off vs on): %.2fx   outputs: %s\n"
+      "peak RSS: %.1f MiB after all grad-free forwards, %.1f MiB after "
+      "taped forwards\n",
+      headline_speedup, identical ? "IDENTICAL" : "MISMATCH", rss_nograd,
+      rss_grad);
+
+  // --- End-to-end serving throughput: patching + batched fused forward.
+  serve::EngineConfig ecfg;
+  ecfg.patcher = acfg;
+  ecfg.max_batch = 4;
+  serve::InferenceEngine engine(model, ecfg);
+  std::vector<img::Image> images;
+  for (std::int64_t i = 0; i < 8; ++i) images.push_back(gen.sample(i).image);
+  serve::InferenceResult res = engine.run(images);
+  std::printf(
+      "engine: %lld images in %.3fs (%.2f img/s; patch %.3fs, forward "
+      "%.3fs), %lld valid + %lld pad tokens\n",
+      static_cast<long long>(res.stats.images), res.stats.total_seconds,
+      res.stats.images_per_sec(), res.stats.patch_seconds,
+      res.stats.forward_seconds, static_cast<long long>(res.stats.tokens),
+      static_cast<long long>(res.stats.padded_tokens));
+
+  return identical ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 
 #include "img/filters.h"
 #include "img/resize.h"
+#include "quadtree/morton.h"
 #include "tensor/parallel_for.h"
 
 namespace apf::core {
@@ -124,13 +125,39 @@ PatchSequence fit_to_length(const PatchSequence& seq, std::int64_t target_len,
   std::iota(keep.begin(), keep.end(), 0);
   if (drop_coarsest_first || rng == nullptr) {
     // Sort candidate victims: coarsest (largest size) first, then lowest
-    // detail — those carry the least segmentation-relevant information.
+    // detail (token pixel variance), then lowest Morton code — those carry
+    // the least segmentation-relevant information. The detail/Morton
+    // tiebreaks make the victim choice a deterministic total order instead
+    // of insertion order among equal-size patches.
+    std::vector<float> detail(static_cast<std::size_t>(l), 0.f);
+    const float* ptok = seq.tokens.data();
+    for (std::int64_t i = 0; i < l; ++i) {
+      const float* row = ptok + i * dim;
+      double mu = 0.0;
+      for (std::int64_t j = 0; j < dim; ++j) mu += row[j];
+      mu /= dim;
+      double var = 0.0;
+      for (std::int64_t j = 0; j < dim; ++j) {
+        const double c = row[j] - mu;
+        var += c * c;
+      }
+      detail[static_cast<std::size_t>(i)] = static_cast<float>(var / dim);
+    }
+    auto morton_of = [&](std::int64_t i) {
+      const PatchToken& t = seq.meta[static_cast<std::size_t>(i)];
+      return qt::morton_encode(static_cast<std::uint32_t>(t.x),
+                               static_cast<std::uint32_t>(t.y));
+    };
     std::vector<std::int64_t> order = keep;
     std::stable_sort(order.begin(), order.end(),
                      [&](std::int64_t a, std::int64_t b) {
                        const PatchToken& ta = seq.meta[static_cast<std::size_t>(a)];
                        const PatchToken& tb = seq.meta[static_cast<std::size_t>(b)];
-                       return ta.size > tb.size;
+                       if (ta.size != tb.size) return ta.size > tb.size;
+                       const float da = detail[static_cast<std::size_t>(a)];
+                       const float db = detail[static_cast<std::size_t>(b)];
+                       if (da != db) return da < db;
+                       return morton_of(a) < morton_of(b);
                      });
     std::vector<char> dropped(static_cast<std::size_t>(l), 0);
     for (std::int64_t i = 0; i < l - target_len; ++i)
@@ -177,8 +204,15 @@ PatchSequence UniformPatcher::process(const img::Image& image) const {
   const std::int64_t l = g * g;
   const std::int64_t c = image.c;
   const std::int64_t dim = c * patch_size_ * patch_size_;
-  int depth = 0;
-  for (std::int64_t s = image.h; s > patch_size_; s /= 2) ++depth;
+  // Quadtree metadata encodes a patch as side = Z / 2^depth, so the
+  // image/patch ratio must be a power of two to be representable (the old
+  // integer-halving loop silently miscounted depth for e.g. Z/P = 5).
+  APF_CHECK(g > 0 && (g & (g - 1)) == 0,
+            "UniformPatcher: image/patch ratio "
+                << g << " must be a power of two (quadtree depth metadata "
+                << "cannot represent other grids)");
+  int depth = 0;  // = ceil(log2(g)) = exact log2 for a power of two
+  while ((std::int64_t{1} << depth) < g) ++depth;
 
   PatchSequence seq;
   seq.tokens = Tensor({l, dim});

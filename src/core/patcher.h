@@ -83,7 +83,9 @@ class AdaptivePatcher {
 /// in row-major order. seq_len 0 keeps the natural (Z/P)^2 length.
 class UniformPatcher {
  public:
-  /// patch_size P must divide the image side.
+  /// patch_size P must divide the image side, and Z/P must be a power of
+  /// two so the quadtree depth metadata (side = Z / 2^depth) can represent
+  /// the grid.
   UniformPatcher(std::int64_t patch_size, std::int64_t seq_len = 0);
 
   PatchSequence process(const img::Image& image) const;
@@ -103,6 +105,9 @@ PatchSequence extract_leaf_patches(const img::Image& image,
 
 /// Pads (zero tokens) or drops tokens so the sequence has exactly L
 /// entries. Dropping keeps Morton order; see ApfConfig::drop_coarsest_first.
+/// Deterministic (coarsest-first) dropping orders victims by size
+/// descending, then detail (token pixel variance) ascending, then Morton
+/// code ascending — a total order independent of insertion order.
 PatchSequence fit_to_length(const PatchSequence& seq, std::int64_t target_len,
                             bool drop_coarsest_first, Rng* rng);
 

@@ -1,8 +1,127 @@
 #include "nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
+
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/parallel_for.h"
 
 namespace apf::nn {
+
+Tensor fused_masked_attention(const Tensor& q, const Tensor& k,
+                              const Tensor& v, float scale,
+                              const Tensor* key_mask, std::int64_t batch) {
+  APF_CHECK(q.ndim() == 3 && k.ndim() == 3 && v.ndim() == 3,
+            "fused_attention: need [B*H, L, Dh], got " << q.str() << ", "
+                                                       << k.str() << ", "
+                                                       << v.str());
+  const std::int64_t bh = q.size(0);
+  const std::int64_t l = q.size(1);
+  const std::int64_t dh = q.size(2);
+  const std::int64_t n = k.size(1);   // key/value sequence length
+  const std::int64_t dv = v.size(2);  // value feature width
+  APF_CHECK(k.size(0) == bh && v.size(0) == bh,
+            "fused_attention: batch*heads mismatch");
+  APF_CHECK(k.size(2) == dh, "fused_attention: q/k feature dims differ");
+  APF_CHECK(v.size(1) == n, "fused_attention: k/v lengths differ");
+  APF_CHECK(batch >= 1 && bh % batch == 0,
+            "fused_attention: " << bh << " rows not divisible by batch "
+                                << batch);
+  const std::int64_t heads = bh / batch;
+  const float* pm = nullptr;
+  if (key_mask != nullptr) {
+    APF_CHECK(key_mask->ndim() == 2 && key_mask->size(0) == batch &&
+                  key_mask->size(1) == n,
+              "fused_attention: key_mask " << key_mask->str() << " vs [B="
+                                           << batch << ", N=" << n << "]");
+    pm = key_mask->data();
+  }
+
+  // Per-item effective length: keys past the last valid one contribute zero
+  // probability, so every gemm can stop there. For self-attention (l == n)
+  // the same bound prunes padded *query* rows: their outputs are
+  // contractually unspecified, and the fused path defines them as zero —
+  // this is where batched serving with padded sequences wins big, since
+  // the taped path pays full L x L attention on padding.
+  std::vector<std::int64_t> n_eff(static_cast<std::size_t>(batch), n);
+  if (pm != nullptr) {
+    for (std::int64_t bimg = 0; bimg < batch; ++bimg) {
+      const float* mrow = pm + bimg * n;
+      std::int64_t last = 0;
+      for (std::int64_t j = 0; j < n; ++j)
+        if (mrow[j] != 0.f) last = j + 1;
+      n_eff[static_cast<std::size_t>(bimg)] = last;
+    }
+  }
+  const bool prune_queries = (l == n);
+
+  Tensor ctx({bh, l, dv});  // zero-init: pruned query rows stay zero
+  const std::int64_t nblk = (l + kGemmRowPanel - 1) / kGemmRowPanel;
+  const float* pq = q.data();
+  const float* pk = k.data();
+  const float* pv = v.data();
+  float* pc = ctx.data();
+  // One task per (batch*head, query-row-panel). The nested gemm calls run
+  // serially inside the worker (parallel_for does not nest), so the whole
+  // kernel parallelizes at this outer level.
+  parallel_for(bh * nblk, [&](std::int64_t task) {
+    const std::int64_t bi = task / nblk;
+    const std::int64_t i0 = (task % nblk) * kGemmRowPanel;
+    const std::int64_t ncols = n_eff[static_cast<std::size_t>(bi / heads)];
+    const std::int64_t qlim = prune_queries ? ncols : l;
+    if (i0 >= qlim || ncols == 0) return;  // all-padding panel: zeros
+    const std::int64_t rows = std::min(kGemmRowPanel, qlim - i0);
+    // Reused per-thread scratch: one row-panel of attention scores. This
+    // replaces the [B*H, L, L] score and probability tensors of the taped
+    // path and stays cache-resident across the three stages.
+    thread_local std::vector<float> scores;
+    scores.resize(static_cast<std::size_t>(kGemmRowPanel * n));
+    float* s = scores.data();
+    gemm(false, true, rows, ncols, dh, 1.f, pq + (bi * l + i0) * dh, dh,
+         pk + bi * n * dh, dh, 0.f, s, ncols);
+    const float* mrow = pm ? pm + (bi / heads) * n : nullptr;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      float* srow = s + r * ncols;
+      // Scale in a separate elementwise pass so rounding matches the
+      // composed scale(bmm(q, k^T)) reference bitwise.
+      for (std::int64_t j = 0; j < ncols; ++j) srow[j] *= scale;
+      // In-place softmax replicating ops::softmax_lastdim exactly:
+      // masked-aware max, float exp, double-accumulated denominator,
+      // zeros (never NaN) when no probability mass survives. Keys past
+      // ncols are all masked, so skipping them matches the reference.
+      float mx = -std::numeric_limits<float>::infinity();
+      for (std::int64_t j = 0; j < ncols; ++j) {
+        if (mrow && mrow[j] == 0.f) continue;
+        mx = std::max(mx, srow[j]);
+      }
+      if (mx == -std::numeric_limits<float>::infinity()) {
+        std::fill(srow, srow + ncols, 0.f);
+        continue;
+      }
+      double denom = 0.0;
+      for (std::int64_t j = 0; j < ncols; ++j) {
+        if (mrow && mrow[j] == 0.f) {
+          srow[j] = 0.f;
+        } else {
+          srow[j] = std::exp(srow[j] - mx);
+          denom += srow[j];
+        }
+      }
+      if (denom == 0.0) {
+        std::fill(srow, srow + ncols, 0.f);
+        continue;
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (std::int64_t j = 0; j < ncols; ++j) srow[j] *= inv;
+    }
+    gemm(false, false, rows, dv, ncols, 1.f, s, ncols, pv + bi * n * dv, dv,
+         0.f, pc + (bi * l + i0) * dv, dv);
+  }, /*grain=*/1);
+  return ctx;
+}
 
 MultiHeadAttention::MultiHeadAttention(std::int64_t dim, std::int64_t heads,
                                        Rng& rng)
@@ -22,6 +141,27 @@ Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
   APF_CHECK(x.size(2) == dim_, "MHA: input dim " << x.size(2) << " vs " << dim_);
 
   Var qkv = qkv_.forward(x);  // [B, L, 3D]
+  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
+
+  if (!ag::GradMode::is_enabled()) {
+    // Grad-free fast path: same values as the taped pipeline below (the
+    // fused kernel is bitwise identical), but no tape nodes and no
+    // [B*H, L, L] score/probability tensors.
+    auto to_heads_t = [&](std::int64_t off) {
+      Tensor r = ops::slice(qkv.val(), 2, off, dim_)
+                     .reshape({b, l, heads_, head_dim_});
+      return ops::permute(r, {0, 2, 1, 3})
+          .reshape({b * heads_, l, head_dim_});
+    };
+    Tensor ctx = fused_masked_attention(to_heads_t(0), to_heads_t(dim_),
+                                        to_heads_t(2 * dim_), scale, key_mask,
+                                        b);
+    Tensor merged =
+        ops::permute(ctx.reshape({b, heads_, l, head_dim_}), {0, 2, 1, 3})
+            .reshape({b, l, dim_});
+    return proj_.forward(Var::constant(merged));
+  }
+
   // Split into q, k, v then lay out as [B*H, L, Dh].
   auto to_heads = [&](const Var& t) {
     Var r = ag::reshape(t, {b, l, heads_, head_dim_});
@@ -32,7 +172,6 @@ Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
   Var k = to_heads(ag::slice(qkv, 2, dim_, dim_));
   Var v = to_heads(ag::slice(qkv, 2, 2 * dim_, dim_));
 
-  const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
   Var scores = ag::scale(ag::bmm(q, k, false, true), scale);  // [B*H, L, L]
   Var probs = ag::softmax_lastdim(scores, key_mask);
   Var ctx = ag::bmm(probs, v);  // [B*H, L, Dh]

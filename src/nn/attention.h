@@ -13,6 +13,25 @@
 
 namespace apf::nn {
 
+/// Inference-only fused attention core: softmax(scale * q @ k^T, mask) @ v
+/// computed per (batch*head, query-row-block) on reused thread-local
+/// scratch, so no [B*H, L, L] score/probability tensors are ever
+/// materialized. q, k, v are [B*H, L, Dh]; key_mask (optional) is [B, L]
+/// with 1 = valid key; batch is B (so heads = q.size(0) / batch). Rows
+/// whose keys are all masked produce zero context, matching
+/// ops::softmax_lastdim. Bitwise identical to the composed
+/// bmm/scale/softmax/bmm pipeline for every query row up to each item's
+/// last valid key: the row-block size matches the gemm panel size and the
+/// softmax replicates ops::softmax_lastdim's accumulation order exactly.
+/// Work on padding is pruned — keys past the last valid one are never
+/// touched, and (for self-attention, l == n) padded query rows are defined
+/// to be zero where the taped path leaves them unspecified; model outputs
+/// are unaffected because masked softmax / scatter / pooling never let
+/// padding tokens leak downstream.
+Tensor fused_masked_attention(const Tensor& q, const Tensor& k,
+                              const Tensor& v, float scale,
+                              const Tensor* key_mask, std::int64_t batch);
+
 /// Standard multi-head self-attention with fused QKV projection.
 /// Complexity O(B * H * L^2 * Dh) — quadratic in sequence length, which is
 /// exactly the cost APF attacks by shrinking L.
@@ -22,7 +41,9 @@ class MultiHeadAttention : public Module {
 
   /// x: [B, L, D]; key_mask (optional): [B, L] with 1 = valid token.
   /// Padding keys receive zero attention; padding query rows produce
-  /// unspecified values and must be masked downstream.
+  /// unspecified values and must be masked downstream. When GradMode is
+  /// disabled the forward takes the fused_masked_attention route
+  /// (bitwise-identical values, no tape, no L x L tensors).
   Var forward(const Var& x, const Tensor* key_mask = nullptr) const;
 
   std::int64_t dim() const { return dim_; }

@@ -1,0 +1,128 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace apf::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// RAII eval-mode guard (mirrors the trainer's EvalGuard).
+class EvalGuard {
+ public:
+  explicit EvalGuard(nn::Module& m) : m_(m), was_(m.training()) {
+    m_.set_training(false);
+  }
+  ~EvalGuard() { m_.set_training(was_); }
+
+ private:
+  nn::Module& m_;
+  bool was_;
+};
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(models::TokenSegModel& model,
+                                 EngineConfig cfg)
+    : model_(model), cfg_(cfg), patcher_(cfg.patcher), rng_(0x5eed) {
+  APF_CHECK(cfg_.max_batch >= 1, "InferenceEngine: max_batch must be >= 1");
+  APF_CHECK(cfg_.mask_threshold > 0.f && cfg_.mask_threshold < 1.f,
+            "InferenceEngine: mask_threshold must be in (0, 1)");
+}
+
+InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
+  APF_CHECK(!images.empty(), "InferenceEngine::run: empty image batch");
+  const auto t_start = Clock::now();
+  InferenceResult out;
+  out.stats.images = static_cast<std::int64_t>(images.size());
+
+  // 1. Patch every image. nullptr rng forces the deterministic
+  // coarsest-first drop so serving results are reproducible.
+  std::vector<core::PatchSequence> seqs;
+  seqs.reserve(images.size());
+  std::int64_t max_len = 0;
+  for (const img::Image& im : images) {
+    APF_CHECK(im.h == images[0].h && im.w == images[0].w &&
+                  im.c == images[0].c,
+              "InferenceEngine::run: mixed image geometry in batch");
+    seqs.push_back(patcher_.process(im, /*rng=*/nullptr));
+    max_len = std::max(max_len, seqs.back().length());
+  }
+  // 2. Square ragged sequences (seq_len == 0 gives variable lengths) so
+  // make_batch can stack them.
+  for (core::PatchSequence& s : seqs) {
+    if (s.length() != max_len)
+      s = core::fit_to_length(s, max_len, /*drop_coarsest_first=*/true,
+                              nullptr);
+    out.stats.tokens += s.num_valid();
+  }
+  out.stats.padded_tokens =
+      static_cast<std::int64_t>(seqs.size()) * max_len - out.stats.tokens;
+  out.stats.patch_seconds = seconds_since(t_start);
+
+  // 3. Chunked grad-free forward.
+  const auto t_fwd = Clock::now();
+  {
+    EvalGuard eval(model_);
+    NoGradGuard no_grad;
+    const std::int64_t b = static_cast<std::int64_t>(seqs.size());
+    for (std::int64_t off = 0; off < b; off += cfg_.max_batch) {
+      const std::int64_t nb = std::min(cfg_.max_batch, b - off);
+      std::vector<core::PatchSequence> chunk(
+          seqs.begin() + off, seqs.begin() + off + nb);
+      core::TokenBatch tb = core::make_batch(chunk);
+      Var logits = model_.forward(tb, rng_);  // [nb, C, Z, Z]
+      APF_CHECK(logits.val().ndim() == 4 && logits.size(0) == nb,
+                "InferenceEngine: model returned "
+                    << logits.val().str() << " for a batch of " << nb);
+      if (!out.logits.defined()) {
+        out.logits = Tensor({b, logits.size(1), logits.size(2),
+                             logits.size(3)});
+      }
+      std::copy(logits.val().data(),
+                logits.val().data() + logits.numel(),
+                out.logits.data() + off * logits.numel() / nb);
+    }
+  }
+  out.stats.forward_seconds = seconds_since(t_fwd);
+
+  // 4. Decode pixel-space masks: sigmoid threshold for binary heads,
+  // per-pixel argmax for multi-class. The sigmoid cutoff is applied in
+  // logit space: P(fg) > t  <=>  logit > log(t / (1 - t)).
+  const std::int64_t bsz = out.logits.size(0), chans = out.logits.size(1);
+  const std::int64_t zh = out.logits.size(2), zw = out.logits.size(3);
+  const float logit_cut =
+      std::log(cfg_.mask_threshold / (1.f - cfg_.mask_threshold));
+  out.masks.reserve(static_cast<std::size_t>(bsz));
+  const float* pl = out.logits.data();
+  for (std::int64_t i = 0; i < bsz; ++i) {
+    img::Image mask(zh, zw, 1);
+    const float* item = pl + i * chans * zh * zw;
+    for (std::int64_t px = 0; px < zh * zw; ++px) {
+      if (chans == 1) {
+        mask.data[static_cast<std::size_t>(px)] =
+            item[px] > logit_cut ? 1.f : 0.f;
+      } else {
+        std::int64_t best = 0;
+        for (std::int64_t ch = 1; ch < chans; ++ch)
+          if (item[ch * zh * zw + px] > item[best * zh * zw + px]) best = ch;
+        mask.data[static_cast<std::size_t>(px)] = static_cast<float>(best);
+      }
+    }
+    out.masks.push_back(std::move(mask));
+  }
+  out.stats.total_seconds = seconds_since(t_start);
+  return out;
+}
+
+img::Image InferenceEngine::predict_mask(const img::Image& image) {
+  return run({image}).masks[0];
+}
+
+}  // namespace apf::serve

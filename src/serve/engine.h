@@ -1,0 +1,78 @@
+#pragma once
+// Grad-free batched inference front end — the serving path of the library.
+//
+// InferenceEngine owns the AdaptivePatcher, turns N raw images into one
+// fixed-length TokenBatch (padding ragged sequences via fit_to_length),
+// runs the token model in eval mode under NoGradGuard — which routes every
+// attention layer through the fused inference kernel — and returns the
+// per-pixel logits plus thresholded masks. Values are identical to the
+// taped forward; only the tape, the saved activations, and the [B*H, L, L]
+// attention intermediates are gone.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "img/image.h"
+#include "models/segmodel.h"
+
+namespace apf::serve {
+
+/// Serving configuration: the patching schedule plus batching knobs.
+struct EngineConfig {
+  core::ApfConfig patcher;      ///< adaptive-patching pipeline settings;
+                                ///< seq_len > 0 gives fixed-length batches
+  std::int64_t max_batch = 8;   ///< images per model call (chunked above)
+  float mask_threshold = 0.5f;  ///< binary: P(foreground) cutoff for masks
+};
+
+/// Throughput accounting for one run() call.
+struct InferenceStats {
+  std::int64_t images = 0;
+  std::int64_t tokens = 0;         ///< valid (non-padding) tokens fed in
+  std::int64_t padded_tokens = 0;  ///< padding added to square the batch
+  double patch_seconds = 0.0;      ///< edge map + quadtree + resample
+  double forward_seconds = 0.0;    ///< model time under NoGradGuard
+  double total_seconds = 0.0;
+  double images_per_sec() const {
+    return total_seconds > 0.0 ? images / total_seconds : 0.0;
+  }
+};
+
+/// Output of one run(): pixel-space logits and decoded masks.
+struct InferenceResult {
+  Tensor logits;  ///< [B, C, Z, Z] (C = model out_channels)
+  /// Per-image single-channel masks in pixel space: binary 0/1 for C == 1
+  /// (sigmoid threshold), argmax class index for C > 1.
+  std::vector<img::Image> masks;
+  InferenceStats stats;
+};
+
+/// Batched grad-free inference over a token segmentation model.
+class InferenceEngine {
+ public:
+  /// The engine borrows the model; the caller keeps it alive. The model's
+  /// train/eval mode is saved, forced to eval for the forward, restored.
+  InferenceEngine(models::TokenSegModel& model, EngineConfig cfg);
+
+  /// Full pipeline for a batch of images: patch -> pad to a common length
+  /// -> make_batch -> forward under NoGradGuard -> threshold/argmax masks.
+  /// Images must all have the same (square) geometry the model was built
+  /// for. Deterministic: repeated calls on the same inputs are bitwise
+  /// identical, and equal to the taped forward's values.
+  InferenceResult run(const std::vector<img::Image>& images);
+
+  /// Single-image convenience wrapper around run().
+  img::Image predict_mask(const img::Image& image);
+
+  const EngineConfig& config() const { return cfg_; }
+
+ private:
+  models::TokenSegModel& model_;
+  EngineConfig cfg_;
+  core::AdaptivePatcher patcher_;
+  Rng rng_;  ///< consumed only by dropout, which eval mode disables
+};
+
+}  // namespace apf::serve

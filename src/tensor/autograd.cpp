@@ -13,10 +13,16 @@ namespace {
 thread_local bool g_grad_enabled = true;
 }  // namespace
 
-bool grad_enabled() { return g_grad_enabled; }
+bool GradMode::is_enabled() { return g_grad_enabled; }
+void GradMode::set_enabled(bool enabled) { g_grad_enabled = enabled; }
 
 NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
 NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+EnableGradGuard::EnableGradGuard() : prev_(g_grad_enabled) {
+  g_grad_enabled = true;
+}
+EnableGradGuard::~EnableGradGuard() { g_grad_enabled = prev_; }
 
 Tensor& Node::ensure_grad() {
   if (!grad.defined()) grad = Tensor::zeros(value.shape());
@@ -293,16 +299,24 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
             "layernorm: affine params must be [" << d << "]");
   const std::int64_t rows = xv.numel() / d;
 
+  // Normalized activations and inverse stddevs are only needed by the
+  // backward closure; skip allocating them on the grad-free fast path.
+  const bool save_for_backward =
+      grad_enabled() && (x.requires_grad() || gamma.requires_grad() ||
+                         beta.requires_grad());
   Tensor y(xv.shape());
-  Tensor xhat(xv.shape());      // saved for backward
-  Tensor inv_std({rows});       // saved for backward
+  Tensor xhat, inv_std;
+  if (save_for_backward) {
+    xhat = Tensor(xv.shape());
+    inv_std = Tensor({rows});
+  }
   {
     const float* px = xv.data();
     const float* pg = gamma.val().data();
     const float* pb = beta.val().data();
     float* py = y.data();
-    float* ph = xhat.data();
-    float* pis = inv_std.data();
+    float* ph = save_for_backward ? xhat.data() : nullptr;
+    float* pis = save_for_backward ? inv_std.data() : nullptr;
     parallel_for(rows, [&](std::int64_t r) {
       const float* xr = px + r * d;
       double mu = 0.0;
@@ -315,12 +329,12 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
       }
       var /= d;
       const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-      pis[r] = is;
-      float* hr = ph + r * d;
+      if (pis) pis[r] = is;
       float* yr = py + r * d;
       for (std::int64_t j = 0; j < d; ++j) {
-        hr[j] = (xr[j] - static_cast<float>(mu)) * is;
-        yr[j] = hr[j] * pg[j] + pb[j];
+        const float h = (xr[j] - static_cast<float>(mu)) * is;
+        if (ph) ph[r * d + j] = h;
+        yr[j] = h * pg[j] + pb[j];
       }
     });
   }

@@ -35,9 +35,18 @@ struct Node {
   Tensor& ensure_grad();
 };
 
+/// Thread-local switch controlling whether ops record the autograd tape.
+/// When disabled, make_op() produces detached nodes (no parents, no
+/// backward closure) and value-level ops skip saving activations that are
+/// only needed for backward — the grad-free inference fast path.
+struct GradMode {
+  static bool is_enabled();
+  static void set_enabled(bool enabled);
+};
+
 /// Whether newly created ops record the tape (thread-local). Evaluation
 /// loops disable it via NoGradGuard to skip graph construction.
-bool grad_enabled();
+inline bool grad_enabled() { return GradMode::is_enabled(); }
 
 /// RAII guard that disables tape recording in scope.
 class NoGradGuard {
@@ -46,6 +55,19 @@ class NoGradGuard {
   ~NoGradGuard();
   NoGradGuard(const NoGradGuard&) = delete;
   NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// RAII guard that re-enables tape recording inside a NoGradGuard scope
+/// (e.g. a gradient-based sub-procedure running under a serving loop).
+class EnableGradGuard {
+ public:
+  EnableGradGuard();
+  ~EnableGradGuard();
+  EnableGradGuard(const EnableGradGuard&) = delete;
+  EnableGradGuard& operator=(const EnableGradGuard&) = delete;
 
  private:
   bool prev_;

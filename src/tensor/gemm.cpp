@@ -10,8 +10,9 @@
 namespace apf {
 namespace {
 
-// Cache-blocking parameters, sized for typical L1/L2 of x86 cores.
-constexpr std::int64_t kBlockM = 64;
+// Cache-blocking parameters, sized for typical L1/L2 of x86 cores. The
+// row-panel height is public (gemm.h) because split-m callers depend on it.
+constexpr std::int64_t kBlockM = kGemmRowPanel;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
 

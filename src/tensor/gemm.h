@@ -10,6 +10,13 @@
 
 namespace apf {
 
+/// Row-panel height the gemm kernel blocks/parallelizes over. Output rows
+/// are computed independently panel by panel, so callers that split an
+/// m-range into separate gemm calls at multiples of this boundary get
+/// bitwise-identical results to one full-m call (the fused inference
+/// attention path relies on this).
+inline constexpr std::int64_t kGemmRowPanel = 64;
+
 /// Row-major sgemm. A is (m x k) when trans_a is false, (k x m) otherwise;
 /// B is (k x n) / (n x k) likewise; C is always (m x n) with leading
 /// dimension ldc. Parallelized over row panels of C.

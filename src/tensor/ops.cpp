@@ -375,6 +375,13 @@ Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask) {
         denom += orow[j];
       }
     }
+    if (denom == 0.0) {
+      // Defensive: no surviving probability mass (e.g. every unmasked
+      // entry is -inf). Emit zeros instead of dividing by zero — NaN here
+      // would poison the whole sequence through the attention matmul.
+      std::fill(orow, orow + n, 0.f);
+      return;
+    }
     const float inv = static_cast<float>(1.0 / denom);
     for (std::int64_t j = 0; j < n; ++j) orow[j] *= inv;
   });

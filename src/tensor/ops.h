@@ -79,7 +79,9 @@ std::vector<std::int64_t> argmax_lastdim(const Tensor& x);
 /// Numerically stable softmax over the last dimension. If key_mask is
 /// non-null it must have shape [B, N] matching x's layout [B*rows_per_b, N]
 /// (rows_per_b = x.numel()/(B*N)); masked (0) keys get probability 0. Rows
-/// whose keys are all masked become all-zero.
+/// with no surviving probability mass — all keys masked (e.g. an
+/// over-padded fit_to_length output) or every unmasked entry -inf — are
+/// defined to be all-zero, never NaN.
 Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask = nullptr);
 /// Backward of softmax_lastdim: given y = softmax(x) and dL/dy, returns
 /// dL/dx = y * (dy - sum(dy * y)).

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "gradcheck.h"
 #include "tensor/ops.h"
 
@@ -243,6 +245,65 @@ TEST(Autograd, NoGradGuardDetaches) {
   }
   Var l2 = ag::sum(a);
   EXPECT_TRUE(l2.requires_grad());
+}
+
+TEST(Autograd, GradModeSetEnabledAndNesting) {
+  EXPECT_TRUE(ag::GradMode::is_enabled());
+  ag::GradMode::set_enabled(false);
+  EXPECT_FALSE(ag::grad_enabled());
+  ag::GradMode::set_enabled(true);
+  EXPECT_TRUE(ag::grad_enabled());
+  {
+    NoGradGuard outer;
+    EXPECT_FALSE(ag::GradMode::is_enabled());
+    {
+      NoGradGuard inner;
+      EXPECT_FALSE(ag::GradMode::is_enabled());
+    }
+    EXPECT_FALSE(ag::GradMode::is_enabled());
+    {
+      ag::EnableGradGuard re;
+      EXPECT_TRUE(ag::GradMode::is_enabled());
+      Var a = Var::param(Tensor::ones({2}));
+      EXPECT_TRUE(ag::sum(a).requires_grad());
+    }
+    EXPECT_FALSE(ag::GradMode::is_enabled());
+  }
+  EXPECT_TRUE(ag::GradMode::is_enabled());
+}
+
+TEST(Autograd, NoGradForwardValuesBitwiseIdentical) {
+  // The grad-free fast path (detached nodes, skipped saved activations)
+  // must not change a single bit of the computed values.
+  Rng rng(41);
+  Var x = Var::param(Tensor::randn({3, 17}, rng));
+  Var gamma = Var::param(Tensor::ones({17}));
+  Var beta = Var::param(Tensor::zeros({17}));
+  auto compute = [&] {
+    Var h = ag::layernorm(x, gamma, beta);
+    h = ag::gelu(h);
+    return ag::softmax_lastdim(h);
+  };
+  Tensor with_grad = compute().val();
+  Tensor without;
+  {
+    NoGradGuard ng;
+    without = compute().val();
+  }
+  for (std::int64_t i = 0; i < with_grad.numel(); ++i)
+    ASSERT_EQ(with_grad[i], without[i]) << "at " << i;
+}
+
+TEST(Autograd, SoftmaxFullyMaskedRowBackwardIsFinite) {
+  // An over-padded sequence can have an all-zero mask row; forward must
+  // produce zeros (not NaN) and backward must stay finite.
+  Var x = Var::param(Tensor::from({1.f, 2.f, 3.f, 4.f, 5.f, 6.f}, {2, 3}));
+  Tensor mask = Tensor::from({0, 0, 0, 1, 1, 1}, {2, 3});
+  Var y = ag::softmax_lastdim(x, &mask);
+  for (std::int64_t j = 0; j < 3; ++j) EXPECT_EQ(y.val()[j], 0.f);
+  ag::sum(y).backward();
+  for (std::int64_t i = 0; i < 6; ++i)
+    EXPECT_TRUE(std::isfinite(x.grad()[i])) << "at " << i;
 }
 
 TEST(Autograd, ConstantHasNoGrad) {

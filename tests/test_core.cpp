@@ -54,6 +54,29 @@ TEST(UniformPatcher, RejectsIndivisiblePatch) {
   EXPECT_THROW(UniformPatcher(5).process(im), detail::CheckError);
 }
 
+TEST(UniformPatcher, DepthIsExactLog2OfGrid) {
+  // Quadtree metadata: side = Z / 2^depth, so depth must be log2(Z/P).
+  img::Image im(16, 16, 1);
+  PatchSequence s2 = UniformPatcher(2).process(im);  // g = 8
+  for (const PatchToken& t : s2.meta) EXPECT_EQ(t.depth, 3);
+  PatchSequence s16 = UniformPatcher(16).process(im);  // g = 1
+  EXPECT_EQ(s16.meta[0].depth, 0);
+  // The old halving loop (s = 10 -> 5 -> 2) undercounted ratios with odd
+  // intermediates; 20/5 = 4 must still be fine with exact depth 2.
+  img::Image im20(20, 20, 1);
+  PatchSequence s5 = UniformPatcher(5).process(im20);
+  for (const PatchToken& t : s5.meta) EXPECT_EQ(t.depth, 2);
+}
+
+TEST(UniformPatcher, RejectsNonPowerOfTwoGrid) {
+  // 10/2 = 5: divides evenly, but the quadtree depth metadata cannot
+  // represent a 5x5 grid (no integer d with 10 / 2^d == 2).
+  img::Image im(10, 10, 1);
+  EXPECT_THROW(UniformPatcher(2).process(im), detail::CheckError);
+  img::Image im24(24, 24, 1);
+  EXPECT_THROW(UniformPatcher(2).process(im24), detail::CheckError);  // g=12
+}
+
 TEST(AdaptivePatcher, ProducesFewerTokensThanUniform) {
   // The headline claim (Fig. 1): adaptive patching cuts sequence length by
   // ~an order of magnitude on pathology-like images.
@@ -145,6 +168,79 @@ TEST(FitToLength, DropCoarsestKeepsFineTokens) {
   for (const PatchToken& t : full.meta)
     if (t.size < max_kept) ++smaller_dropped;
   EXPECT_LE(smaller_dropped, 16);
+}
+
+namespace {
+
+/// Hand-built sequence of equal-size tokens with controlled pixel content.
+/// tokens[i] is filled with alternating +amp/-amp (variance amp^2) so
+/// "detail" is directly the amplitude.
+PatchSequence handmade_seq(const std::vector<float>& amps,
+                           const std::vector<std::pair<std::int64_t,
+                                                       std::int64_t>>& yx) {
+  const std::int64_t l = static_cast<std::int64_t>(amps.size());
+  const std::int64_t dim = 4;  // 1 channel, 2x2 patches
+  PatchSequence seq;
+  seq.tokens = Tensor({l, dim});
+  seq.mask = Tensor::ones({l});
+  seq.meta.resize(static_cast<std::size_t>(l));
+  seq.image_size = 16;
+  seq.patch_size = 2;
+  seq.channels = 1;
+  for (std::int64_t i = 0; i < l; ++i) {
+    const float a = amps[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < dim; ++j)
+      seq.tokens.at({i, j}) = (j % 2 == 0) ? a : -a;
+    seq.meta[static_cast<std::size_t>(i)] =
+        PatchToken{yx[static_cast<std::size_t>(i)].first,
+                   yx[static_cast<std::size_t>(i)].second, 4, 2, true};
+  }
+  return seq;
+}
+
+}  // namespace
+
+TEST(FitToLength, EqualSizeVictimsOrderedByDetailThenMorton) {
+  // Four equal-size tokens: two flat (zero detail) and two textured. The
+  // flat ones must be dropped first — and among equally flat ones, lowest
+  // Morton code first — regardless of insertion order.
+  PatchSequence seq =
+      handmade_seq({0.f, 0.5f, 0.f, 0.9f},
+                   {{0, 0}, {0, 4}, {4, 0}, {4, 4}});
+  PatchSequence cut = fit_to_length(seq, 2, /*drop_coarsest_first=*/true,
+                                    nullptr);
+  ASSERT_EQ(cut.length(), 2);
+  // Survivors are the textured tokens, in original Morton order.
+  EXPECT_EQ(cut.meta[0].y, 0);
+  EXPECT_EQ(cut.meta[0].x, 4);
+  EXPECT_EQ(cut.meta[1].y, 4);
+  EXPECT_EQ(cut.meta[1].x, 4);
+
+  // Regression: permuting the insertion order of the same token set keeps
+  // the surviving set identical (the old comparator kept whatever came
+  // first in insertion order among equal sizes).
+  PatchSequence shuffled =
+      handmade_seq({0.9f, 0.f, 0.5f, 0.f},
+                   {{4, 4}, {4, 0}, {0, 4}, {0, 0}});
+  PatchSequence cut2 = fit_to_length(shuffled, 2, true, nullptr);
+  ASSERT_EQ(cut2.length(), 2);
+  std::int64_t textured = 0;
+  for (const PatchToken& t : cut2.meta)
+    if ((t.y == 0 && t.x == 4) || (t.y == 4 && t.x == 4)) ++textured;
+  EXPECT_EQ(textured, 2);
+}
+
+TEST(FitToLength, AllFlatEqualSizeDropsLowestMortonFirst) {
+  PatchSequence seq = handmade_seq({0.f, 0.f, 0.f, 0.f},
+                                   {{0, 0}, {0, 4}, {4, 0}, {4, 4}});
+  PatchSequence cut = fit_to_length(seq, 2, true, nullptr);
+  ASSERT_EQ(cut.length(), 2);
+  // Morton order of (x, y): (0,0) < (4,0) < (0,4) < (4,4); the two lowest
+  // codes are the victims, so (y=4, x=0) and (y=4, x=4) survive.
+  EXPECT_EQ(cut.meta[0].y, 4);
+  EXPECT_EQ(cut.meta[0].x, 0);
+  EXPECT_EQ(cut.meta[1].y, 4);
+  EXPECT_EQ(cut.meta[1].x, 4);
 }
 
 TEST(FitToLength, RandomDropKeepsMortonOrder) {

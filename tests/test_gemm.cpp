@@ -1,0 +1,102 @@
+// Dedicated apf::gemm conformance suite: every transpose combination,
+// beta in {0, 1, 0.5}, and shapes that are not multiples of the kernel's
+// cache blocks (m=65, n=257, k=300 vs 64/256/256 panels), all checked
+// against a naive triple-loop reference. Also pins the split-m guarantee
+// the fused attention path depends on: calling gemm per kGemmRowPanel
+// panel is bitwise identical to one full-m call.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "tensor/gemm.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace apf {
+namespace {
+
+// Naive reference for C = alpha * op(A) @ op(B) + beta * C. beta == 0
+// overwrites (never reads) C, matching the kernel's memset semantics.
+void naive_gemm_beta(bool ta, bool tb, std::int64_t m, std::int64_t n,
+                     std::int64_t k, float alpha, const Tensor& a,
+                     const Tensor& b, float beta, Tensor& c) {
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = ta ? a.at({p, i}) : a.at({i, p});
+        const float bv = tb ? b.at({j, p}) : b.at({p, j});
+        acc += static_cast<double>(av) * bv;
+      }
+      const double prior = beta == 0.f ? 0.0 : beta * c.at({i, j});
+      c.at({i, j}) = static_cast<float>(alpha * acc + prior);
+    }
+}
+
+class GemmBetaSweep
+    : public ::testing::TestWithParam<std::tuple<bool, bool, float>> {};
+
+TEST_P(GemmBetaSweep, OddShapesMatchNaive) {
+  const auto [ta, tb, beta] = GetParam();
+  // Deliberately not multiples of the 64/256/256 cache blocks.
+  const std::int64_t m = 65, n = 257, k = 300;
+  Rng rng(11 + (ta ? 1 : 0) + (tb ? 2 : 0) +
+          static_cast<std::uint64_t>(beta * 4));
+  Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+  Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+  Tensor c_init = Tensor::randn({m, n}, rng);
+  Tensor want = c_init.clone();
+  naive_gemm_beta(ta, tb, m, n, k, 1.f, a, b, beta, want);
+  Tensor got = c_init.clone();
+  gemm(ta, tb, m, n, k, 1.f, a.data(), a.size(1), b.data(), b.size(1), beta,
+       got.data(), n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got[i], want[i], 2e-3 * std::max(1.f, std::fabs(want[i])))
+        << "at " << i << " (ta=" << ta << " tb=" << tb << " beta=" << beta
+        << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransCombos, GemmBetaSweep,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(0.f, 1.f, 0.5f)));
+
+TEST(Gemm, AlphaScalesProducts) {
+  const std::int64_t m = 9, n = 31, k = 65;
+  Rng rng(23);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor want = Tensor::zeros({m, n});
+  naive_gemm_beta(false, false, m, n, k, 0.75f, a, b, 0.f, want);
+  Tensor got = Tensor::zeros({m, n});
+  gemm(false, false, m, n, k, 0.75f, a.data(), k, b.data(), n, 0.f,
+       got.data(), n);
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_NEAR(got[i], want[i], 2e-3 * std::max(1.f, std::fabs(want[i])));
+}
+
+TEST(Gemm, SplitMAtRowPanelsIsBitwiseIdentical) {
+  // The fused attention kernel splits one logical gemm into independent
+  // calls at kGemmRowPanel boundaries; results must match bit for bit.
+  const std::int64_t m = 150, n = 70, k = 40;  // spans 3 panels, ragged tail
+  Rng rng(31);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor whole = Tensor::zeros({m, n});
+  gemm(false, false, m, n, k, 1.f, a.data(), k, b.data(), n, 0.f,
+       whole.data(), n);
+  Tensor split = Tensor::zeros({m, n});
+  for (std::int64_t i0 = 0; i0 < m; i0 += kGemmRowPanel) {
+    const std::int64_t rows = std::min(kGemmRowPanel, m - i0);
+    gemm(false, false, rows, n, k, 1.f, a.data() + i0 * k, k, b.data(), n,
+         0.f, split.data() + i0 * n, n);
+  }
+  for (std::int64_t i = 0; i < whole.numel(); ++i)
+    ASSERT_EQ(whole[i], split[i]) << "at " << i;
+}
+
+}  // namespace
+}  // namespace apf

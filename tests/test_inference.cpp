@@ -1,0 +1,234 @@
+// Inference fast-path tests: GradMode semantics, the fused masked
+// attention kernel against the composed bmm/scale/softmax/bmm reference
+// (bitwise), grad-on vs grad-off forwards (bitwise at the model output),
+// and the serve::InferenceEngine end to end.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+#include "models/unetr.h"
+#include "nn/attention.h"
+#include "serve/engine.h"
+#include "tensor/ops.h"
+
+namespace apf {
+namespace {
+
+// The taped pipeline's value computation, composed from forward kernels.
+Tensor ref_attention(const Tensor& q, const Tensor& k, const Tensor& v,
+                     float scale, const Tensor* mask) {
+  Tensor scores = ops::mul_scalar(ops::bmm(q, k, false, true), scale);
+  Tensor probs = ops::softmax_lastdim(scores, mask);
+  return ops::bmm(probs, v);
+}
+
+TEST(FusedAttention, UnmaskedBitwiseMatchesComposed) {
+  Rng rng(7);
+  const std::int64_t b = 2, h = 3, l = 70, dh = 8;  // ragged row panel
+  Tensor q = Tensor::randn({b * h, l, dh}, rng);
+  Tensor k = Tensor::randn({b * h, l, dh}, rng);
+  Tensor v = Tensor::randn({b * h, l, dh}, rng);
+  const float scale = 1.f / std::sqrt(static_cast<float>(dh));
+  Tensor want = ref_attention(q, k, v, scale, nullptr);
+  Tensor got = nn::fused_masked_attention(q, k, v, scale, nullptr, b);
+  ASSERT_EQ(got.shape(), want.shape());
+  for (std::int64_t i = 0; i < got.numel(); ++i)
+    ASSERT_EQ(got[i], want[i]) << "at " << i;
+}
+
+TEST(FusedAttention, MaskedBitwiseMatchesComposedOnValidRows) {
+  Rng rng(9);
+  const std::int64_t b = 2, h = 2, l = 100, dh = 8;
+  Tensor q = Tensor::randn({b * h, l, dh}, rng);
+  Tensor k = Tensor::randn({b * h, l, dh}, rng);
+  Tensor v = Tensor::randn({b * h, l, dh}, rng);
+  // Item 0 is padded past token 37 (fit_to_length-style suffix padding);
+  // item 1 is fully valid.
+  Tensor mask = Tensor::zeros({b, l});
+  const std::int64_t valid0 = 37;
+  for (std::int64_t j = 0; j < valid0; ++j) mask.at({0, j}) = 1.f;
+  for (std::int64_t j = 0; j < l; ++j) mask.at({1, j}) = 1.f;
+  const float scale = 0.25f;
+  Tensor want = ref_attention(q, k, v, scale, &mask);
+  Tensor got = nn::fused_masked_attention(q, k, v, scale, &mask, b);
+  for (std::int64_t bi = 0; bi < b * h; ++bi) {
+    const std::int64_t nv = (bi / h == 0) ? valid0 : l;
+    for (std::int64_t i = 0; i < l; ++i) {
+      for (std::int64_t d = 0; d < dh; ++d) {
+        const float gv = got.at({bi, i, d});
+        if (i < nv) {
+          // Valid query rows: bitwise identical to the taped values.
+          ASSERT_EQ(gv, want.at({bi, i, d}))
+              << "bi=" << bi << " i=" << i << " d=" << d;
+        } else {
+          // Padded query rows are unspecified in the reference; the fused
+          // kernel defines them as zero.
+          ASSERT_EQ(gv, 0.f) << "bi=" << bi << " i=" << i << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(FusedAttention, FullyMaskedItemIsZeroNotNaN) {
+  Rng rng(13);
+  const std::int64_t b = 2, h = 1, l = 6, dh = 4;
+  Tensor q = Tensor::randn({b * h, l, dh}, rng);
+  Tensor k = Tensor::randn({b * h, l, dh}, rng);
+  Tensor v = Tensor::randn({b * h, l, dh}, rng);
+  Tensor mask = Tensor::zeros({b, l});  // item 0 fully masked
+  for (std::int64_t j = 0; j < l; ++j) mask.at({1, j}) = 1.f;
+  Tensor got = nn::fused_masked_attention(q, k, v, 1.f, &mask, b);
+  for (std::int64_t i = 0; i < l * dh; ++i) {
+    EXPECT_EQ(got[i], 0.f);                    // item 0: all zeros
+    EXPECT_TRUE(std::isfinite(got[l * dh + i]));  // item 1: finite values
+  }
+}
+
+TEST(MultiHeadAttention, NoGradForwardBitwiseMatchesTaped_Unmasked) {
+  Rng rng(17);
+  nn::MultiHeadAttention mha(32, 4, rng);
+  mha.set_training(false);
+  Tensor x = Tensor::randn({2, 70, 32}, rng);
+  Var taped = mha.forward(Var::constant(x));
+  Tensor fused;
+  {
+    NoGradGuard ng;
+    fused = mha.forward(Var::constant(x)).val();
+  }
+  ASSERT_EQ(taped.shape(), fused.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(taped.val()[i], fused[i]) << "at " << i;
+}
+
+// End-to-end bitwise equality at the model output under a padded mask:
+// the fused kernel zeroes padded rows where the taped path computes
+// garbage, but padding never leaks into the pixel logits.
+TEST(Unetr2d, NoGradForwardBitwiseMatchesTaped_MaskedBatch) {
+  const std::int64_t z = 64, patch = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 2;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(1);
+  models::Unetr2d model(mcfg, mrng);
+  model.set_training(false);
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  core::ApfConfig acfg;
+  acfg.patch_size = patch;
+  acfg.min_patch = patch;
+  acfg.max_depth = 6;
+  acfg.seq_len = 96;  // forces suffix padding (mask has zero tail)
+  core::PatchSequence seq =
+      core::AdaptivePatcher(acfg).process(gen.sample(0).image);
+  ASSERT_LT(seq.num_valid(), seq.length()) << "workload must be padded";
+  core::TokenBatch batch = core::make_batch({seq});
+
+  Rng fwd_rng(0);
+  Var taped = model.forward(batch, fwd_rng);
+  Tensor fused;
+  {
+    NoGradGuard ng;
+    fused = model.forward(batch, fwd_rng).val();
+  }
+  ASSERT_EQ(taped.shape(), fused.shape());
+  for (std::int64_t i = 0; i < fused.numel(); ++i)
+    ASSERT_EQ(taped.val()[i], fused[i]) << "at " << i;
+}
+
+TEST(InferenceEngine, ShapesDeterminismAndTapedEquivalence) {
+  const std::int64_t z = 32, patch = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 1;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(2);
+  models::Unetr2d model(mcfg, mrng);
+
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = patch;
+  ecfg.patcher.min_patch = patch;
+  ecfg.patcher.max_depth = 5;
+  ecfg.patcher.seq_len = 40;
+  ecfg.max_batch = 2;  // exercises chunking with 3 images
+  serve::InferenceEngine engine(model, ecfg);
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  std::vector<img::Image> images;
+  for (std::int64_t i = 0; i < 3; ++i) images.push_back(gen.sample(i).image);
+
+  model.set_training(true);  // engine must force eval and then restore
+  serve::InferenceResult res = engine.run(images);
+  EXPECT_TRUE(model.training());
+  ASSERT_EQ(res.logits.shape(), (Shape{3, 1, z, z}));
+  ASSERT_EQ(res.masks.size(), 3u);
+  EXPECT_EQ(res.stats.images, 3);
+  EXPECT_GT(res.stats.tokens, 0);
+  for (const img::Image& m : res.masks) {
+    ASSERT_EQ(m.h, z);
+    ASSERT_EQ(m.w, z);
+    for (float p : m.data) EXPECT_TRUE(p == 0.f || p == 1.f);
+  }
+
+  // Deterministic: a second run is bitwise identical.
+  serve::InferenceResult res2 = engine.run(images);
+  for (std::int64_t i = 0; i < res.logits.numel(); ++i)
+    ASSERT_EQ(res.logits[i], res2.logits[i]) << "at " << i;
+
+  // Equivalent to the taped eval-mode forward on the same token batch.
+  model.set_training(false);
+  std::vector<core::PatchSequence> seqs;
+  for (const img::Image& im : images)
+    seqs.push_back(core::AdaptivePatcher(ecfg.patcher).process(im));
+  core::TokenBatch batch = core::make_batch(seqs);
+  Rng fwd_rng(0);
+  Var taped = model.forward(batch, fwd_rng);
+  for (std::int64_t i = 0; i < res.logits.numel(); ++i)
+    ASSERT_EQ(res.logits[i], taped.val()[i]) << "at " << i;
+}
+
+TEST(InferenceEngine, SingleImagePredictMask) {
+  const std::int64_t z = 32, patch = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 1;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(3);
+  models::Unetr2d model(mcfg, mrng);
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = patch;
+  ecfg.patcher.min_patch = patch;
+  ecfg.patcher.max_depth = 5;
+  serve::InferenceEngine engine(model, ecfg);
+  data::PaipConfig pc;
+  pc.resolution = z;
+  img::Image mask =
+      engine.predict_mask(data::SyntheticPaip(pc).sample(0).image);
+  EXPECT_EQ(mask.h, z);
+  EXPECT_EQ(mask.w, z);
+  EXPECT_EQ(mask.c, 1);
+}
+
+}  // namespace
+}  // namespace apf

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "tensor/gemm.h"
@@ -302,6 +303,27 @@ TEST(Ops, SoftmaxFullyMaskedRowIsZero) {
   Tensor mask = Tensor::zeros({1, 3});
   Tensor y = ops::softmax_lastdim(x, &mask);
   for (std::int64_t i = 0; i < 3; ++i) EXPECT_EQ(y[i], 0.f);
+}
+
+TEST(Ops, SoftmaxNoMassRowsAreZeroNotNaN) {
+  // Rows with no surviving probability mass must come out all-zero on
+  // every path: fully masked, and all unmasked entries -inf.
+  const float ninf = -std::numeric_limits<float>::infinity();
+  Tensor x = Tensor::from({ninf, ninf, ninf, 0.f, ninf, 1.f}, {2, 3});
+  Tensor y = ops::softmax_lastdim(x);
+  for (std::int64_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(y[j], 0.f) << "all -inf row must be zero, not NaN";
+    EXPECT_FALSE(std::isnan(y[3 + j]));
+  }
+  // Mixed: the finite entries of row 1 still form a proper distribution.
+  EXPECT_NEAR(y.at({1, 0}) + y.at({1, 2}), 1.f, 1e-6);
+
+  // Masked variant where the only unmasked key is -inf.
+  Tensor x2 = Tensor::from({ninf, 5.f}, {1, 2});
+  Tensor m2 = Tensor::from({1, 0}, {1, 2});
+  Tensor y2 = ops::softmax_lastdim(x2, &m2);
+  EXPECT_EQ(y2[0], 0.f);
+  EXPECT_EQ(y2[1], 0.f);
 }
 
 TEST(Ops, SoftmaxMaskWithMultipleRowsPerBatch) {
