@@ -28,10 +28,59 @@
 
 #include "bench_util.h"
 #include "serve/engine.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
 
 using namespace apf;
 
 namespace {
+
+// Sweeps every available gemm backend over a serving-shaped workload — one
+// ViT-Base-width linear layer over `tokens` tokens, C[tokens x 768] =
+// A[tokens x 768] @ W[768 x 768]^T — and reports GFLOP/s plus the speedup
+// over the reference backend. Restores the entry backend before returning.
+void gemm_backend_sweep(std::int64_t tokens) {
+  const std::int64_t m = tokens, n = 768, k = 768;
+  Rng rng(0xbe9c);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor w = Tensor::randn({n, k}, rng);
+  Tensor c = Tensor::zeros({m, n});
+  const std::string entry = active_gemm_backend().name();
+
+  std::printf("gemm backends (%lld-token x %lldx%lld linear):\n",
+              static_cast<long long>(m), static_cast<long long>(n),
+              static_cast<long long>(k));
+  // Reference first so the other rows can print their speedup against it.
+  std::vector<std::string> names = available_gemm_backend_names();
+  for (std::size_t i = 0; i < names.size(); ++i)
+    if (names[i] == "reference") std::swap(names[0], names[i]);
+  double ref_gflops = 0.0;
+  for (const std::string& name : names) {
+    set_gemm_backend(name);
+    auto call = [&] {
+      gemm(false, true, m, n, k, 1.f, a.data(), k, w.data(), k, 0.f,
+           c.data(), n);
+    };
+    call();  // warm-up
+    int reps = 0;
+    bench::Stopwatch sw;
+    double sec = 0.0;
+    do {
+      call();
+      ++reps;
+      sec = sw.seconds();
+    } while (sec < 0.5);
+    const double gflops = 2.0 * m * n * k * reps / sec / 1e9;
+    if (name == "reference") ref_gflops = gflops;
+    std::printf("  %-10s %8.2f GFLOP/s", name.c_str(), gflops);
+    if (name != "reference" && ref_gflops > 0.0)
+      std::printf("   (%.2fx vs reference)", gflops / ref_gflops);
+    std::printf("\n");
+  }
+  set_gemm_backend(entry);
+}
 
 double peak_rss_mb() {
   struct rusage ru;
@@ -162,6 +211,10 @@ int main(int argc, char** argv) {
       headline_speedup, identical ? "IDENTICAL" : "MISMATCH", rss_nograd,
       rss_grad);
 
+  // --- Compute-backend sweep on the serving token budget.
+  bench::rule(78);
+  gemm_backend_sweep(seq_len);
+
   // --- End-to-end serving throughput: patching + batched fused forward.
   serve::EngineConfig ecfg;
   ecfg.patcher = acfg;
@@ -172,11 +225,15 @@ int main(int argc, char** argv) {
   serve::InferenceResult res = engine.run(images);
   std::printf(
       "engine: %lld images in %.3fs (%.2f img/s; patch %.3fs, forward "
-      "%.3fs), %lld valid + %lld pad tokens\n",
+      "%.3fs), %lld valid + %lld pad tokens\n"
+      "engine: gemm backend %s, encoder %.2f GFLOP/s delivered "
+      "(%.2f GFLOP over the valid tokens)\n",
       static_cast<long long>(res.stats.images), res.stats.total_seconds,
       res.stats.images_per_sec(), res.stats.patch_seconds,
       res.stats.forward_seconds, static_cast<long long>(res.stats.tokens),
-      static_cast<long long>(res.stats.padded_tokens));
+      static_cast<long long>(res.stats.padded_tokens),
+      res.stats.gemm_backend.c_str(), res.stats.model_gflops_per_sec(),
+      res.stats.model_flops / 1e9);
 
   return identical ? 0 : 1;
 }

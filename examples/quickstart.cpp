@@ -98,11 +98,14 @@ int main(int argc, char** argv) {
   apf::serve::InferenceResult res = engine.run({demo, demo});
   std::printf(
       "inference engine (untrained UNETR, %lldpx): %lld images, "
-      "%lld tokens, %.2f img/s (forward %.3fs, no autograd tape)\n",
+      "%lld tokens, %.2f img/s (forward %.3fs, no autograd tape)\n"
+      "compute backend: %s gemm, %.2f encoder GFLOP/s delivered "
+      "(select with APF_GEMM_BACKEND=reference|avx2|blas)\n",
       static_cast<long long>(dz),
       static_cast<long long>(res.stats.images),
       static_cast<long long>(res.stats.tokens), res.stats.images_per_sec(),
-      res.stats.forward_seconds);
+      res.stats.forward_seconds, res.stats.gemm_backend.c_str(),
+      res.stats.model_gflops_per_sec());
   apf::img::write_pgm("quickstart_mask.pgm", res.masks[0]);
   std::printf("wrote quickstart_mask.pgm\n");
   return 0;

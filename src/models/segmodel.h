@@ -4,6 +4,7 @@
 // (pure CNNs on raw NCHW input).
 
 #include "core/patcher.h"
+#include "dist/perf_model.h"
 #include "nn/module.h"
 
 namespace apf::models {
@@ -13,6 +14,17 @@ namespace apf::models {
 class TokenSegModel : public nn::Module {
  public:
   virtual Var forward(const core::TokenBatch& batch, Rng& rng) const = 0;
+
+  /// Analytical shape of the transformer stem for throughput accounting
+  /// (dist::vit_flops_per_image). spec.seq_len is a placeholder the caller
+  /// overwrites with the actual per-image token count. Models without a
+  /// meaningful mapping return d_model == 0 and callers skip FLOP
+  /// reporting.
+  virtual dist::VitSpec encoder_spec() const {
+    dist::VitSpec spec;
+    spec.d_model = 0;
+    return spec;
+  }
 };
 
 /// Segmentation model consuming raw images [B, C, H, W]; returns logits of

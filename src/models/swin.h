@@ -53,6 +53,18 @@ class SwinUnetrLite : public TokenSegModel {
   /// Requires a full uniform-grid batch (mask all ones, length (Z/P)^2).
   Var forward(const core::TokenBatch& batch, Rng& rng) const override;
 
+  /// Windowed attention is cheaper than the global attention this models,
+  /// so the estimate is an upper bound (SwinBlock MLPs use ratio 4).
+  dist::VitSpec encoder_spec() const override {
+    dist::VitSpec spec;
+    spec.token_dim = cfg_.token_dim;
+    spec.d_model = cfg_.d_model;
+    spec.depth = 2 * cfg_.depth_pairs;
+    spec.heads = cfg_.heads;
+    spec.mlp_ratio = 4;
+    return spec;
+  }
+
   const SwinUnetrConfig& config() const { return cfg_; }
 
  private:

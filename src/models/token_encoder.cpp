@@ -22,7 +22,11 @@ Var TokenEncoder::embed(const core::TokenBatch& batch) const {
             "TokenEncoder: token dim " << batch.tokens.size(2) << " vs config "
                                        << cfg_.token_dim);
   Var x = Var::constant(batch.tokens);
-  Var h = patch_embed_.forward(x);  // [B, L, D]
+  // Grad-free, the patch embedding skips each item's padded suffix rows
+  // (layers.h); the positional/scale adds below still touch every row, but
+  // padded rows never reach the output (attention prunes them, scatter and
+  // pooling drop them).
+  Var h = patch_embed_.forward(x, &batch.mask);  // [B, L, D]
 
   // Positional features are constants; scale embeddings are learned.
   Tensor pos({b, l, cfg_.d_model});

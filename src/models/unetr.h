@@ -54,6 +54,18 @@ class Unetr2d : public TokenSegModel {
   /// Token batch -> per-pixel logits [B, out_channels, Z, Z].
   Var forward(const core::TokenBatch& batch, Rng& rng) const override;
 
+  /// Encoder shape for dist::vit_flops_per_image (seq_len left for the
+  /// caller to fill with the actual token count).
+  dist::VitSpec encoder_spec() const override {
+    dist::VitSpec spec;
+    spec.token_dim = cfg_.enc.token_dim;
+    spec.d_model = cfg_.enc.d_model;
+    spec.depth = cfg_.enc.depth;
+    spec.heads = cfg_.enc.heads;
+    spec.mlp_ratio = cfg_.enc.mlp_ratio;
+    return spec;
+  }
+
   const UnetrConfig& config() const { return cfg_; }
 
  private:

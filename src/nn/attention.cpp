@@ -45,16 +45,14 @@ Tensor fused_masked_attention(const Tensor& q, const Tensor& k,
   // the same bound prunes padded *query* rows: their outputs are
   // contractually unspecified, and the fused path defines them as zero —
   // this is where batched serving with padded sequences wins big, since
-  // the taped path pays full L x L attention on padding.
-  std::vector<std::int64_t> n_eff(static_cast<std::size_t>(batch), n);
+  // the taped path pays full L x L attention on padding. The mask-aware
+  // dense layers use the same prefix (valid_prefix_lengths), so everything
+  // downstream of a padded row agrees on what is skippable.
+  std::vector<std::int64_t> n_eff;
   if (pm != nullptr) {
-    for (std::int64_t bimg = 0; bimg < batch; ++bimg) {
-      const float* mrow = pm + bimg * n;
-      std::int64_t last = 0;
-      for (std::int64_t j = 0; j < n; ++j)
-        if (mrow[j] != 0.f) last = j + 1;
-      n_eff[static_cast<std::size_t>(bimg)] = last;
-    }
+    n_eff = valid_prefix_lengths(*key_mask);
+  } else {
+    n_eff.assign(static_cast<std::size_t>(batch), n);
   }
   const bool prune_queries = (l == n);
 
@@ -140,7 +138,9 @@ Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
   const std::int64_t b = x.size(0), l = x.size(1);
   APF_CHECK(x.size(2) == dim_, "MHA: input dim " << x.size(2) << " vs " << dim_);
 
-  Var qkv = qkv_.forward(x);  // [B, L, 3D]
+  // key_mask reaches the projections too: grad-free, they skip each item's
+  // padded suffix rows (bitwise-neutral for valid rows, see layers.h).
+  Var qkv = qkv_.forward(x, key_mask);  // [B, L, 3D]
   const float scale = 1.f / std::sqrt(static_cast<float>(head_dim_));
 
   if (!ag::GradMode::is_enabled()) {
@@ -159,7 +159,7 @@ Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
     Tensor merged =
         ops::permute(ctx.reshape({b, heads_, l, head_dim_}), {0, 2, 1, 3})
             .reshape({b, l, dim_});
-    return proj_.forward(Var::constant(merged));
+    return proj_.forward(Var::constant(merged), key_mask);
   }
 
   // Split into q, k, v then lay out as [B*H, L, Dh].
@@ -196,10 +196,12 @@ TransformerEncoderLayer::TransformerEncoderLayer(std::int64_t dim,
 
 Var TransformerEncoderLayer::forward(const Var& x, const Tensor* key_mask,
                                      Rng& rng) const {
-  Var a = attn_.forward(ln1_.forward(x), key_mask);
+  // The mask flows into the dense sub-layers too; they ignore it while
+  // grad is enabled and skip padded suffix rows on the serving path.
+  Var a = attn_.forward(ln1_.forward(x, key_mask), key_mask);
   a = ag::dropout(a, dropout_, rng, training());
   Var h = ag::add(x, a);
-  Var m = mlp_.forward(ln2_.forward(h));
+  Var m = mlp_.forward(ln2_.forward(h, key_mask), key_mask);
   m = ag::dropout(m, dropout_, rng, training());
   return ag::add(h, m);
 }
@@ -221,7 +223,7 @@ Var TransformerEncoder::forward(const Var& x, const Tensor* key_mask,
                                 Rng& rng) const {
   Var h = x;
   for (const auto& layer : layers_) h = layer->forward(h, key_mask, rng);
-  return final_ln_.forward(h);
+  return final_ln_.forward(h, key_mask);
 }
 
 Var TransformerEncoder::forward_collect(const Var& x, const Tensor* key_mask,
@@ -237,7 +239,7 @@ Var TransformerEncoder::forward_collect(const Var& x, const Tensor* key_mask,
     for (int tap : tap_layers)
       if (tap == layer_no) hidden.push_back(h);
   }
-  return final_ln_.forward(h);
+  return final_ln_.forward(h, key_mask);
 }
 
 }  // namespace apf::nn

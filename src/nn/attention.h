@@ -43,7 +43,8 @@ class MultiHeadAttention : public Module {
   /// Padding keys receive zero attention; padding query rows produce
   /// unspecified values and must be masked downstream. When GradMode is
   /// disabled the forward takes the fused_masked_attention route
-  /// (bitwise-identical values, no tape, no L x L tensors).
+  /// (bitwise-identical values, no tape, no L x L tensors) and the qkv /
+  /// output projections skip each item's padded suffix rows (layers.h).
   Var forward(const Var& x, const Tensor* key_mask = nullptr) const;
 
   std::int64_t dim() const { return dim_; }

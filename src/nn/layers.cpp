@@ -1,10 +1,46 @@
 #include "nn/layers.h"
 
+#include <numeric>
+
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/parallel_for.h"
 
 namespace apf::nn {
+
+std::vector<std::int64_t> valid_prefix_lengths(const Tensor& key_mask) {
+  APF_CHECK(key_mask.ndim() == 2,
+            "valid_prefix_lengths: mask must be [B, L], got "
+                << key_mask.str());
+  const std::int64_t b = key_mask.size(0), l = key_mask.size(1);
+  std::vector<std::int64_t> out(static_cast<std::size_t>(b), 0);
+  const float* pm = key_mask.data();
+  for (std::int64_t i = 0; i < b; ++i) {
+    const float* row = pm + i * l;
+    std::int64_t last = 0;
+    for (std::int64_t j = 0; j < l; ++j)
+      if (row[j] != 0.f) last = j + 1;
+    out[static_cast<std::size_t>(i)] = last;
+  }
+  return out;
+}
+
+namespace {
+
+// The mask-aware row-skipping path applies only on the grad-free serving
+// path, for [B, L, D] activations with a matching [B, L] mask.
+bool mask_rows_applicable(const Shape& s, const Tensor* key_mask) {
+  return key_mask != nullptr && !ag::grad_enabled() && s.size() == 3 &&
+         key_mask->ndim() == 2 && key_mask->size(0) == s[0] &&
+         key_mask->size(1) == s[1];
+}
+
+std::int64_t total_rows(const std::vector<std::int64_t>& n_eff) {
+  return std::accumulate(n_eff.begin(), n_eff.end(), std::int64_t{0});
+}
+
+}  // namespace
 
 Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
                bool bias)
@@ -13,10 +49,46 @@ Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
   if (bias) bias_ = add_param("bias", Tensor::zeros({out_}));
 }
 
-Var Linear::forward(const Var& x) const {
+Var Linear::forward(const Var& x, const Tensor* key_mask) const {
   const Shape& s = x.shape();
   APF_CHECK(s.size() >= 2 && s.back() == in_,
             "Linear: input " << x.val().str() << " vs in_features " << in_);
+  if (mask_rows_applicable(s, key_mask)) {
+    const std::int64_t b = s[0], l = s[1];
+    const std::vector<std::int64_t> n_eff = valid_prefix_lengths(*key_mask);
+    if (total_rows(n_eff) < b * l) {
+      // One gemm per item over just its valid prefix; padded suffix rows
+      // stay zero. Valid rows are bitwise identical to the full [B*L]
+      // call by the gemm row-stability contract — which also makes the
+      // items independent, so the loop may run in either regime: below
+      // num_threads() items it stays serial and each gemm parallelizes
+      // internally over its row panels (keeping every core busy for small
+      // batches); at or above, the items themselves parallelize and the
+      // nested gemms run serial.
+      Tensor y({b, l, out_});
+      const float* px = x.val().data();
+      const float* pw = weight_.val().data();
+      float* py = y.data();
+      parallel_for(
+          b,
+          [&](std::int64_t i) {
+            const std::int64_t rows = n_eff[static_cast<std::size_t>(i)];
+            if (rows == 0) return;
+            gemm(false, true, rows, out_, in_, 1.f, px + i * l * in_, in_,
+                 pw, in_, 0.f, py + i * l * out_, out_);
+          },
+          /*grain=*/num_threads());
+      if (bias_.defined()) {
+        const float* pb = bias_.val().data();
+        parallel_for(b * l, [&](std::int64_t r) {
+          if (r % l >= n_eff[static_cast<std::size_t>(r / l)]) return;
+          float* row = py + r * out_;
+          for (std::int64_t j = 0; j < out_; ++j) row[j] += pb[j];
+        });
+      }
+      return Var::constant(std::move(y));
+    }
+  }
   Var flat = s.size() == 2 ? x : ag::reshape(x, {-1, in_});
   Var y = ag::matmul(flat, weight_, false, true);
   if (bias_.defined()) y = ag::add_bias(y, bias_);
@@ -33,7 +105,26 @@ LayerNorm::LayerNorm(std::int64_t dim, float eps) : eps_(eps) {
   beta_ = add_param("beta", Tensor::zeros({dim}));
 }
 
-Var LayerNorm::forward(const Var& x) const {
+Var LayerNorm::forward(const Var& x, const Tensor* key_mask) const {
+  if (mask_rows_applicable(x.shape(), key_mask)) {
+    const std::int64_t b = x.size(0), l = x.size(1), d = x.size(2);
+    APF_CHECK(gamma_.val().numel() == d && beta_.val().numel() == d,
+              "layernorm: affine params must be [" << d << "]");
+    const std::vector<std::int64_t> n_eff = valid_prefix_lengths(*key_mask);
+    if (total_rows(n_eff) < b * l) {
+      Tensor y(x.shape());  // zero-init: padded rows stay zero
+      const float* px = x.val().data();
+      const float* pg = gamma_.val().data();
+      const float* pb = beta_.val().data();
+      float* py = y.data();
+      parallel_for(b * l, [&](std::int64_t r) {
+        if (r % l >= n_eff[static_cast<std::size_t>(r / l)]) return;
+        ops::layernorm_row(px + r * d, pg, pb, eps_, d, py + r * d,
+                           /*xhat=*/nullptr, /*inv_std=*/nullptr);
+      });
+      return Var::constant(std::move(y));
+    }
+  }
   return ag::layernorm(x, gamma_, beta_, eps_);
 }
 
@@ -77,7 +168,27 @@ Mlp::Mlp(std::int64_t dim, std::int64_t hidden, Rng& rng)
   add_child("fc2", fc2_);
 }
 
-Var Mlp::forward(const Var& x) const {
+Var Mlp::forward(const Var& x, const Tensor* key_mask) const {
+  if (mask_rows_applicable(x.shape(), key_mask)) {
+    const std::int64_t b = x.size(0), l = x.size(1);
+    const std::vector<std::int64_t> n_eff = valid_prefix_lengths(*key_mask);
+    if (total_rows(n_eff) < b * l) {
+      Var h = fc1_.forward(x, key_mask);
+      // GELU on the valid prefix only (same scalar function as ops::gelu,
+      // so valid rows match the full elementwise pass bitwise).
+      Tensor g(h.shape());
+      const std::int64_t hd = h.size(2);
+      const float* ph = h.val().data();
+      float* pg = g.data();
+      parallel_for(b * l, [&](std::int64_t r) {
+        if (r % l >= n_eff[static_cast<std::size_t>(r / l)]) return;
+        const float* hr = ph + r * hd;
+        float* gr = pg + r * hd;
+        for (std::int64_t j = 0; j < hd; ++j) gr[j] = ops::gelu_scalar(hr[j]);
+      });
+      return fc2_.forward(Var::constant(std::move(g)), key_mask);
+    }
+  }
   return fc2_.forward(ag::gelu(fc1_.forward(x)));
 }
 

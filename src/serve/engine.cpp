@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "tensor/gemm_backend.h"
+
 namespace apf::serve {
 namespace {
 
@@ -31,9 +33,19 @@ class EvalGuard {
 InferenceEngine::InferenceEngine(models::TokenSegModel& model,
                                  EngineConfig cfg)
     : model_(model), cfg_(cfg), patcher_(cfg.patcher), rng_(0x5eed) {
-  APF_CHECK(cfg_.max_batch >= 1, "InferenceEngine: max_batch must be >= 1");
-  APF_CHECK(cfg_.mask_threshold > 0.f && cfg_.mask_threshold < 1.f,
-            "InferenceEngine: mask_threshold must be in (0, 1)");
+  APF_CHECK(cfg_.max_batch > 0,
+            "EngineConfig: max_batch must be positive, got "
+                << cfg_.max_batch);
+  // The comparison form also rejects NaN. 0 and 1 are legal degenerate
+  // thresholds (everything / nothing foreground): the logit-space cutoff
+  // becomes -inf / +inf and the comparisons below stay well defined.
+  APF_CHECK(cfg_.mask_threshold >= 0.f && cfg_.mask_threshold <= 1.f,
+            "EngineConfig: mask_threshold must be in [0, 1], got "
+                << cfg_.mask_threshold);
+  APF_CHECK(cfg_.patcher.seq_len >= 0,
+            "EngineConfig: patcher seq_len must be >= 0 (0 = variable "
+            "length), got "
+                << cfg_.patcher.seq_len);
 }
 
 InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
@@ -91,6 +103,19 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
     }
   }
   out.stats.forward_seconds = seconds_since(t_fwd);
+  out.stats.gemm_backend = active_gemm_backend().name();
+
+  // Delivered encoder compute: the serving path skips padding everywhere
+  // (fused attention + mask-aware dense layers), so each image costs its
+  // VALID token count, not the padded batch length.
+  dist::VitSpec spec = model_.encoder_spec();
+  if (spec.d_model > 0) {
+    for (const core::PatchSequence& s : seqs) {
+      spec.seq_len = s.num_valid();
+      if (spec.seq_len > 0)
+        out.stats.model_flops += dist::vit_flops_per_image(spec);
+    }
+  }
 
   // 4. Decode pixel-space masks: sigmoid threshold for binary heads,
   // per-pixel argmax for multi-class. The sigmoid cutoff is applied in

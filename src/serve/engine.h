@@ -10,6 +10,7 @@
 // attention intermediates are gone.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/apf_config.h"
@@ -20,6 +21,10 @@
 namespace apf::serve {
 
 /// Serving configuration: the patching schedule plus batching knobs.
+/// Validated when the InferenceEngine is constructed: max_batch must be
+/// positive, mask_threshold within [0, 1] (0 marks every pixel foreground,
+/// 1 marks none), and the patcher's seq_len non-negative (0 = variable
+/// length).
 struct EngineConfig {
   core::ApfConfig patcher;      ///< adaptive-patching pipeline settings;
                                 ///< seq_len > 0 gives fixed-length batches
@@ -35,8 +40,19 @@ struct InferenceStats {
   double patch_seconds = 0.0;      ///< edge map + quadtree + resample
   double forward_seconds = 0.0;    ///< model time under NoGradGuard
   double total_seconds = 0.0;
+  /// Active gemm backend name (tensor/gemm_backend.h) during the forward.
+  std::string gemm_backend;
+  /// Analytical encoder FLOPs actually delivered: the sum over images of
+  /// dist::vit_flops_per_image at each image's VALID token count (the
+  /// fused attention + mask-aware dense layers skip padding, so padded
+  /// tokens do not count). 0 when the model reports no encoder_spec.
+  double model_flops = 0.0;
   double images_per_sec() const {
     return total_seconds > 0.0 ? images / total_seconds : 0.0;
+  }
+  /// Delivered encoder compute throughput over the grad-free forward.
+  double model_gflops_per_sec() const {
+    return forward_seconds > 0.0 ? model_flops / forward_seconds / 1e9 : 0.0;
   }
 };
 
@@ -54,6 +70,7 @@ class InferenceEngine {
  public:
   /// The engine borrows the model; the caller keeps it alive. The model's
   /// train/eval mode is saved, forced to eval for the forward, restored.
+  /// Throws detail::CheckError when cfg is invalid (see EngineConfig).
   InferenceEngine(models::TokenSegModel& model, EngineConfig cfg);
 
   /// Full pipeline for a batch of images: patch -> pad to a common length

@@ -317,25 +317,11 @@ Var layernorm(const Var& x, const Var& gamma, const Var& beta, float eps) {
     float* py = y.data();
     float* ph = save_for_backward ? xhat.data() : nullptr;
     float* pis = save_for_backward ? inv_std.data() : nullptr;
+    // Row math lives in ops::layernorm_row so the mask-aware inference
+    // path (nn::LayerNorm) can replicate it bitwise on a row subset.
     parallel_for(rows, [&](std::int64_t r) {
-      const float* xr = px + r * d;
-      double mu = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) mu += xr[j];
-      mu /= d;
-      double var = 0.0;
-      for (std::int64_t j = 0; j < d; ++j) {
-        const double c = xr[j] - mu;
-        var += c * c;
-      }
-      var /= d;
-      const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
-      if (pis) pis[r] = is;
-      float* yr = py + r * d;
-      for (std::int64_t j = 0; j < d; ++j) {
-        const float h = (xr[j] - static_cast<float>(mu)) * is;
-        if (ph) ph[r * d + j] = h;
-        yr[j] = h * pg[j] + pb[j];
-      }
+      ops::layernorm_row(px + r * d, pg, pb, eps, d, py + r * d,
+                         ph ? ph + r * d : nullptr, pis ? pis + r : nullptr);
     });
   }
 

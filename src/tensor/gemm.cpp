@@ -1,54 +1,19 @@
 #include "tensor/gemm.h"
 
 #include <algorithm>
-#include <cstring>
 #include <vector>
 
 #include "tensor/check.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/gemm_pack.h"
 #include "tensor/parallel_for.h"
 
 namespace apf {
 namespace {
 
-// Cache-blocking parameters, sized for typical L1/L2 of x86 cores. The
-// row-panel height is public (gemm.h) because split-m callers depend on it.
-constexpr std::int64_t kBlockM = kGemmRowPanel;
-constexpr std::int64_t kBlockN = 256;
-constexpr std::int64_t kBlockK = 256;
-
-// Packs a (rows x cols) block of op(A) into contiguous row-major storage so
-// the micro-kernel streams unit-stride regardless of transposition.
-void pack_a(bool trans, const float* a, std::int64_t lda, std::int64_t i0,
-            std::int64_t k0, std::int64_t rows, std::int64_t depth,
-            float* out) {
-  if (!trans) {
-    for (std::int64_t i = 0; i < rows; ++i)
-      std::memcpy(out + i * depth, a + (i0 + i) * lda + k0,
-                  sizeof(float) * static_cast<std::size_t>(depth));
-  } else {
-    for (std::int64_t i = 0; i < rows; ++i)
-      for (std::int64_t p = 0; p < depth; ++p)
-        out[i * depth + p] = a[(k0 + p) * lda + (i0 + i)];
-  }
-}
-
-// Packs a (depth x cols) block of op(B), row-major by depth.
-void pack_b(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
-            std::int64_t j0, std::int64_t depth, std::int64_t cols,
-            float* out) {
-  if (!trans) {
-    for (std::int64_t p = 0; p < depth; ++p)
-      std::memcpy(out + p * cols, b + (k0 + p) * ldb + j0,
-                  sizeof(float) * static_cast<std::size_t>(cols));
-  } else {
-    for (std::int64_t p = 0; p < depth; ++p)
-      for (std::int64_t j = 0; j < cols; ++j)
-        out[p * cols + j] = b[(j0 + j) * ldb + (k0 + p)];
-  }
-}
-
 // Inner kernel on packed blocks: C[rows x cols] += Ap[rows x depth] *
-// Bp[depth x cols]. The j-loop vectorizes under -O3 -march=native.
+// Bp[depth x cols]. The j-loop vectorizes with the baseline ISA; this is
+// the accumulation order every bitwise-exact backend must replicate.
 void micro_kernel(std::int64_t rows, std::int64_t cols, std::int64_t depth,
                   float alpha, const float* __restrict ap,
                   const float* __restrict bp, float* __restrict c,
@@ -64,7 +29,59 @@ void micro_kernel(std::int64_t rows, std::int64_t cols, std::int64_t depth,
   }
 }
 
+/// The portable blocked kernel — the bitwise ground truth every other
+/// backend is measured against (gemm.h contract).
+class ReferenceGemmBackend final : public GemmBackend {
+ public:
+  const char* name() const override { return "reference"; }
+  bool is_available() const override { return true; }
+  bool bitwise_exact() const override { return true; }
+
+  void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, std::int64_t lda,
+             const float* b, std::int64_t ldb, float beta, float* c,
+             std::int64_t ldc) const override {
+    detail::gemm_scale_c(m, n, beta, c, ldc);
+    if (k == 0 || alpha == 0.f) return;
+
+    const std::int64_t m_blocks =
+        (m + detail::kGemmBlockM - 1) / detail::kGemmBlockM;
+    parallel_for(
+        m_blocks,
+        [&](std::int64_t bi) {
+          const std::int64_t i0 = bi * detail::kGemmBlockM;
+          const std::int64_t rows = std::min(detail::kGemmBlockM, m - i0);
+          // Per-thread packing buffers; thread_local avoids repeated allocs.
+          thread_local std::vector<float> a_pack, b_pack;
+          a_pack.resize(static_cast<std::size_t>(detail::kGemmBlockM *
+                                                 detail::kGemmBlockK));
+          b_pack.resize(static_cast<std::size_t>(detail::kGemmBlockK *
+                                                 detail::kGemmBlockN));
+          for (std::int64_t k0 = 0; k0 < k; k0 += detail::kGemmBlockK) {
+            const std::int64_t depth = std::min(detail::kGemmBlockK, k - k0);
+            detail::gemm_pack_a(trans_a, a, lda, i0, k0, rows, depth,
+                                a_pack.data());
+            for (std::int64_t j0 = 0; j0 < n; j0 += detail::kGemmBlockN) {
+              const std::int64_t cols = std::min(detail::kGemmBlockN, n - j0);
+              detail::gemm_pack_b(trans_b, b, ldb, k0, j0, depth, cols,
+                                  b_pack.data());
+              micro_kernel(rows, cols, depth, alpha, a_pack.data(),
+                           b_pack.data(), c + i0 * ldc + j0, ldc);
+            }
+          }
+        },
+        /*grain=*/1);
+  }
+};
+
 }  // namespace
+
+namespace detail {
+GemmBackend* reference_gemm_backend() {
+  static ReferenceGemmBackend backend;
+  return &backend;
+}
+}  // namespace detail
 
 void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t k, float alpha, const float* a, std::int64_t lda,
@@ -72,42 +89,8 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
           std::int64_t ldc) {
   APF_CHECK(m >= 0 && n >= 0 && k >= 0, "gemm: negative dimension");
   if (m == 0 || n == 0) return;
-
-  // Scale C by beta first (also handles k == 0).
-  if (beta != 1.f) {
-    parallel_for(m, [&](std::int64_t i) {
-      float* row = c + i * ldc;
-      if (beta == 0.f) {
-        std::memset(row, 0, sizeof(float) * static_cast<std::size_t>(n));
-      } else {
-        for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
-      }
-    });
-  }
-  if (k == 0 || alpha == 0.f) return;
-
-  const std::int64_t m_blocks = (m + kBlockM - 1) / kBlockM;
-  parallel_for(
-      m_blocks,
-      [&](std::int64_t bi) {
-        const std::int64_t i0 = bi * kBlockM;
-        const std::int64_t rows = std::min(kBlockM, m - i0);
-        // Per-thread packing buffers; thread_local avoids repeated allocs.
-        thread_local std::vector<float> a_pack, b_pack;
-        a_pack.resize(static_cast<std::size_t>(kBlockM * kBlockK));
-        b_pack.resize(static_cast<std::size_t>(kBlockK * kBlockN));
-        for (std::int64_t k0 = 0; k0 < k; k0 += kBlockK) {
-          const std::int64_t depth = std::min(kBlockK, k - k0);
-          pack_a(trans_a, a, lda, i0, k0, rows, depth, a_pack.data());
-          for (std::int64_t j0 = 0; j0 < n; j0 += kBlockN) {
-            const std::int64_t cols = std::min(kBlockN, n - j0);
-            pack_b(trans_b, b, ldb, k0, j0, depth, cols, b_pack.data());
-            micro_kernel(rows, cols, depth, alpha, a_pack.data(),
-                         b_pack.data(), c + i0 * ldc + j0, ldc);
-          }
-        }
-      },
-      /*grain=*/1);
+  active_gemm_backend().sgemm(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                              ldb, beta, c, ldc);
 }
 
 }  // namespace apf

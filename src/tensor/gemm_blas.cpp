@@ -1,0 +1,85 @@
+// Optional external-CBLAS gemm backend.
+//
+// A thin adapter over cblas_sgemm, compiled in (APF_GEMM_CBLAS_BUILD) only
+// when CMake finds a CBLAS header + library at configure time; otherwise it
+// is an unavailable stub and selection requests for "blas" fall back with a
+// warning.
+//
+// Contract (gemm.h): the adapter issues one cblas_sgemm call per
+// kGemmRowPanel row panel, so the panel-level split-m guarantee holds by
+// construction — a sub-call starting at a panel boundary performs the exact
+// same CBLAS calls as the covering full-m call. The backend is NOT
+// bitwise_exact: an external BLAS chooses its own accumulation order, so
+// values may differ from the reference backend within normal fp32 rounding,
+// and row stability (arbitrary-row splits, n/k truncation) is not
+// guaranteed. It is opt-in via APF_GEMM_BACKEND=blas / set_gemm_backend.
+
+#include "tensor/gemm_backend.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+#include "tensor/gemm.h"
+
+#if defined(APF_GEMM_CBLAS_BUILD)
+#include <cblas.h>
+#endif
+
+namespace apf {
+namespace {
+
+#if defined(APF_GEMM_CBLAS_BUILD)
+
+class BlasGemmBackend final : public GemmBackend {
+ public:
+  const char* name() const override { return "blas"; }
+  bool is_available() const override { return true; }
+  bool bitwise_exact() const override { return false; }
+
+  void sgemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
+             std::int64_t k, float alpha, const float* a, std::int64_t lda,
+             const float* b, std::int64_t ldb, float beta, float* c,
+             std::int64_t ldc) const override {
+    const CBLAS_TRANSPOSE ta = trans_a ? CblasTrans : CblasNoTrans;
+    const CBLAS_TRANSPOSE tb = trans_b ? CblasTrans : CblasNoTrans;
+    for (std::int64_t i0 = 0; i0 < m; i0 += kGemmRowPanel) {
+      const std::int64_t rows = std::min(kGemmRowPanel, m - i0);
+      // Row i0 of op(A) is row i0 of A when not transposed, column i0 of
+      // the (k x m) storage otherwise.
+      const float* ap = trans_a ? a + i0 : a + i0 * lda;
+      cblas_sgemm(CblasRowMajor, ta, tb, static_cast<int>(rows),
+                  static_cast<int>(n), static_cast<int>(k), alpha, ap,
+                  static_cast<int>(lda), b, static_cast<int>(ldb), beta,
+                  c + i0 * ldc, static_cast<int>(ldc));
+    }
+  }
+};
+
+#else  // !APF_GEMM_CBLAS_BUILD
+
+class BlasGemmBackend final : public GemmBackend {
+ public:
+  const char* name() const override { return "blas"; }
+  bool is_available() const override { return false; }
+  bool bitwise_exact() const override { return false; }
+  void sgemm(bool, bool, std::int64_t, std::int64_t, std::int64_t, float,
+             const float*, std::int64_t, const float*, std::int64_t, float,
+             float*, std::int64_t) const override {
+    APF_CHECK(false,
+              "blas gemm backend: no CBLAS was found when this binary was "
+              "configured");
+  }
+};
+
+#endif  // APF_GEMM_CBLAS_BUILD
+
+}  // namespace
+
+namespace detail {
+GemmBackend* blas_gemm_backend() {
+  static BlasGemmBackend backend;
+  return &backend;
+}
+}  // namespace detail
+
+}  // namespace apf

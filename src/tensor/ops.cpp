@@ -85,10 +85,12 @@ namespace {
 constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
 }
 
+float gelu_scalar(float x) {
+  return 0.5f * x * (1.f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+}
+
 Tensor gelu(const Tensor& a) {
-  return unary_op(a, [](float x) {
-    return 0.5f * x * (1.f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
-  });
+  return unary_op(a, [](float x) { return gelu_scalar(x); });
 }
 
 Tensor gelu_grad(const Tensor& a) {
@@ -406,6 +408,27 @@ Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy) {
     for (std::int64_t j = 0; j < n; ++j) dxr[j] = yr[j] * (dyr[j] - d);
   });
   return dx;
+}
+
+void layernorm_row(const float* x, const float* gamma, const float* beta,
+                   float eps, std::int64_t d, float* y, float* xhat,
+                   float* inv_std) {
+  double mu = 0.0;
+  for (std::int64_t j = 0; j < d; ++j) mu += x[j];
+  mu /= d;
+  double var = 0.0;
+  for (std::int64_t j = 0; j < d; ++j) {
+    const double c = x[j] - mu;
+    var += c * c;
+  }
+  var /= d;
+  const float is = static_cast<float>(1.0 / std::sqrt(var + eps));
+  if (inv_std) *inv_std = is;
+  for (std::int64_t j = 0; j < d; ++j) {
+    const float h = (x[j] - static_cast<float>(mu)) * is;
+    if (xhat) xhat[j] = h;
+    y[j] = h * gamma[j] + beta[j];
+  }
 }
 
 Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,

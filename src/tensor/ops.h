@@ -35,6 +35,10 @@ Tensor sqrt(const Tensor& a);
 Tensor relu(const Tensor& a);
 /// Tanh-approximation GELU (the variant used by ViT implementations).
 Tensor gelu(const Tensor& a);
+/// The exact scalar function ops::gelu applies per element. Exposed so the
+/// mask-aware inference path (nn::Mlp) can apply it to a row subset and
+/// stay bitwise identical to the full elementwise pass.
+float gelu_scalar(float x);
 /// d gelu(x) / dx, elementwise (used by the autograd layer).
 Tensor gelu_grad(const Tensor& a);
 Tensor sigmoid(const Tensor& a);
@@ -86,6 +90,18 @@ Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask = nullptr);
 /// Backward of softmax_lastdim: given y = softmax(x) and dL/dy, returns
 /// dL/dx = y * (dy - sum(dy * y)).
 Tensor softmax_lastdim_grad(const Tensor& y, const Tensor& dy);
+
+// ---- LayerNorm row kernel ------------------------------------------------
+/// One LayerNorm row over d elements: y = (x - mean) / sqrt(var + eps) *
+/// gamma + beta, with double-precision mean/variance accumulation. This is
+/// THE row computation ag::layernorm runs — the mask-aware inference path
+/// (nn::LayerNorm) calls it directly for each valid row so skipped-row
+/// forwards stay bitwise identical to the full computation. xhat (length d)
+/// and inv_std (length 1) receive the saved-for-backward activations when
+/// non-null.
+void layernorm_row(const float* x, const float* gamma, const float* beta,
+                   float eps, std::int64_t d, float* y, float* xhat,
+                   float* inv_std);
 
 // ---- Convolution support (NCHW) ----------------------------------------------
 /// im2col: input [C, H, W] -> columns [C*kh*kw, out_h*out_w] for the given

@@ -13,6 +13,8 @@
 #include "models/unetr.h"
 #include "nn/attention.h"
 #include "serve/engine.h"
+#include "tensor/check.h"
+#include "tensor/gemm_backend.h"
 #include "tensor/ops.h"
 
 namespace apf {
@@ -26,6 +28,22 @@ Tensor ref_attention(const Tensor& q, const Tensor& k, const Tensor& v,
   return ops::bmm(probs, v);
 }
 
+// Fused-vs-composed comparisons are bitwise under the bitwise-exact gemm
+// backends (reference, avx2 — the default selection always is). Under an
+// explicitly requested blas backend only the panel contract holds, so the
+// suite degrades to a tight relative tolerance (gemm.h).
+void assert_value_matches(float got, float want, const char* where,
+                          std::int64_t i) {
+  if (active_gemm_backend().bitwise_exact()) {
+    ASSERT_EQ(got, want) << where << " at " << i << " (backend "
+                         << active_gemm_backend().name() << ")";
+  } else {
+    ASSERT_NEAR(got, want, 1e-4 * std::max(1.f, std::fabs(want)))
+        << where << " at " << i << " (backend "
+        << active_gemm_backend().name() << ")";
+  }
+}
+
 TEST(FusedAttention, UnmaskedBitwiseMatchesComposed) {
   Rng rng(7);
   const std::int64_t b = 2, h = 3, l = 70, dh = 8;  // ragged row panel
@@ -37,7 +55,7 @@ TEST(FusedAttention, UnmaskedBitwiseMatchesComposed) {
   Tensor got = nn::fused_masked_attention(q, k, v, scale, nullptr, b);
   ASSERT_EQ(got.shape(), want.shape());
   for (std::int64_t i = 0; i < got.numel(); ++i)
-    ASSERT_EQ(got[i], want[i]) << "at " << i;
+    assert_value_matches(got[i], want[i], "fused attention", i);
 }
 
 TEST(FusedAttention, MaskedBitwiseMatchesComposedOnValidRows) {
@@ -62,8 +80,8 @@ TEST(FusedAttention, MaskedBitwiseMatchesComposedOnValidRows) {
         const float gv = got.at({bi, i, d});
         if (i < nv) {
           // Valid query rows: bitwise identical to the taped values.
-          ASSERT_EQ(gv, want.at({bi, i, d}))
-              << "bi=" << bi << " i=" << i << " d=" << d;
+          assert_value_matches(gv, want.at({bi, i, d}), "masked fused",
+                               (bi * l + i) * dh + d);
         } else {
           // Padded query rows are unspecified in the reference; the fused
           // kernel defines them as zero.
@@ -102,12 +120,13 @@ TEST(MultiHeadAttention, NoGradForwardBitwiseMatchesTaped_Unmasked) {
   }
   ASSERT_EQ(taped.shape(), fused.shape());
   for (std::int64_t i = 0; i < fused.numel(); ++i)
-    ASSERT_EQ(taped.val()[i], fused[i]) << "at " << i;
+    assert_value_matches(taped.val()[i], fused[i], "mha", i);
 }
 
 // End-to-end bitwise equality at the model output under a padded mask:
-// the fused kernel zeroes padded rows where the taped path computes
-// garbage, but padding never leaks into the pixel logits.
+// the fused kernel zeroes padded rows — and the mask-aware dense layers
+// skip them — where the taped path computes garbage, but padding never
+// leaks into the pixel logits.
 TEST(Unetr2d, NoGradForwardBitwiseMatchesTaped_MaskedBatch) {
   const std::int64_t z = 64, patch = 4;
   models::UnetrConfig mcfg;
@@ -144,7 +163,7 @@ TEST(Unetr2d, NoGradForwardBitwiseMatchesTaped_MaskedBatch) {
   }
   ASSERT_EQ(taped.shape(), fused.shape());
   for (std::int64_t i = 0; i < fused.numel(); ++i)
-    ASSERT_EQ(taped.val()[i], fused[i]) << "at " << i;
+    assert_value_matches(taped.val()[i], fused[i], "unetr", i);
 }
 
 TEST(InferenceEngine, ShapesDeterminismAndTapedEquivalence) {
@@ -192,6 +211,12 @@ TEST(InferenceEngine, ShapesDeterminismAndTapedEquivalence) {
   for (std::int64_t i = 0; i < res.logits.numel(); ++i)
     ASSERT_EQ(res.logits[i], res2.logits[i]) << "at " << i;
 
+  // Stats carry the active compute backend and the delivered encoder
+  // FLOPs (valid tokens only).
+  EXPECT_EQ(res.stats.gemm_backend, active_gemm_backend().name());
+  EXPECT_GT(res.stats.model_flops, 0.0);
+  EXPECT_GT(res.stats.model_gflops_per_sec(), 0.0);
+
   // Equivalent to the taped eval-mode forward on the same token batch.
   model.set_training(false);
   std::vector<core::PatchSequence> seqs;
@@ -201,7 +226,147 @@ TEST(InferenceEngine, ShapesDeterminismAndTapedEquivalence) {
   Rng fwd_rng(0);
   Var taped = model.forward(batch, fwd_rng);
   for (std::int64_t i = 0; i < res.logits.numel(); ++i)
-    ASSERT_EQ(res.logits[i], taped.val()[i]) << "at " << i;
+    assert_value_matches(res.logits[i], taped.val()[i], "engine", i);
+}
+
+// Mask-aware dense layers: grad-free with a padded [B, L] mask, Linear /
+// LayerNorm / Mlp skip rows past each item's valid length. Valid rows must
+// be bitwise identical to the full (unmasked) computation; skipped rows
+// must be exactly zero.
+TEST(MaskAwareDense, LinearLayerNormMlpSkipPaddedRowsBitwise) {
+  const std::int64_t b = 2, l = 50, d = 32;
+  Rng rng(19);
+  nn::Linear linear(d, 3 * d, rng);
+  nn::LayerNorm ln(d);
+  nn::Mlp mlp(d, 2 * d, rng);
+  Tensor x = Tensor::randn({b, l, d}, rng);
+  // Item 0 valid through token 13, item 1 through 50 (no padding).
+  Tensor mask = Tensor::zeros({b, l});
+  const std::int64_t valid0 = 13;
+  for (std::int64_t j = 0; j < valid0; ++j) mask.at({0, j}) = 1.f;
+  for (std::int64_t j = 0; j < l; ++j) mask.at({1, j}) = 1.f;
+  const std::int64_t n_eff[2] = {valid0, l};
+
+  NoGradGuard ng;
+  struct Case {
+    const char* name;
+    Tensor full, masked;
+  };
+  const Case cases[] = {
+      {"linear", linear.forward(Var::constant(x)).val(),
+       linear.forward(Var::constant(x), &mask).val()},
+      {"layernorm", ln.forward(Var::constant(x)).val(),
+       ln.forward(Var::constant(x), &mask).val()},
+      {"mlp", mlp.forward(Var::constant(x)).val(),
+       mlp.forward(Var::constant(x), &mask).val()},
+  };
+  for (const Case& c : cases) {
+    ASSERT_EQ(c.full.shape(), c.masked.shape()) << c.name;
+    const std::int64_t w = c.full.size(2);
+    for (std::int64_t i = 0; i < b; ++i)
+      for (std::int64_t r = 0; r < l; ++r)
+        for (std::int64_t j = 0; j < w; ++j) {
+          const float mv = c.masked.at({i, r, j});
+          if (r < n_eff[i]) {
+            // Bitwise under the exact backends; the per-item prefix gemms
+            // legitimately round differently under blas (gemm.h).
+            assert_value_matches(mv, c.full.at({i, r, j}), c.name,
+                                 (i * l + r) * w + j);
+          } else {
+            // Skipped rows are exactly zero under every backend.
+            ASSERT_EQ(mv, 0.f)
+                << c.name << " padded row " << i << "," << r << "," << j;
+          }
+        }
+  }
+}
+
+// While gradients are enabled the mask must be ignored (training always
+// computes every row and records the tape).
+TEST(MaskAwareDense, MaskIgnoredWhileGradEnabled) {
+  const std::int64_t b = 1, l = 10, d = 8;
+  Rng rng(29);
+  nn::Linear linear(d, d, rng);
+  Tensor x = Tensor::randn({b, l, d}, rng);
+  Tensor mask = Tensor::zeros({b, l});
+  mask.at({0, 0}) = 1.f;  // 9 padded rows
+  Var y_masked = linear.forward(Var::constant(x), &mask);
+  Var y_full = linear.forward(Var::constant(x));
+  for (std::int64_t i = 0; i < y_full.numel(); ++i)
+    ASSERT_EQ(y_masked.val()[i], y_full.val()[i]) << "at " << i;
+  EXPECT_STREQ(y_masked.node()->op_name, y_full.node()->op_name);
+}
+
+TEST(ValidPrefixLengths, LastValidTokenPlusOne) {
+  Tensor mask = Tensor::zeros({3, 5});
+  // Item 0: empty. Item 1: hole inside the prefix (attention masks it, the
+  // dense layers still compute it). Item 2: fully valid.
+  mask.at({1, 0}) = 1.f;
+  mask.at({1, 3}) = 1.f;
+  for (std::int64_t j = 0; j < 5; ++j) mask.at({2, j}) = 1.f;
+  const std::vector<std::int64_t> got = nn::valid_prefix_lengths(mask);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 0);
+  EXPECT_EQ(got[1], 4);
+  EXPECT_EQ(got[2], 5);
+}
+
+TEST(EngineConfig, ValidationRejectsBadValuesWithClearMessages) {
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * 4 * 4;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 1;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = 32;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(5);
+  models::Unetr2d model(mcfg, mrng);
+
+  auto base = [] {
+    serve::EngineConfig c;
+    c.patcher.patch_size = 4;
+    c.patcher.min_patch = 4;
+    return c;
+  };
+  auto expect_rejected = [&](serve::EngineConfig c, const char* fragment) {
+    try {
+      serve::InferenceEngine engine(model, c);
+      FAIL() << "expected CheckError mentioning \"" << fragment << "\"";
+    } catch (const detail::CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+          << e.what();
+    }
+  };
+
+  serve::EngineConfig bad = base();
+  bad.max_batch = 0;
+  expect_rejected(bad, "max_batch");
+  bad = base();
+  bad.max_batch = -3;
+  expect_rejected(bad, "max_batch");
+  bad = base();
+  bad.mask_threshold = -0.01f;
+  expect_rejected(bad, "mask_threshold");
+  bad = base();
+  bad.mask_threshold = 1.5f;
+  expect_rejected(bad, "mask_threshold");
+  bad = base();
+  bad.mask_threshold = std::nanf("");
+  expect_rejected(bad, "mask_threshold");
+  bad = base();
+  bad.patcher.seq_len = -1;
+  expect_rejected(bad, "seq_len");
+
+  // Degenerate-but-legal thresholds and the seq_len = 0 (variable length)
+  // default construct fine.
+  serve::EngineConfig ok = base();
+  ok.mask_threshold = 0.f;
+  serve::InferenceEngine all_fg(model, ok);
+  ok.mask_threshold = 1.f;
+  serve::InferenceEngine all_bg(model, ok);
+  EXPECT_EQ(all_fg.config().patcher.seq_len, 0);
+  EXPECT_EQ(all_bg.config().mask_threshold, 1.f);
 }
 
 TEST(InferenceEngine, SingleImagePredictMask) {
