@@ -24,10 +24,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <future>
 #include <vector>
 
 #include "bench_util.h"
 #include "serve/engine.h"
+#include "serve/server.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_backend.h"
 #include "tensor/rng.h"
@@ -215,25 +218,101 @@ int main(int argc, char** argv) {
   bench::rule(78);
   gemm_backend_sweep(seq_len);
 
-  // --- End-to-end serving throughput: patching + batched fused forward.
+  // --- End-to-end serving throughput: the serial single-caller engine vs
+  // the async server with length-bucketed dynamic batching, on a
+  // MIXED-LENGTH adaptive workload (seq_len = 0: every image keeps its
+  // natural token count, so first-come batches pad to the global worst
+  // case while the server pads only within each length bucket).
+  core::ApfConfig mixed_cfg = acfg;
+  mixed_cfg.seq_len = 0;
   serve::EngineConfig ecfg;
-  ecfg.patcher = acfg;
+  ecfg.patcher = mixed_cfg;
   ecfg.max_batch = 4;
   serve::InferenceEngine engine(model, ecfg);
   std::vector<img::Image> images;
-  for (std::int64_t i = 0; i < 8; ++i) images.push_back(gen.sample(i).image);
-  serve::InferenceResult res = engine.run(images);
+  for (std::int64_t i = 0; i < 32; ++i)
+    images.push_back(gen.sample(i).image);
+
+  serve::InferenceResult serial = engine.run(images);
   std::printf(
-      "engine: %lld images in %.3fs (%.2f img/s; patch %.3fs, forward "
-      "%.3fs), %lld valid + %lld pad tokens\n"
-      "engine: gemm backend %s, encoder %.2f GFLOP/s delivered "
-      "(%.2f GFLOP over the valid tokens)\n",
-      static_cast<long long>(res.stats.images), res.stats.total_seconds,
-      res.stats.images_per_sec(), res.stats.patch_seconds,
-      res.stats.forward_seconds, static_cast<long long>(res.stats.tokens),
-      static_cast<long long>(res.stats.padded_tokens),
-      res.stats.gemm_backend.c_str(), res.stats.model_gflops_per_sec(),
-      res.stats.model_flops / 1e9);
+      "serial engine: %lld images in %.3fs (%.2f img/s; patch %.3fs, "
+      "forward %.3fs)\n"
+      "serial engine: %lld valid + %lld pad tokens (padding ratio %.3f), "
+      "%s gemm, %.2f GFLOP/s delivered\n",
+      static_cast<long long>(serial.stats.images),
+      serial.stats.total_seconds, serial.stats.images_per_sec(),
+      serial.stats.patch_seconds, serial.stats.forward_seconds,
+      static_cast<long long>(serial.stats.tokens),
+      static_cast<long long>(serial.stats.padded_tokens),
+      serial.stats.padding_ratio(), serial.stats.gemm_backend.c_str(),
+      serial.stats.model_gflops_per_sec());
+
+  serve::ServerConfig scfg;
+  scfg.engine = ecfg;
+  scfg.num_workers = 2;
+  scfg.max_queue = 64;
+  scfg.batch_deadline_ms = 2.0;
+  scfg.bucket_granularity = 32;
+  double server_wall = 0.0;
+  serve::InferenceStats server_stats;
+  {
+    serve::Server server(model, scfg);
+    bench::Stopwatch sw;
+    std::vector<std::future<serve::InferenceResult>> futures =
+        server.submit_many(images);
+    for (auto& f : futures) f.get();
+    server_wall = sw.seconds();
+    server_stats = server.stats();
+  }
+  const double server_img_s =
+      server_wall > 0.0 ? images.size() / server_wall : 0.0;
+  // Wall-clock-based so it is comparable to the serial figure below:
+  // forward_seconds summed across concurrent workers overlaps in time.
+  const double server_gflops =
+      server_wall > 0.0 ? server_stats.model_flops / server_wall / 1e9 : 0.0;
+  const double serial_gflops_wall =
+      serial.stats.total_seconds > 0.0
+          ? serial.stats.model_flops / serial.stats.total_seconds / 1e9
+          : 0.0;
+  std::printf(
+      "async server: %lld images in %.3fs (%.2f img/s; %lld batches, "
+      "%d workers, bucket %lld)\n"
+      "async server: %lld valid + %lld pad tokens (padding ratio %.3f vs "
+      "%.3f serial), %.2f GFLOP/s delivered\n",
+      static_cast<long long>(server_stats.images), server_wall, server_img_s,
+      static_cast<long long>(server_stats.batches), scfg.num_workers,
+      static_cast<long long>(scfg.bucket_granularity),
+      static_cast<long long>(server_stats.tokens),
+      static_cast<long long>(server_stats.padded_tokens),
+      server_stats.padding_ratio(), serial.stats.padding_ratio(),
+      server_gflops);
+
+  // Machine-readable serving trajectory (img/s, delivered GFLOP/s,
+  // padding ratio) for CI and cross-PR comparison.
+  {
+    std::ofstream json("BENCH_serving.json");
+    json << "{\n"
+         << "  \"resolution\": " << z << ",\n"
+         << "  \"images\": " << images.size() << ",\n"
+         << "  \"gemm_backend\": \"" << serial.stats.gemm_backend << "\",\n"
+         << "  \"serial\": {\"images_per_sec\": "
+         << serial.stats.images_per_sec()
+         << ", \"gflops_per_sec_wall\": " << serial_gflops_wall
+         << ", \"padding_ratio\": " << serial.stats.padding_ratio() << "},\n"
+         << "  \"server\": {\"images_per_sec\": " << server_img_s
+         << ", \"gflops_per_sec_wall\": " << server_gflops
+         << ", \"padding_ratio\": " << server_stats.padding_ratio()
+         << ", \"num_workers\": " << scfg.num_workers
+         << ", \"max_batch\": " << scfg.engine.max_batch
+         << ", \"bucket_granularity\": " << scfg.bucket_granularity
+         << ", \"batch_deadline_ms\": " << scfg.batch_deadline_ms << "},\n"
+         << "  \"server_vs_serial_speedup\": "
+         << (serial.stats.images_per_sec() > 0.0
+                 ? server_img_s / serial.stats.images_per_sec()
+                 : 0.0)
+         << "\n}\n";
+  }
+  std::printf("wrote BENCH_serving.json\n");
 
   return identical ? 0 : 1;
 }

@@ -17,7 +17,7 @@
 #include "img/pnm_io.h"
 #include "img/resize.h"
 #include "models/unetr.h"
-#include "serve/engine.h"
+#include "serve/server.h"
 
 int main(int argc, char** argv) {
   const std::int64_t z = argc > 1 ? std::atoll(argv[1]) : 512;
@@ -72,8 +72,12 @@ int main(int argc, char** argv) {
       "wrote quickstart_input.ppm, quickstart_edges.pgm, "
       "quickstart_partition.ppm\n");
 
-  // 6. Grad-free serving: batch the image through the InferenceEngine
-  // (adaptive patching -> fused no-grad forward -> pixel-space mask).
+  // 6. Grad-free async serving: submit images to a serve::Server and get
+  // std::futures back. Behind submit(), the image is patched (stage 1) on
+  // this thread, a background scheduler coalesces pending requests into
+  // length-bucketed dynamic batches, and worker threads run the fused
+  // no-grad forward (stage 2) + mask decode (stage 3). Results are
+  // bitwise identical to the serial InferenceEngine::run path.
   // Demo at <= 128 px so the untrained model forward stays instant.
   const std::int64_t dz = std::min<std::int64_t>(z, 128);
   apf::img::Image demo = sample.image;
@@ -89,23 +93,34 @@ int main(int argc, char** argv) {
   apf::Rng mrng(1);
   apf::models::Unetr2d model(mcfg, mrng);
 
-  apf::serve::EngineConfig ecfg;
-  ecfg.patcher = apf::core::ApfConfig::for_resolution(dz);
-  ecfg.patcher.patch_size = patch;
-  ecfg.patcher.min_patch = patch;
-  ecfg.patcher.seq_len = dz;  // fixed token budget, far below uniform
-  apf::serve::InferenceEngine engine(model, ecfg);
-  apf::serve::InferenceResult res = engine.run({demo, demo});
+  apf::serve::ServerConfig scfg;
+  scfg.engine.patcher = apf::core::ApfConfig::for_resolution(dz);
+  scfg.engine.patcher.patch_size = patch;
+  scfg.engine.patcher.min_patch = patch;
+  scfg.engine.patcher.seq_len = dz;  // token budget, far below uniform
+  scfg.engine.max_batch = 4;
+  scfg.num_workers = 2;
+  scfg.batch_deadline_ms = 2.0;
+
+  apf::serve::Server server(model, scfg);
+  std::vector<std::future<apf::serve::InferenceResult>> futures =
+      server.submit_many({demo, demo, demo, demo});
+  apf::serve::InferenceResult res = futures[0].get();
+  for (std::size_t i = 1; i < futures.size(); ++i) futures[i].get();
+  apf::serve::InferenceStats agg = server.stats();
   std::printf(
-      "inference engine (untrained UNETR, %lldpx): %lld images, "
-      "%lld tokens, %.2f img/s (forward %.3fs, no autograd tape)\n"
-      "compute backend: %s gemm, %.2f encoder GFLOP/s delivered "
-      "(select with APF_GEMM_BACKEND=reference|avx2|blas)\n",
-      static_cast<long long>(dz),
-      static_cast<long long>(res.stats.images),
-      static_cast<long long>(res.stats.tokens), res.stats.images_per_sec(),
-      res.stats.forward_seconds, res.stats.gemm_backend.c_str(),
-      res.stats.model_gflops_per_sec());
+      "async server (untrained UNETR, %lldpx): %lld images in %lld "
+      "dynamic batches, %.2f img/s\n"
+      "first request: %lld valid tokens, batch of %lld, queue wait "
+      "%.1fms, forward %.1fms\n"
+      "compute backend: %s gemm, %.2f encoder GFLOP/s delivered (select "
+      "with APF_GEMM_BACKEND=reference|avx2|fma|blas)\n",
+      static_cast<long long>(dz), static_cast<long long>(agg.images),
+      static_cast<long long>(agg.batches), agg.images_per_sec(),
+      static_cast<long long>(res.stats.tokens),
+      static_cast<long long>(res.stats.batch_size),
+      1e3 * res.stats.queue_seconds, 1e3 * res.stats.forward_seconds,
+      agg.gemm_backend.c_str(), agg.model_gflops_per_sec());
   apf::img::write_pgm("quickstart_mask.pgm", res.masks[0]);
   std::printf("wrote quickstart_mask.pgm\n");
   return 0;

@@ -16,20 +16,22 @@ std::int64_t PatchSequence::num_valid() const {
   return n;
 }
 
-TokenBatch make_batch(const std::vector<PatchSequence>& seqs) {
+TokenBatch make_batch(const std::vector<const PatchSequence*>& seqs) {
   APF_CHECK(!seqs.empty(), "make_batch: empty batch");
+  for (const PatchSequence* s : seqs)
+    APF_CHECK(s != nullptr, "make_batch: null sequence pointer");
   const std::int64_t b = static_cast<std::int64_t>(seqs.size());
-  const std::int64_t l = seqs[0].length();
-  const std::int64_t d = seqs[0].tokens.size(1);
+  const std::int64_t l = seqs[0]->length();
+  const std::int64_t d = seqs[0]->tokens.size(1);
   TokenBatch out;
   out.tokens = Tensor({b, l, d});
   out.mask = Tensor({b, l});
   out.meta.reserve(seqs.size());
-  out.image_size = seqs[0].image_size;
-  out.patch_size = seqs[0].patch_size;
-  out.channels = seqs[0].channels;
+  out.image_size = seqs[0]->image_size;
+  out.patch_size = seqs[0]->patch_size;
+  out.channels = seqs[0]->channels;
   for (std::int64_t i = 0; i < b; ++i) {
-    const PatchSequence& s = seqs[static_cast<std::size_t>(i)];
+    const PatchSequence& s = *seqs[static_cast<std::size_t>(i)];
     APF_CHECK(s.length() == l && s.tokens.size(1) == d,
               "make_batch: ragged batch (" << s.length() << "x"
                                            << s.tokens.size(1) << " vs " << l
@@ -42,6 +44,13 @@ TokenBatch make_batch(const std::vector<PatchSequence>& seqs) {
     out.meta.push_back(s.meta);
   }
   return out;
+}
+
+TokenBatch make_batch(const std::vector<PatchSequence>& seqs) {
+  std::vector<const PatchSequence*> ptrs;
+  ptrs.reserve(seqs.size());
+  for (const PatchSequence& s : seqs) ptrs.push_back(&s);
+  return make_batch(ptrs);
 }
 
 AdaptivePatcher::AdaptivePatcher(ApfConfig cfg) : cfg_(cfg) {
@@ -187,6 +196,18 @@ PatchSequence AdaptivePatcher::process(const img::Image& image,
   const qt::Quadtree tree = build_tree(image);
   PatchSequence seq = extract_leaf_patches(image, tree, cfg_.patch_size);
   return fit_to_length(seq, cfg_.seq_len, cfg_.drop_coarsest_first, rng);
+}
+
+PatchSequence AdaptivePatcher::process_unpadded(const img::Image& image,
+                                                Rng* rng) const {
+  const qt::Quadtree tree = build_tree(image);
+  PatchSequence seq = extract_leaf_patches(image, tree, cfg_.patch_size);
+  // Enforce only the drop half of the budget: a target of 0 leaves short
+  // sequences at their natural length, and the drop path is the exact
+  // fit_to_length drop process() runs, so valid tokens are identical.
+  if (cfg_.seq_len > 0 && seq.length() > cfg_.seq_len)
+    return fit_to_length(seq, cfg_.seq_len, cfg_.drop_coarsest_first, rng);
+  return seq;
 }
 
 UniformPatcher::UniformPatcher(std::int64_t patch_size, std::int64_t seq_len)

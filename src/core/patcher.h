@@ -55,6 +55,11 @@ struct TokenBatch {
 /// Stacks sequences (must agree on L, Pm, C) into a batch.
 TokenBatch make_batch(const std::vector<PatchSequence>& seqs);
 
+/// Pointer form of make_batch (no element may be null): lets callers that
+/// pad only SOME sequences stack originals and padded copies without
+/// copying the untouched ones (serve::InferenceEngine::prepare).
+TokenBatch make_batch(const std::vector<const PatchSequence*>& seqs);
+
 /// The Adaptive Patch Framework pipeline (paper Alg. 1 lines 3-6):
 /// Gaussian blur -> Canny -> quadtree -> Morton order -> area-resample all
 /// leaves to Pm x Pm -> pad/drop to L.
@@ -66,6 +71,15 @@ class AdaptivePatcher {
   /// random token dropping is needed (cfg.seq_len > 0 and the tree has
   /// more leaves); pass nullptr to force deterministic coarsest-first drop.
   PatchSequence process(const img::Image& image, Rng* rng = nullptr) const;
+
+  /// As process(), but without the final padding: sequences over the
+  /// cfg.seq_len token budget are still dropped down to it (identical
+  /// victims, so the surviving tokens match process() exactly), while
+  /// shorter sequences keep their natural length. This is the serving
+  /// scheduler's entry point — it pads each dynamic batch only to its own
+  /// bucket length instead of the worst case (serve/server.h).
+  PatchSequence process_unpadded(const img::Image& image,
+                                 Rng* rng = nullptr) const;
 
   /// Edge-extraction prefix of the pipeline (exposed for tests/benches).
   img::Image edge_map(const img::Image& image) const;

@@ -25,6 +25,14 @@ class TokenSegModel : public nn::Module {
     spec.d_model = 0;
     return spec;
   }
+
+  /// Side length Z of the square input images the model was built for, or
+  /// 0 when the model accepts any geometry. The serving front ends
+  /// (serve::InferenceEngine / serve::Server) validate every submitted
+  /// image against this before patching, so a mis-sized request fails at
+  /// the API boundary with its index and shape instead of deep inside the
+  /// pipeline.
+  virtual std::int64_t expected_image_size() const { return 0; }
 };
 
 /// Segmentation model consuming raw images [B, C, H, W]; returns logits of

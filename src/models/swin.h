@@ -65,6 +65,10 @@ class SwinUnetrLite : public TokenSegModel {
     return spec;
   }
 
+  std::int64_t expected_image_size() const override {
+    return cfg_.image_size;
+  }
+
   const SwinUnetrConfig& config() const { return cfg_; }
 
  private:

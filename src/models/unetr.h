@@ -66,6 +66,10 @@ class Unetr2d : public TokenSegModel {
     return spec;
   }
 
+  std::int64_t expected_image_size() const override {
+    return cfg_.image_size;
+  }
+
   const UnetrConfig& config() const { return cfg_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "tensor/gemm_backend.h"
 
@@ -48,84 +49,107 @@ InferenceEngine::InferenceEngine(models::TokenSegModel& model,
                 << cfg_.patcher.seq_len);
 }
 
-InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
-  APF_CHECK(!images.empty(), "InferenceEngine::run: empty image batch");
-  const auto t_start = Clock::now();
-  InferenceResult out;
-  out.stats.images = static_cast<std::int64_t>(images.size());
+void InferenceEngine::validate_image(const img::Image& image,
+                                     std::int64_t index) const {
+  const auto where = [index]() -> std::string {
+    return index >= 0 ? "image " + std::to_string(index) : "image";
+  };
+  APF_CHECK(image.h > 0 && image.w > 0 && image.c > 0,
+            "InferenceEngine: " << where() << " is empty (" << image.h << "x"
+                                << image.w << "x" << image.c << ")");
+  APF_CHECK(image.h == image.w,
+            "InferenceEngine: " << where() << " is " << image.h << "x"
+                                << image.w << "x" << image.c
+                                << " but the model needs square inputs");
+  const std::int64_t expected = model_.expected_image_size();
+  APF_CHECK(expected <= 0 || image.h == expected,
+            "InferenceEngine: " << where() << " is " << image.h << "x"
+                                << image.w << "x" << image.c
+                                << " but the model was built for " << expected
+                                << "x" << expected);
+  // The model's token dimension pins the channel count when it divides
+  // cleanly by the patch area (token_dim = C * Pm * Pm).
+  const std::int64_t token_dim = model_.encoder_spec().token_dim;
+  const std::int64_t area = cfg_.patcher.patch_size * cfg_.patcher.patch_size;
+  if (token_dim > 0 && area > 0 && token_dim % area == 0) {
+    const std::int64_t expected_c = token_dim / area;
+    APF_CHECK(image.c == expected_c,
+              "InferenceEngine: " << where() << " has " << image.c
+                                  << " channel(s) but the model's token dim "
+                                  << token_dim << " with patch size "
+                                  << cfg_.patcher.patch_size << " needs "
+                                  << expected_c);
+  }
+}
 
-  // 1. Patch every image. nullptr rng forces the deterministic
-  // coarsest-first drop so serving results are reproducible.
-  std::vector<core::PatchSequence> seqs;
-  seqs.reserve(images.size());
+core::PatchSequence InferenceEngine::patch(const img::Image& image) const {
+  validate_image(image);
+  // nullptr rng forces the deterministic coarsest-first drop so serving
+  // results are reproducible regardless of arrival order.
+  return patcher_.process_unpadded(image, /*rng=*/nullptr);
+}
+
+core::TokenBatch InferenceEngine::prepare(
+    const std::vector<core::PatchSequence>& seqs, std::int64_t target_len) {
+  APF_CHECK(!seqs.empty(), "InferenceEngine::prepare: empty batch");
   std::int64_t max_len = 0;
-  for (const img::Image& im : images) {
-    APF_CHECK(im.h == images[0].h && im.w == images[0].w &&
-                  im.c == images[0].c,
-              "InferenceEngine::run: mixed image geometry in batch");
-    seqs.push_back(patcher_.process(im, /*rng=*/nullptr));
-    max_len = std::max(max_len, seqs.back().length());
+  for (const core::PatchSequence& s : seqs) {
+    APF_CHECK(s.image_size == seqs[0].image_size,
+              "InferenceEngine::prepare: mixed source image sizes in batch ("
+                  << s.image_size << " vs " << seqs[0].image_size << ")");
+    max_len = std::max(max_len, s.length());
   }
-  // 2. Square ragged sequences (seq_len == 0 gives variable lengths) so
-  // make_batch can stack them.
-  for (core::PatchSequence& s : seqs) {
-    if (s.length() != max_len)
-      s = core::fit_to_length(s, max_len, /*drop_coarsest_first=*/true,
-                              nullptr);
-    out.stats.tokens += s.num_valid();
-  }
-  out.stats.padded_tokens =
-      static_cast<std::int64_t>(seqs.size()) * max_len - out.stats.tokens;
-  out.stats.patch_seconds = seconds_since(t_start);
-
-  // 3. Chunked grad-free forward.
-  const auto t_fwd = Clock::now();
-  {
-    EvalGuard eval(model_);
-    NoGradGuard no_grad;
-    const std::int64_t b = static_cast<std::int64_t>(seqs.size());
-    for (std::int64_t off = 0; off < b; off += cfg_.max_batch) {
-      const std::int64_t nb = std::min(cfg_.max_batch, b - off);
-      std::vector<core::PatchSequence> chunk(
-          seqs.begin() + off, seqs.begin() + off + nb);
-      core::TokenBatch tb = core::make_batch(chunk);
-      Var logits = model_.forward(tb, rng_);  // [nb, C, Z, Z]
-      APF_CHECK(logits.val().ndim() == 4 && logits.size(0) == nb,
-                "InferenceEngine: model returned "
-                    << logits.val().str() << " for a batch of " << nb);
-      if (!out.logits.defined()) {
-        out.logits = Tensor({b, logits.size(1), logits.size(2),
-                             logits.size(3)});
-      }
-      std::copy(logits.val().data(),
-                logits.val().data() + logits.numel(),
-                out.logits.data() + off * logits.numel() / nb);
+  if (target_len == 0) target_len = max_len;
+  APF_CHECK(target_len >= max_len,
+            "InferenceEngine::prepare: target length "
+                << target_len << " would drop tokens (longest sequence is "
+                << max_len << "); dropping belongs to the patch stage");
+  // Pad only the short sequences; already-long ones are stacked in place
+  // through the pointer form of make_batch (no copies on the hot path).
+  std::vector<core::PatchSequence> padded;
+  padded.reserve(seqs.size());
+  std::vector<const core::PatchSequence*> ptrs;
+  ptrs.reserve(seqs.size());
+  for (const core::PatchSequence& s : seqs) {
+    if (s.length() == target_len) {
+      ptrs.push_back(&s);
+    } else {
+      padded.push_back(core::fit_to_length(
+          s, target_len, /*drop_coarsest_first=*/true, nullptr));
+      ptrs.push_back(&padded.back());
     }
   }
-  out.stats.forward_seconds = seconds_since(t_fwd);
-  out.stats.gemm_backend = active_gemm_backend().name();
+  return core::make_batch(ptrs);
+}
 
-  // Delivered encoder compute: the serving path skips padding everywhere
-  // (fused attention + mask-aware dense layers), so each image costs its
-  // VALID token count, not the padded batch length.
-  dist::VitSpec spec = model_.encoder_spec();
-  if (spec.d_model > 0) {
-    for (const core::PatchSequence& s : seqs) {
-      spec.seq_len = s.num_valid();
-      if (spec.seq_len > 0)
-        out.stats.model_flops += dist::vit_flops_per_image(spec);
-    }
-  }
+Tensor InferenceEngine::forward(const core::TokenBatch& batch) {
+  APF_CHECK(batch.batch() > 0, "InferenceEngine::forward: empty batch");
+  // Only toggle train/eval when needed: serve::Server parks the shared
+  // model in eval mode before its workers start, so concurrent forwards
+  // never write Module state.
+  std::optional<EvalGuard> eval;
+  if (model_.training()) eval.emplace(model_);
+  NoGradGuard no_grad;
+  Var logits = model_.forward(batch, rng_);  // [B, C, Z, Z]
+  APF_CHECK(logits.val().ndim() == 4 && logits.size(0) == batch.batch(),
+            "InferenceEngine: model returned " << logits.val().str()
+                                               << " for a batch of "
+                                               << batch.batch());
+  return logits.val();
+}
 
-  // 4. Decode pixel-space masks: sigmoid threshold for binary heads,
-  // per-pixel argmax for multi-class. The sigmoid cutoff is applied in
-  // logit space: P(fg) > t  <=>  logit > log(t / (1 - t)).
-  const std::int64_t bsz = out.logits.size(0), chans = out.logits.size(1);
-  const std::int64_t zh = out.logits.size(2), zw = out.logits.size(3);
+std::vector<img::Image> InferenceEngine::decode(const Tensor& logits) const {
+  APF_CHECK(logits.defined() && logits.ndim() == 4,
+            "InferenceEngine::decode: need [B, C, Z, Z] logits");
+  const std::int64_t bsz = logits.size(0), chans = logits.size(1);
+  const std::int64_t zh = logits.size(2), zw = logits.size(3);
+  // The sigmoid cutoff is applied in logit space:
+  // P(fg) > t  <=>  logit > log(t / (1 - t)).
   const float logit_cut =
       std::log(cfg_.mask_threshold / (1.f - cfg_.mask_threshold));
-  out.masks.reserve(static_cast<std::size_t>(bsz));
-  const float* pl = out.logits.data();
+  std::vector<img::Image> masks;
+  masks.reserve(static_cast<std::size_t>(bsz));
+  const float* pl = logits.data();
   for (std::int64_t i = 0; i < bsz; ++i) {
     img::Image mask(zh, zw, 1);
     const float* item = pl + i * chans * zh * zw;
@@ -140,8 +164,83 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
         mask.data[static_cast<std::size_t>(px)] = static_cast<float>(best);
       }
     }
-    out.masks.push_back(std::move(mask));
+    masks.push_back(std::move(mask));
   }
+  return masks;
+}
+
+double InferenceEngine::flops_for_tokens(std::int64_t valid_tokens) const {
+  if (valid_tokens <= 0) return 0.0;
+  dist::VitSpec spec = model_.encoder_spec();
+  if (spec.d_model <= 0) return 0.0;
+  spec.seq_len = valid_tokens;
+  return dist::vit_flops_per_image(spec);
+}
+
+InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
+  APF_CHECK(!images.empty(), "InferenceEngine::run: empty image batch");
+  const auto t_start = Clock::now();
+  InferenceResult out;
+  out.stats.images = static_cast<std::int64_t>(images.size());
+
+  // Stage 1: patch every image (validating geometry with its index).
+  std::vector<core::PatchSequence> seqs;
+  seqs.reserve(images.size());
+  std::int64_t max_len = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    validate_image(images[i], static_cast<std::int64_t>(i));
+    APF_CHECK(images[i].h == images[0].h && images[i].c == images[0].c,
+              "InferenceEngine::run: image " << i << " is " << images[i].h
+                                             << "x" << images[i].w << "x"
+                                             << images[i].c
+                                             << " but the batch started with "
+                                             << images[0].h << "x"
+                                             << images[0].w << "x"
+                                             << images[0].c);
+    seqs.push_back(patcher_.process_unpadded(images[i], /*rng=*/nullptr));
+    max_len = std::max(max_len, seqs.back().length());
+    out.stats.tokens += seqs.back().num_valid();
+  }
+  // The serial baseline squares everything in first-come order: to the
+  // configured budget when seq_len > 0, else to the longest sequence.
+  const std::int64_t target =
+      std::max(cfg_.patcher.seq_len, max_len);
+  out.stats.padded_tokens =
+      static_cast<std::int64_t>(seqs.size()) * target - out.stats.tokens;
+  out.stats.patch_seconds = seconds_since(t_start);
+
+  // Stage 2: chunked grad-free forward.
+  const auto t_fwd = Clock::now();
+  {
+    std::optional<EvalGuard> eval;
+    if (model_.training()) eval.emplace(model_);
+    const std::int64_t b = static_cast<std::int64_t>(seqs.size());
+    for (std::int64_t off = 0; off < b; off += cfg_.max_batch) {
+      const std::int64_t nb = std::min(cfg_.max_batch, b - off);
+      std::vector<core::PatchSequence> chunk(seqs.begin() + off,
+                                             seqs.begin() + off + nb);
+      core::TokenBatch tb = prepare(chunk, target);
+      Tensor logits = forward(tb);  // [nb, C, Z, Z]
+      if (!out.logits.defined()) {
+        out.logits =
+            Tensor({b, logits.size(1), logits.size(2), logits.size(3)});
+      }
+      std::copy(logits.data(), logits.data() + logits.numel(),
+                out.logits.data() + off * logits.numel() / nb);
+      out.stats.batches += 1;
+    }
+  }
+  out.stats.forward_seconds = seconds_since(t_fwd);
+  out.stats.gemm_backend = active_gemm_backend().name();
+
+  // Delivered encoder compute: the serving path skips padding everywhere
+  // (fused attention + mask-aware dense layers), so each image costs its
+  // VALID token count, not the padded batch length.
+  for (const core::PatchSequence& s : seqs)
+    out.stats.model_flops += flops_for_tokens(s.num_valid());
+
+  // Stage 3: decode pixel-space masks.
+  out.masks = decode(out.logits);
   out.stats.total_seconds = seconds_since(t_start);
   return out;
 }

@@ -1,13 +1,23 @@
 #pragma once
-// Grad-free batched inference front end — the serving path of the library.
+// Grad-free batched inference — the serving spine of the library.
 //
-// InferenceEngine owns the AdaptivePatcher, turns N raw images into one
-// fixed-length TokenBatch (padding ragged sequences via fit_to_length),
-// runs the token model in eval mode under NoGradGuard — which routes every
-// attention layer through the fused inference kernel — and returns the
-// per-pixel logits plus thresholded masks. Values are identical to the
-// taped forward; only the tape, the saved activations, and the [B*H, L, L]
-// attention intermediates are gone.
+// The engine is a pipeline of three explicit stages so a scheduler
+// (serve/server.h) can re-group work between them:
+//
+//   patch()    image -> PatchSequence   (edge map + quadtree + resample;
+//                                        UNPADDED — over-budget sequences
+//                                        are dropped to the token budget,
+//                                        short ones keep natural length)
+//   prepare()  sequences -> TokenBatch  (pad to a common target length and
+//                                        stack; padding only, never drops)
+//   forward()  TokenBatch -> logits     (eval + NoGrad fused forward)
+//   decode()   logits -> pixel masks    (sigmoid threshold / argmax)
+//
+// run() composes the stages for the single-caller case and is the serial
+// baseline the async serve::Server must match bitwise: the grad-free
+// forward computes each image from its own valid tokens only (fused masked
+// attention + mask-aware dense layers + per-item scatter), so an image's
+// logits do not depend on which batch it rode in or how far it was padded.
 
 #include <cstdint>
 #include <string>
@@ -32,12 +42,18 @@ struct EngineConfig {
   float mask_threshold = 0.5f;  ///< binary: P(foreground) cutoff for masks
 };
 
-/// Throughput accounting for one run() call.
+/// Throughput accounting: per run() call, per server request, or
+/// aggregated over a server's lifetime (serve::Server::stats).
 struct InferenceStats {
   std::int64_t images = 0;
+  std::int64_t batches = 0;        ///< model calls issued
   std::int64_t tokens = 0;         ///< valid (non-padding) tokens fed in
-  std::int64_t padded_tokens = 0;  ///< padding added to square the batch
+  std::int64_t padded_tokens = 0;  ///< padding added to square the batches
+  /// Size of the dynamic batch a request was coalesced into. Only set on
+  /// per-request server stats; 0 on the serial path.
+  std::int64_t batch_size = 0;
   double patch_seconds = 0.0;      ///< edge map + quadtree + resample
+  double queue_seconds = 0.0;      ///< waiting for a batch slot (server)
   double forward_seconds = 0.0;    ///< model time under NoGradGuard
   double total_seconds = 0.0;
   /// Active gemm backend name (tensor/gemm_backend.h) during the forward.
@@ -54,9 +70,15 @@ struct InferenceStats {
   double model_gflops_per_sec() const {
     return forward_seconds > 0.0 ? model_flops / forward_seconds / 1e9 : 0.0;
   }
+  /// Fraction of fed tokens that were padding (0 when nothing was fed).
+  double padding_ratio() const {
+    const std::int64_t total = tokens + padded_tokens;
+    return total > 0 ? static_cast<double>(padded_tokens) / total : 0.0;
+  }
 };
 
-/// Output of one run(): pixel-space logits and decoded masks.
+/// Output of one run() / one server request: pixel-space logits and
+/// decoded masks.
 struct InferenceResult {
   Tensor logits;  ///< [B, C, Z, Z] (C = model out_channels)
   /// Per-image single-channel masks in pixel space: binary 0/1 for C == 1
@@ -65,25 +87,71 @@ struct InferenceResult {
   InferenceStats stats;
 };
 
-/// Batched grad-free inference over a token segmentation model.
+/// Staged grad-free inference over a token segmentation model.
+///
+/// Thread-safety: the const stage methods (validate_image, patch, decode,
+/// prepare) are stateless and safe to call from any number of threads.
+/// The non-const entry points (forward, run, predict_mask) own mutable
+/// engine state (rng, train/eval toggling) and must have one caller at a
+/// time — serve::Server gives each worker thread its own engine view over
+/// the shared model (which is only read during grad-free forwards), plus
+/// a dedicated engine for the client-side patch stage.
 class InferenceEngine {
  public:
-  /// The engine borrows the model; the caller keeps it alive. The model's
-  /// train/eval mode is saved, forced to eval for the forward, restored.
-  /// Throws detail::CheckError when cfg is invalid (see EngineConfig).
+  /// The engine borrows the model; the caller keeps it alive. Throws
+  /// detail::CheckError when cfg is invalid (see EngineConfig).
   InferenceEngine(models::TokenSegModel& model, EngineConfig cfg);
 
+  // ------------------------------------------------------------- stages
+
+  /// Stage 1 — patch one image deterministically (no rng: coarsest-first
+  /// drop). The result is UNPADDED: sequences over the configured token
+  /// budget are dropped down to it, shorter ones keep their natural
+  /// length, so a scheduler can bucket by true length and pad only to the
+  /// bucket. Throws detail::CheckError when the image does not match the
+  /// model's expected square geometry (validate_image).
+  core::PatchSequence patch(const img::Image& image) const;
+
+  /// Pads every sequence (zero tokens, mask 0) to target_len and stacks
+  /// them into one TokenBatch. target_len == 0 uses the longest sequence
+  /// in the group. Padding only: throws when target_len would drop tokens.
+  static core::TokenBatch prepare(const std::vector<core::PatchSequence>& seqs,
+                                  std::int64_t target_len = 0);
+
+  /// Stage 2 — grad-free forward of one prepared batch: [B, L, D] tokens
+  /// -> [B, C, Z, Z] logits. Forces eval mode for the call (and restores
+  /// it) only when the model is in training mode; serve::Server parks the
+  /// model in eval once so its workers never toggle shared state.
+  Tensor forward(const core::TokenBatch& batch);
+
+  /// Stage 3 — decode pixel-space masks from logits: sigmoid threshold in
+  /// logit space for binary heads (C == 1), per-pixel argmax otherwise.
+  std::vector<img::Image> decode(const Tensor& logits) const;
+
+  // ---------------------------------------------------- composed serial
+
   /// Full pipeline for a batch of images: patch -> pad to a common length
-  /// -> make_batch -> forward under NoGradGuard -> threshold/argmax masks.
-  /// Images must all have the same (square) geometry the model was built
-  /// for. Deterministic: repeated calls on the same inputs are bitwise
-  /// identical, and equal to the taped forward's values.
+  /// (the configured seq_len, or the longest sequence when seq_len == 0)
+  /// -> forward in max_batch chunks -> decode. Deterministic: repeated
+  /// calls on the same inputs are bitwise identical, and equal to the
+  /// taped forward's values.
   InferenceResult run(const std::vector<img::Image>& images);
 
   /// Single-image convenience wrapper around run().
   img::Image predict_mask(const img::Image& image);
 
+  /// Throws detail::CheckError naming index and shape when the image is
+  /// not square, does not match the model's expected_image_size(), or its
+  /// channel count disagrees with the model's token dimension. index < 0
+  /// omits the index from the message (single-image call sites).
+  void validate_image(const img::Image& image, std::int64_t index = -1) const;
+
+  /// Analytical encoder FLOPs for one image with the given valid-token
+  /// count (0 when the model reports no encoder_spec).
+  double flops_for_tokens(std::int64_t valid_tokens) const;
+
   const EngineConfig& config() const { return cfg_; }
+  models::TokenSegModel& model() const { return model_; }
 
  private:
   models::TokenSegModel& model_;

@@ -1,0 +1,139 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+
+#include "tensor/check.h"
+
+namespace apf::serve {
+
+RequestQueue::RequestQueue(std::int64_t max_pending,
+                           std::int64_t bucket_granularity)
+    : max_pending_(max_pending), granularity_(bucket_granularity) {
+  APF_CHECK(max_pending_ > 0,
+            "RequestQueue: max_pending must be positive, got " << max_pending_);
+  APF_CHECK(granularity_ > 0,
+            "RequestQueue: bucket granularity must be positive, got "
+                << granularity_);
+}
+
+std::int64_t RequestQueue::bucket_of(std::int64_t length) const {
+  if (length <= 0) return granularity_;
+  return (length + granularity_ - 1) / granularity_ * granularity_;
+}
+
+bool RequestQueue::push(Request&& r) {
+  std::unique_lock<std::mutex> lock(mu_);
+  not_full_.wait(lock, [&] { return closed_ || pending_ < max_pending_; });
+  if (closed_) return false;
+  buckets_[key_of(r)].push_back(std::move(r));
+  ++pending_;
+  ready_.notify_one();
+  return true;
+}
+
+bool RequestQueue::try_push(Request&& r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || pending_ >= max_pending_) return false;
+  buckets_[key_of(r)].push_back(std::move(r));
+  ++pending_;
+  ready_.notify_one();
+  return true;
+}
+
+std::optional<RequestQueue::BucketKey> RequestQueue::ripe_bucket(
+    std::int64_t max_batch, std::chrono::duration<double> deadline,
+    std::chrono::steady_clock::time_point now) const {
+  // Full bucket: the one whose front (oldest member) arrived first wins,
+  // so two perpetually-full buckets cannot starve each other.
+  std::optional<BucketKey> full_key;
+  std::uint64_t full_front = 0;
+  // Oldest request overall, for the deadline / drain policies.
+  std::optional<BucketKey> oldest_key;
+  std::uint64_t oldest_id = 0;
+  std::chrono::steady_clock::time_point oldest_at{};
+  for (const auto& [key, q] : buckets_) {
+    if (q.empty()) continue;
+    const Request& front = q.front();
+    if (static_cast<std::int64_t>(q.size()) >= max_batch &&
+        (!full_key || front.id < full_front)) {
+      full_key = key;
+      full_front = front.id;
+    }
+    if (!oldest_key || front.id < oldest_id) {
+      oldest_key = key;
+      oldest_id = front.id;
+      oldest_at = front.enqueued;
+    }
+  }
+  if (full_key) return full_key;
+  if (!oldest_key) return std::nullopt;  // nothing pending
+  if (closed_) return oldest_key;        // drain ignores the deadline
+  if (now - oldest_at >= deadline) return oldest_key;
+  return std::nullopt;
+}
+
+std::vector<Request> RequestQueue::pop_batch(
+    std::int64_t max_batch, std::chrono::duration<double> deadline) {
+  APF_CHECK(max_batch > 0,
+            "RequestQueue::pop_batch: max_batch must be positive");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    const std::optional<BucketKey> key = ripe_bucket(max_batch, deadline, now);
+    if (key) {
+      std::deque<Request>& q = buckets_[*key];
+      std::vector<Request> batch;
+      const std::int64_t n =
+          std::min<std::int64_t>(max_batch, static_cast<std::int64_t>(q.size()));
+      batch.reserve(static_cast<std::size_t>(n));
+      for (std::int64_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
+      }
+      if (q.empty()) buckets_.erase(*key);
+      pending_ -= n;
+      not_full_.notify_all();
+      // Another bucket may also be ripe — let a second worker look.
+      if (pending_ > 0) ready_.notify_one();
+      return batch;
+    }
+    if (closed_ && pending_ == 0) return {};  // drained: worker exit signal
+    if (pending_ > 0 && !closed_) {
+      // Part-full buckets: sleep until the oldest request's deadline (a
+      // new push or close() wakes us earlier).
+      std::chrono::steady_clock::time_point oldest_at{};
+      bool have = false;
+      for (const auto& [k, q] : buckets_) {
+        (void)k;
+        if (!q.empty() && (!have || q.front().enqueued < oldest_at)) {
+          oldest_at = q.front().enqueued;
+          have = true;
+        }
+      }
+      ready_.wait_until(
+          lock, oldest_at + std::chrono::duration_cast<
+                                std::chrono::steady_clock::duration>(deadline));
+    } else {
+      ready_.wait(lock);
+    }
+  }
+}
+
+void RequestQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+  ready_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::int64_t RequestQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+}  // namespace apf::serve

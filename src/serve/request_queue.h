@@ -1,0 +1,112 @@
+#pragma once
+// Thread-safe request queue with length-bucketed dynamic batching — the
+// scheduler half of serve::Server.
+//
+// Requests arrive already patched (stage 1 runs on the submitting thread)
+// so the queue can group them by sequence length: each request lands in
+// the bucket of its length rounded UP to a multiple of the configured
+// granularity, and pop_batch() hands a worker up to max_batch requests
+// from a single bucket. Batching same-bucket requests means a batch is
+// padded only to its own longest member instead of the longest request in
+// flight, which is where dynamic batching beats first-come order on the
+// ragged sequences adaptive patching produces.
+//
+// Scheduling policy (pop_batch):
+//   1. a bucket holding >= max_batch requests flushes immediately (the
+//      bucket whose FRONT request is oldest wins when several are full);
+//   2. otherwise, once the oldest pending request has waited `deadline`,
+//      its bucket flushes part-full — bounded latency under light load;
+//   3. after close(), remaining requests drain immediately (oldest bucket
+//      first, deadline ignored); pop_batch returns empty only when the
+//      queue is closed AND drained, which is the workers' exit signal.
+//
+// push() blocks while the queue holds max_pending requests (backpressure
+// toward the submitting clients) and fails only after close().
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/patcher.h"
+#include "serve/engine.h"
+
+namespace apf::serve {
+
+/// One queued inference request: a patched (unpadded) sequence plus the
+/// promise a worker fulfills with the per-request InferenceResult.
+struct Request {
+  std::uint64_t id = 0;  ///< submission order, unique per server
+  core::PatchSequence seq;
+  std::promise<InferenceResult> promise;
+  std::chrono::steady_clock::time_point enqueued{};
+  double patch_seconds = 0.0;  ///< stage-1 time spent on the client thread
+};
+
+/// Bounded multi-producer / multi-consumer queue of Requests, bucketed by
+/// (source image size, sequence length): requests only batch with peers
+/// that can legally share a TokenBatch. All methods are thread-safe.
+class RequestQueue {
+ public:
+  /// max_pending: capacity before push() blocks (> 0).
+  /// bucket_granularity: lengths are grouped by ceil(len / g) * g (> 0);
+  /// 1 buckets exact lengths, a large value degrades to first-come order.
+  RequestQueue(std::int64_t max_pending, std::int64_t bucket_granularity);
+
+  /// Blocks while the queue is full; returns false (leaving r valid) only
+  /// when the queue was closed before space freed up.
+  bool push(Request&& r);
+
+  /// Non-blocking push; false when full or closed (r is not consumed).
+  bool try_push(Request&& r);
+
+  /// Pops the next batch per the scheduling policy above. Blocks until a
+  /// batch is ready; an empty result means closed-and-drained.
+  std::vector<Request> pop_batch(std::int64_t max_batch,
+                                 std::chrono::duration<double> deadline);
+
+  /// Stops accepting pushes and lets pop_batch drain what is left
+  /// immediately. Idempotent; wakes every blocked push/pop.
+  void close();
+
+  bool closed() const;
+  std::int64_t pending() const;
+
+  /// The bucket key a sequence length maps to (rounded up to a multiple
+  /// of the granularity; length 0 maps to the first bucket).
+  std::int64_t bucket_of(std::int64_t length) const;
+
+ private:
+  /// Bucket key: image size first, then bucketed length — sequences from
+  /// differently-sized sources must never share a batch even when their
+  /// token counts collide.
+  using BucketKey = std::pair<std::int64_t, std::int64_t>;
+
+  BucketKey key_of(const Request& r) const {
+    return {r.seq.image_size, bucket_of(r.seq.length())};
+  }
+
+  // Returns the bucket to flush now, or nullopt when none is ready.
+  // Caller holds mu_. "now" decides deadline expiry; full buckets and
+  // closed-queue drain ignore it.
+  std::optional<BucketKey> ripe_bucket(
+      std::int64_t max_batch, std::chrono::duration<double> deadline,
+      std::chrono::steady_clock::time_point now) const;
+
+  const std::int64_t max_pending_;
+  const std::int64_t granularity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable ready_;
+  std::map<BucketKey, std::deque<Request>> buckets_;  // key -> FIFO
+  std::int64_t pending_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace apf::serve

@@ -1,0 +1,200 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "tensor/gemm_backend.h"
+
+namespace apf::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+Server::Server(models::TokenSegModel& model, ServerConfig cfg)
+    : model_(model),
+      cfg_(cfg),
+      queue_(cfg.max_queue, cfg.bucket_granularity),
+      started_(Clock::now()) {
+  APF_CHECK(cfg_.num_workers > 0,
+            "ServerConfig: num_workers must be positive, got "
+                << cfg_.num_workers);
+  APF_CHECK(cfg_.batch_deadline_ms >= 0.0,
+            "ServerConfig: batch_deadline_ms must be >= 0, got "
+                << cfg_.batch_deadline_ms);
+  // max_queue / bucket_granularity are validated by the RequestQueue; the
+  // EngineConfig by the engines below.
+  engines_.reserve(static_cast<std::size_t>(cfg_.num_workers));
+  for (int i = 0; i < cfg_.num_workers; ++i)
+    engines_.push_back(std::make_unique<InferenceEngine>(model_, cfg_.engine));
+  patch_engine_ = std::make_unique<InferenceEngine>(model_, cfg_.engine);
+
+  // Park the shared model in eval mode for the server's lifetime: workers
+  // then only READ module state, so concurrent forwards are race-free.
+  model_was_training_ = model_.training();
+  model_.set_training(false);
+
+  workers_.reserve(engines_.size());
+  for (std::size_t i = 0; i < engines_.size(); ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (shut_down_) return;
+  queue_.close();  // no new submits; workers drain what was accepted
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+  model_.set_training(model_was_training_);
+  shut_down_ = true;
+}
+
+std::future<InferenceResult> Server::submit(const img::Image& image) {
+  // Stage 1 on the calling thread: patch() validates at the API boundary
+  // (failing fast with the offending shape), and patching in parallel
+  // across clients keeps the workers fed with bucketable sequences.
+  const auto t0 = Clock::now();
+  Request r;
+  r.seq = patch_engine_->patch(image);
+  r.patch_seconds = seconds_since(t0);
+  r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.enqueued = Clock::now();
+  std::future<InferenceResult> future = r.promise.get_future();
+  APF_CHECK(queue_.push(std::move(r)),
+            "Server::submit: server is shut down");
+  return future;
+}
+
+std::vector<std::future<InferenceResult>> Server::submit_many(
+    const std::vector<img::Image>& images) {
+  APF_CHECK(!images.empty(), "Server::submit_many: empty image batch");
+  // Validate everything up front so a bad image rejects the whole call
+  // before ANY request is enqueued (no partial batches on error).
+  for (std::size_t i = 0; i < images.size(); ++i)
+    patch_engine_->validate_image(images[i], static_cast<std::int64_t>(i));
+  std::vector<std::future<InferenceResult>> futures;
+  futures.reserve(images.size());
+  for (const img::Image& im : images) futures.push_back(submit(im));
+  return futures;
+}
+
+void Server::worker_main(std::size_t worker_index) {
+  // One NoGradGuard per worker thread (GradMode is thread-local): every
+  // forward below takes the fused, tape-free route.
+  NoGradGuard no_grad;
+  InferenceEngine& engine = *engines_[worker_index];
+  const auto deadline =
+      std::chrono::duration<double>(cfg_.batch_deadline_ms / 1e3);
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(cfg_.engine.max_batch, deadline);
+    if (batch.empty()) return;  // closed and drained
+    process_batch(engine, std::move(batch));
+  }
+}
+
+void Server::process_batch(InferenceEngine& engine,
+                           std::vector<Request>&& batch) {
+  const auto t0 = Clock::now();
+  const std::int64_t n = static_cast<std::int64_t>(batch.size());
+  try {
+    std::vector<core::PatchSequence> seqs;
+    seqs.reserve(batch.size());
+    for (Request& r : batch) seqs.push_back(std::move(r.seq));
+
+    // Pad only to this batch's own longest member — the bucket guarantees
+    // peers are within one granularity step, so padding stays small.
+    core::TokenBatch tb = InferenceEngine::prepare(seqs);
+    Tensor logits = engine.forward(tb);  // [n, C, Z, Z]
+    const double forward_seconds = seconds_since(t0);
+    std::vector<img::Image> masks = engine.decode(logits);
+
+    const std::int64_t per_image = logits.numel() / n;
+    const std::string backend = active_gemm_backend().name();
+    InferenceStats delta;  // accumulated into the aggregate below
+    delta.images = n;
+    delta.batches = 1;
+    delta.forward_seconds = forward_seconds;
+
+    std::vector<InferenceResult> results(batch.size());
+    for (std::int64_t i = 0; i < n; ++i) {
+      const Request& r = batch[static_cast<std::size_t>(i)];
+      InferenceResult& out = results[static_cast<std::size_t>(i)];
+      out.logits =
+          Tensor({1, logits.size(1), logits.size(2), logits.size(3)});
+      std::copy(logits.data() + i * per_image,
+                logits.data() + (i + 1) * per_image, out.logits.data());
+      out.masks.push_back(std::move(masks[static_cast<std::size_t>(i)]));
+
+      const std::int64_t valid =
+          seqs[static_cast<std::size_t>(i)].num_valid();
+      InferenceStats& s = out.stats;
+      s.images = 1;
+      s.batches = 1;
+      s.batch_size = n;
+      s.tokens = valid;
+      s.padded_tokens = tb.length() - valid;
+      s.patch_seconds = r.patch_seconds;
+      s.queue_seconds =
+          std::chrono::duration<double>(t0 - r.enqueued).count();
+      s.forward_seconds = forward_seconds;
+      s.total_seconds = s.patch_seconds + s.queue_seconds +
+                        seconds_since(t0);
+      s.gemm_backend = backend;
+      s.model_flops = engine.flops_for_tokens(valid);
+
+      delta.tokens += s.tokens;
+      delta.padded_tokens += s.padded_tokens;
+      delta.patch_seconds += s.patch_seconds;
+      delta.queue_seconds += s.queue_seconds;
+      delta.model_flops += s.model_flops;
+    }
+
+    // Fold into the aggregate BEFORE fulfilling the promises, so a client
+    // that has seen all its futures resolve also sees them in stats().
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      aggregate_.images += delta.images;
+      aggregate_.batches += delta.batches;
+      aggregate_.tokens += delta.tokens;
+      aggregate_.padded_tokens += delta.padded_tokens;
+      aggregate_.patch_seconds += delta.patch_seconds;
+      aggregate_.queue_seconds += delta.queue_seconds;
+      aggregate_.forward_seconds += delta.forward_seconds;
+      aggregate_.model_flops += delta.model_flops;
+      aggregate_.gemm_backend = backend;
+    }
+    for (std::int64_t i = 0; i < n; ++i)
+      batch[static_cast<std::size_t>(i)].promise.set_value(
+          std::move(results[static_cast<std::size_t>(i)]));
+  } catch (...) {
+    // A failed batch fails its own requests; the worker and every other
+    // request keep going. Requests already fulfilled before the failure
+    // keep their results (set_exception on them would throw).
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) {
+      try {
+        r.promise.set_exception(err);
+      } catch (const std::future_error&) {
+      }
+    }
+  }
+}
+
+InferenceStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  InferenceStats out = aggregate_;
+  out.total_seconds = seconds_since(started_);
+  return out;
+}
+
+}  // namespace apf::serve

@@ -1,0 +1,124 @@
+#pragma once
+// Async serving front end: request queue + length-bucketed dynamic
+// batching + worker threads over one shared model.
+//
+//                      ┌──────────────────────── Server ───────────────────────┐
+//   client thread ──►  │ submit(): validate -> patch() -> RequestQueue         │
+//   client thread ──►  │               (stage 1)      │  length buckets        │
+//                      │                              ▼                        │
+//                      │   worker: pop_batch -> prepare -> forward -> decode   │
+//                      │              (scheduler)      (stage 2)   (stage 3)   │
+//                      └──────────────┬────────────────────────────────────────┘
+//                                     ▼
+//                      std::future<InferenceResult> per request
+//
+// Each worker owns an InferenceEngine view over the shared model; the
+// model is parked in eval mode for the server's lifetime so the grad-free
+// forwards never write shared state. Results are bitwise identical to the
+// serial InferenceEngine::run() path regardless of arrival order, batch
+// composition, or bucket padding: the fused masked attention, mask-aware
+// dense layers, and per-item scatter compute every image from its own
+// valid tokens only.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/request_queue.h"
+
+namespace apf::serve {
+
+/// Scheduling knobs on top of the per-worker EngineConfig. Validated at
+/// Server construction.
+struct ServerConfig {
+  /// Patching schedule, per-forward max_batch (the dynamic batch size the
+  /// scheduler coalesces toward), and mask threshold.
+  EngineConfig engine;
+  /// Pending-request capacity; submit() blocks (backpressure) while the
+  /// queue holds this many requests.
+  std::int64_t max_queue = 64;
+  /// A part-full bucket flushes once its oldest request has waited this
+  /// long — the latency bound under light load. 0 disables coalescing
+  /// waits entirely (every pop takes whatever is queued).
+  double batch_deadline_ms = 2.0;
+  /// Worker threads, each owning an engine view over the shared model.
+  int num_workers = 2;
+  /// Sequence lengths are bucketed by ceil(len / g) * g before batching;
+  /// requests only batch with same-bucket peers. 1 batches exact lengths
+  /// only; a value >= the token budget degrades to first-come order.
+  std::int64_t bucket_granularity = 32;
+};
+
+/// Asynchronous inference server over one TokenSegModel.
+///
+/// Thread-safe: submit() / submit_many() may be called from any number of
+/// client threads. shutdown() (or destruction) drains every accepted
+/// request — all returned futures become ready — then joins the workers
+/// and restores the model's training mode.
+class Server {
+ public:
+  /// The server borrows the model; the caller keeps it alive and must not
+  /// mutate it (train, load weights, toggle modes) while the server runs.
+  Server(models::TokenSegModel& model, ServerConfig cfg);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Validates the image (square, model geometry — throws
+  /// detail::CheckError naming the shape), patches it on the calling
+  /// thread, and enqueues it. Blocks while the queue is full; throws
+  /// after shutdown(). The future carries the per-request logits
+  /// [1, C, Z, Z], mask, and InferenceStats (queue wait, dynamic batch
+  /// size, padding).
+  std::future<InferenceResult> submit(const img::Image& image);
+
+  /// Validates ALL images first (CheckError names the offending index),
+  /// then submits each in order.
+  std::vector<std::future<InferenceResult>> submit_many(
+      const std::vector<img::Image>& images);
+
+  /// Drains accepted requests, joins the workers, restores the model's
+  /// training mode. Idempotent; called by the destructor.
+  void shutdown();
+
+  /// Aggregate stats over everything completed so far: images, batches,
+  /// valid/padded tokens (padding_ratio() is the scheduler's score),
+  /// summed patch/queue/forward seconds, wall-clock total since
+  /// construction, delivered encoder FLOPs.
+  InferenceStats stats() const;
+
+  /// Requests accepted but not yet handed to a worker.
+  std::int64_t pending() const { return queue_.pending(); }
+
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  void worker_main(std::size_t worker_index);
+  void process_batch(InferenceEngine& engine, std::vector<Request>&& batch);
+
+  models::TokenSegModel& model_;
+  ServerConfig cfg_;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<InferenceEngine>> engines_;  // one per worker
+  /// Client-side stage-1 engine: only its const, stateless methods
+  /// (validate_image / patch / flops_for_tokens) are used, so any number
+  /// of submitting threads may share it.
+  std::unique_ptr<InferenceEngine> patch_engine_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> next_id_{0};
+  bool model_was_training_ = false;
+  bool shut_down_ = false;
+  std::mutex shutdown_mu_;  ///< serializes shutdown() callers
+
+  mutable std::mutex stats_mu_;
+  InferenceStats aggregate_;
+  std::chrono::steady_clock::time_point started_;
+};
+
+}  // namespace apf::serve

@@ -98,6 +98,7 @@ namespace detail {
 // backends that were not compiled in report is_available() == false).
 GemmBackend* reference_gemm_backend();
 GemmBackend* avx2_gemm_backend();
+GemmBackend* fma_gemm_backend();
 GemmBackend* blas_gemm_backend();
 }  // namespace detail
 

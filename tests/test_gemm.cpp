@@ -6,9 +6,10 @@
 // guarantees the serving paths depend on (gemm.h): panel-boundary splits
 // for every backend, arbitrary-row splits plus n/k prefix truncation for
 // the bitwise-exact ones. Cross-backend, bitwise-exact backends must match
-// the reference backend bit for bit; blas (when present) must agree within
-// fp32 rounding. Registry tests cover name lookup, unknown-name fallback,
-// and APF_GEMM_BACKEND selection.
+// the reference backend bit for bit; the tolerance-grade backends (fma,
+// blas — when present) must agree within fp32 rounding. Registry tests
+// cover name lookup, unknown-name fallback, and APF_GEMM_BACKEND
+// selection.
 
 #include <gtest/gtest.h>
 
@@ -224,6 +225,32 @@ TEST(GemmCrossBackend, BitwiseExactBackendsMatchReferenceBitwise) {
   }
 }
 
+TEST(GemmCrossBackend, FmaMatchesReferenceWithinTolerance) {
+  // fma is tolerance-grade by design: fused multiply-add rounds once per
+  // k step where reference rounds twice, so values agree within fp32
+  // rounding but are not bitwise identical in general.
+  GemmBackend* fma = find_gemm_backend("fma");
+  ASSERT_NE(fma, nullptr);  // registered even when not compiled in
+  EXPECT_FALSE(fma->bitwise_exact());
+  if (!fma->is_available())
+    GTEST_SKIP() << "no AVX2+FMA on this host — fma backend unavailable";
+  const std::int64_t m = 65, n = 257, k = 300;
+  Rng rng(47);
+  for (const bool ta : {false, true})
+    for (const bool tb : {false, true}) {
+      Tensor a = Tensor::randn(ta ? Shape{k, m} : Shape{m, k}, rng);
+      Tensor b = Tensor::randn(tb ? Shape{n, k} : Shape{k, n}, rng);
+      Tensor c_init = Tensor::randn({m, n}, rng);
+      Tensor ref = run_backend("reference", ta, tb, m, n, k, 0.5f, a, b,
+                               0.5f, c_init);
+      Tensor got =
+          run_backend("fma", ta, tb, m, n, k, 0.5f, a, b, 0.5f, c_init);
+      for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_NEAR(got[i], ref[i], 1e-4 * std::max(1.f, std::fabs(ref[i])))
+            << "ta=" << ta << " tb=" << tb << " at " << i;
+    }
+}
+
 TEST(GemmCrossBackend, BlasMatchesReferenceWithinTolerance) {
   GemmBackend* blas = find_gemm_backend("blas");
   ASSERT_NE(blas, nullptr);  // registered even when not compiled in
@@ -250,8 +277,9 @@ TEST(GemmRegistry, ReferenceIsAlwaysRegisteredAndAvailable) {
   ASSERT_NE(ref, nullptr);
   EXPECT_TRUE(ref->is_available());
   EXPECT_TRUE(ref->bitwise_exact());
-  // All three ship in the registry regardless of build flags.
+  // All four ship in the registry regardless of build flags.
   EXPECT_NE(find_gemm_backend("avx2"), nullptr);
+  EXPECT_NE(find_gemm_backend("fma"), nullptr);
   EXPECT_NE(find_gemm_backend("blas"), nullptr);
   EXPECT_EQ(find_gemm_backend("no-such-backend"), nullptr);
 }
