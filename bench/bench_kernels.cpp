@@ -29,6 +29,23 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(256)->Arg(512);
 
+void BM_GemmTransA(benchmark::State& state) {
+  // The trans_a hot path (weight-gradient shape dW = dY^T @ X): op(A) rows
+  // are COLUMNS of the (k x m) storage, so the A-pack is a transpose. This
+  // pins the cache-blocked transposed pack in gemm_pack.h.
+  const std::int64_t n = state.range(0);
+  apf::Rng rng(2);
+  apf::Tensor a = apf::Tensor::randn({n, n}, rng);  // used as (k x m)
+  apf::Tensor b = apf::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    apf::Tensor c = apf::ops::matmul(a, b, /*trans_a=*/true,
+                                     /*trans_b=*/false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmTransA)->Arg(256)->Arg(512)->Arg(1024);
+
 void BM_AttentionScores(benchmark::State& state) {
   // One attention head block: scores = Q K^T + softmax, L x D.
   const std::int64_t l = state.range(0);

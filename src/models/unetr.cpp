@@ -28,20 +28,41 @@ Var UpBlock2d::forward(const Var& x) const {
   return ag::relu(bn_.forward(up_.forward(x)));
 }
 
+namespace {
+
+std::vector<core::GridScatterPlan> make_scatter_plans(
+    const core::TokenBatch& batch, std::int64_t grid) {
+  std::vector<core::GridScatterPlan> plans;
+  plans.reserve(static_cast<std::size_t>(batch.batch()));
+  for (std::int64_t i = 0; i < batch.batch(); ++i)
+    plans.emplace_back(batch.meta[static_cast<std::size_t>(i)],
+                       batch.image_size, grid);
+  return plans;
+}
+
+}  // namespace
+
 Var scatter_batch(const Var& hidden, const core::TokenBatch& batch,
                   std::int64_t grid) {
+  return scatter_batch(hidden, batch, grid, make_scatter_plans(batch, grid));
+}
+
+Var scatter_batch(const Var& hidden, const core::TokenBatch& batch,
+                  std::int64_t grid,
+                  const std::vector<core::GridScatterPlan>& plans) {
   const std::int64_t b = hidden.size(0), l = hidden.size(1),
                      d = hidden.size(2);
   APF_CHECK(b == batch.batch() && l == batch.length(),
             "scatter_batch: hidden " << hidden.val().str()
                                      << " vs batch geometry");
+  APF_CHECK(static_cast<std::int64_t>(plans.size()) == b,
+            "scatter_batch: " << plans.size() << " plans for batch " << b);
   std::vector<Var> maps;
   maps.reserve(static_cast<std::size_t>(b));
   for (std::int64_t i = 0; i < b; ++i) {
-    core::GridScatterPlan plan(batch.meta[static_cast<std::size_t>(i)],
-                               batch.image_size, grid);
     Var item = ag::reshape(ag::slice(hidden, 0, i, 1), {l, d});
-    maps.push_back(ag::reshape(plan.scatter(item), {1, d, grid, grid}));
+    maps.push_back(ag::reshape(
+        plans[static_cast<std::size_t>(i)].scatter(item), {1, d, grid, grid}));
   }
   return b == 1 ? maps[0] : ag::concat(maps, 0);
 }
@@ -104,8 +125,14 @@ Var Unetr2d::forward(const core::TokenBatch& batch, Rng& rng) const {
   std::vector<Var> hidden;
   Var final = encoder_.encode(batch, rng, taps_, &hidden);
 
+  // The scatter plans depend only on batch geometry, and every scatter in
+  // this forward (bottleneck + one per skip) shares them — build once.
+  const std::vector<core::GridScatterPlan> plans =
+      make_scatter_plans(batch, cfg_.grid);
+
   // Base feature map from the final encoder state.
-  Var f = bottleneck_->forward(scatter_batch(final, batch, cfg_.grid));
+  Var f =
+      bottleneck_->forward(scatter_batch(final, batch, cfg_.grid, plans));
 
   const std::int64_t n_skips = static_cast<std::int64_t>(taps_.size());
   for (std::int64_t s = 1; s <= stages_; ++s) {
@@ -114,7 +141,7 @@ Var Unetr2d::forward(const core::TokenBatch& batch, Rng& rng) const {
       // Stage 1 (coarsest fuse) uses the LATEST tapped layer; the finest
       // stage uses the earliest (UNETR convention).
       const Var& tapped = hidden[static_cast<std::size_t>(n_skips - s)];
-      Var skip = scatter_batch(tapped, batch, cfg_.grid);
+      Var skip = scatter_batch(tapped, batch, cfg_.grid, plans);
       for (const auto& up : skip_chains_[static_cast<std::size_t>(s - 1)])
         skip = up->forward(skip);
       f = fuse_[static_cast<std::size_t>(s - 1)]->forward(

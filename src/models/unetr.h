@@ -89,5 +89,10 @@ class Unetr2d : public TokenSegModel {
 /// batch's token geometry (shared by UNETR and TransUNet-style decoders).
 Var scatter_batch(const Var& hidden, const core::TokenBatch& batch,
                   std::int64_t grid);
+/// Same, reusing caller-built per-item plans (they depend only on batch
+/// geometry, so a decoder that scatters several taps builds them once).
+Var scatter_batch(const Var& hidden, const core::TokenBatch& batch,
+                  std::int64_t grid,
+                  const std::vector<core::GridScatterPlan>& plans);
 
 }  // namespace apf::models

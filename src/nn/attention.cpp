@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -10,6 +11,47 @@
 #include "tensor/parallel_for.h"
 
 namespace apf::nn {
+namespace {
+
+// Grad-free head split: one column band of qkv [B, L, 3D] gathered
+// directly into heads layout [B*H, L, Dh]. Pure copies — value-identical
+// to the slice -> reshape -> permute({0,2,1,3}) -> reshape composition it
+// replaces, without the two intermediate tensors and index arithmetic.
+Tensor split_heads(const Tensor& qkv, std::int64_t b, std::int64_t l,
+                   std::int64_t heads, std::int64_t dh, std::int64_t off) {
+  const std::int64_t row = qkv.size(2);  // 3D
+  Tensor out = Tensor::empty({b * heads, l, dh});
+  const float* src = qkv.data();
+  float* dst = out.data();
+  parallel_for(b * heads, [&](std::int64_t t) {
+    const std::int64_t bi = t / heads, h = t % heads;
+    const float* s = src + bi * l * row + off + h * dh;
+    float* d = dst + t * l * dh;
+    for (std::int64_t i = 0; i < l; ++i)
+      std::memcpy(d + i * dh, s + i * row,
+                  static_cast<std::size_t>(dh) * sizeof(float));
+  }, /*grain=*/4);
+  return out;
+}
+
+// Inverse gather: [B*H, L, Dh] context back to [B, L, D].
+Tensor merge_heads(const Tensor& ctx, std::int64_t b, std::int64_t l,
+                   std::int64_t heads, std::int64_t dh) {
+  Tensor out = Tensor::empty({b, l, heads * dh});
+  const float* src = ctx.data();
+  float* dst = out.data();
+  parallel_for(b * heads, [&](std::int64_t t) {
+    const std::int64_t bi = t / heads, h = t % heads;
+    const float* s = src + t * l * dh;
+    float* d = dst + bi * l * heads * dh + h * dh;
+    for (std::int64_t i = 0; i < l; ++i)
+      std::memcpy(d + i * heads * dh, s + i * dh,
+                  static_cast<std::size_t>(dh) * sizeof(float));
+  }, /*grain=*/4);
+  return out;
+}
+
+}  // namespace
 
 Tensor fused_masked_attention(const Tensor& q, const Tensor& k,
                               const Tensor& v, float scale,
@@ -145,20 +187,15 @@ Var MultiHeadAttention::forward(const Var& x, const Tensor* key_mask) const {
 
   if (!ag::GradMode::is_enabled()) {
     // Grad-free fast path: same values as the taped pipeline below (the
-    // fused kernel is bitwise identical), but no tape nodes and no
-    // [B*H, L, L] score/probability tensors.
-    auto to_heads_t = [&](std::int64_t off) {
-      Tensor r = ops::slice(qkv.val(), 2, off, dim_)
-                     .reshape({b, l, heads_, head_dim_});
-      return ops::permute(r, {0, 2, 1, 3})
-          .reshape({b * heads_, l, head_dim_});
-    };
-    Tensor ctx = fused_masked_attention(to_heads_t(0), to_heads_t(dim_),
-                                        to_heads_t(2 * dim_), scale, key_mask,
-                                        b);
-    Tensor merged =
-        ops::permute(ctx.reshape({b, heads_, l, head_dim_}), {0, 2, 1, 3})
-            .reshape({b, l, dim_});
+    // fused kernel is bitwise identical, the head gathers are pure
+    // copies), but no tape nodes, no [B*H, L, L] score/probability
+    // tensors, and no slice/permute intermediates.
+    Tensor ctx = fused_masked_attention(
+        split_heads(qkv.val(), b, l, heads_, head_dim_, 0),
+        split_heads(qkv.val(), b, l, heads_, head_dim_, dim_),
+        split_heads(qkv.val(), b, l, heads_, head_dim_, 2 * dim_), scale,
+        key_mask, b);
+    Tensor merged = merge_heads(ctx, b, l, heads_, head_dim_);
     return proj_.forward(Var::constant(merged), key_mask);
   }
 

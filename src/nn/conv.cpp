@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "nn/init.h"
+#include "tensor/arena.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/parallel_for.h"
 
@@ -12,7 +14,7 @@ namespace {
 /// Copies item b of an NCHW tensor into a standalone [C, H, W] tensor.
 Tensor item(const Tensor& x, std::int64_t b) {
   const std::int64_t c = x.size(1), h = x.size(2), w = x.size(3);
-  Tensor out({c, h, w});
+  Tensor out = Tensor::empty({c, h, w});
   const std::int64_t n = c * h * w;
   std::copy(x.data() + b * n, x.data() + (b + 1) * n, out.data());
   return out;
@@ -40,12 +42,45 @@ Var Conv2d::forward(const Var& x) const {
   const std::int64_t ow = (w + 2 * pad_ - k_) / stride_ + 1;
   APF_CHECK(oh > 0 && ow > 0, "Conv2d: output collapsed for input " << xv.str());
 
-  Tensor y({b, out_c_, oh, ow});
-  for (std::int64_t i = 0; i < b; ++i) {
-    Tensor cols = ops::im2col(item(xv, i), k_, k_, stride_, pad_);
-    Tensor yi = ops::matmul(weight_.val(), cols);  // [OC, OH*OW]
-    std::copy(yi.data(), yi.data() + out_c_ * oh * ow,
-              y.data() + i * out_c_ * oh * ow);
+  // One flat [B, C*K*K, OH*OW] column buffer (a single — arena-friendly —
+  // allocation): the fill parallelizes over (item, channel) row bands and
+  // the per-item gemms write straight into y, so the hot loop allocates
+  // nothing and copies nothing. Identical arithmetic to the former
+  // per-item im2col + matmul + copy composition.
+  const std::int64_t ckk = in_c_ * k_ * k_;
+  Tensor y = Tensor::empty({b, out_c_, oh, ow});
+  if (k_ == 1 && stride_ == 1 && pad_ == 0) {
+    // 1x1 conv: im2col is the identity ([C, H*W] columns ARE the input
+    // plane), so gemm reads x directly. Identical arithmetic, zero copies.
+    const float* px = xv.data();
+    const float* pw = weight_.val().data();
+    float* py = y.data();
+    parallel_for(b, [&](std::int64_t i) {
+      gemm(false, false, out_c_, oh * ow, ckk, 1.f, pw, ckk,
+           px + i * in_c_ * h * w, oh * ow, 0.f, py + i * out_c_ * oh * ow,
+           oh * ow);
+    }, /*grain=*/1);
+  } else {
+    // y is allocated BEFORE this inner scope, so on the grad-free serving
+    // path the (large) column buffer is reclaimed the moment the conv
+    // returns instead of accumulating across the whole model forward.
+    ArenaScope cols_scope;
+    Tensor cols = Tensor::empty({b, ckk, oh * ow});
+    const float* px = xv.data();
+    float* pc = cols.data();
+    parallel_for(b * in_c_, [&](std::int64_t task) {
+      const std::int64_t i = task / in_c_, ch = task % in_c_;
+      ops::im2col_into(px + i * in_c_ * h * w, in_c_, h, w, k_, k_, stride_,
+                       pad_, pc + i * ckk * oh * ow, ch * k_ * k_,
+                       (ch + 1) * k_ * k_);
+    }, /*grain=*/1);
+    const float* pw = weight_.val().data();
+    float* py = y.data();
+    parallel_for(b, [&](std::int64_t i) {
+      gemm(false, false, out_c_, oh * ow, ckk, 1.f, pw, ckk,
+           pc + i * ckk * oh * ow, oh * ow, 0.f, py + i * out_c_ * oh * ow,
+           oh * ow);
+    }, /*grain=*/1);
   }
   if (bias_.defined()) {
     float* py = y.data();
@@ -123,14 +158,29 @@ Var ConvTranspose2d::forward(const Var& x) const {
   const std::int64_t oh = (h - 1) * stride_ + k_;
   const std::int64_t ow = (w - 1) * stride_ + k_;
 
-  // y_i = col2im(W^T @ x_i): the exact adjoint of a stride-s conv.
-  Tensor y({b, out_c_, oh, ow});
-  for (std::int64_t i = 0; i < b; ++i) {
-    Tensor xi = item(xv, i).reshape({in_c_, h * w});
-    Tensor cols = ops::matmul(weight_.val(), xi, true, false);
-    Tensor yi = ops::col2im(cols, out_c_, oh, ow, k_, k_, stride_, 0);
-    std::copy(yi.data(), yi.data() + out_c_ * oh * ow,
-              y.data() + i * out_c_ * oh * ow);
+  // y_i = col2im(W^T @ x_i): the exact adjoint of a stride-s conv. As in
+  // Conv2d, one flat column buffer + direct writes into y replace the
+  // per-item tensor/copy churn; x_i is read in place (it is already a
+  // contiguous [C, H*W] slab of the batch).
+  const std::int64_t okk = out_c_ * k_ * k_;
+  Tensor y = Tensor::empty({b, out_c_, oh, ow});
+  {
+    // As in Conv2d: scratch columns die with this scope, y survives it.
+    ArenaScope cols_scope;
+    Tensor cols = Tensor::empty({b, okk, h * w});
+    const float* px = xv.data();
+    const float* pw = weight_.val().data();
+    float* pc = cols.data();
+    float* py = y.data();
+    parallel_for(b, [&](std::int64_t i) {
+      gemm(true, false, okk, h * w, in_c_, 1.f, pw, okk, px + i * in_c_ * h * w,
+           h * w, 0.f, pc + i * okk * h * w, h * w);
+    }, /*grain=*/1);
+    parallel_for(b * out_c_, [&](std::int64_t task) {
+      const std::int64_t i = task / out_c_, ch = task % out_c_;
+      ops::col2im_into(pc + i * okk * h * w, out_c_, oh, ow, k_, k_, stride_,
+                       0, py + i * out_c_ * oh * ow, ch, ch + 1);
+    }, /*grain=*/1);
   }
   if (bias_.defined()) {
     float* py = y.data();
@@ -284,17 +334,33 @@ Var BatchNorm2d::forward(const Var& x) const {
     var.copy_from(running_var_);
   }
 
-  Tensor y(xv.shape());
-  Tensor xhat(xv.shape());
-  Tensor inv_std({c_});
+  Tensor y = Tensor::empty(xv.shape());
+  Tensor inv_std = Tensor::empty({c_});
+  const float* px = xv.data();
+  const float* pg = gamma_.val().data();
+  const float* pb = beta_.val().data();
+  float* py = y.data();
+  for (std::int64_t ch = 0; ch < c_; ++ch)
+    inv_std[ch] = 1.f / std::sqrt(var[ch] + eps_);
+
+  if (!ag::grad_enabled()) {
+    // Grad-free fast path: identical per-element arithmetic, but the
+    // saved-for-backward xhat plane is neither allocated nor written
+    // (mirrors layernorm's no-grad behavior).
+    parallel_for(b * c_, [&](std::int64_t plane) {
+      const std::int64_t ch = plane % c_;
+      const float mu = mean[ch], is = inv_std[ch], ga = pg[ch], be = pb[ch];
+      const float* xp = px + plane * h * w;
+      float* yp = py + plane * h * w;
+      for (std::int64_t j = 0; j < h * w; ++j)
+        yp[j] = (xp[j] - mu) * is * ga + be;
+    });
+    return Var::constant(std::move(y));
+  }
+
+  Tensor xhat = Tensor::empty(xv.shape());
   {
-    const float* px = xv.data();
-    const float* pg = gamma_.val().data();
-    const float* pb = beta_.val().data();
-    float* py = y.data();
     float* ph = xhat.data();
-    for (std::int64_t ch = 0; ch < c_; ++ch)
-      inv_std[ch] = 1.f / std::sqrt(var[ch] + eps_);
     parallel_for(b * c_, [&](std::int64_t plane) {
       const std::int64_t ch = plane % c_;
       const float mu = mean[ch], is = inv_std[ch], ga = pg[ch], be = pb[ch];

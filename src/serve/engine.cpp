@@ -5,6 +5,7 @@
 #include <cmath>
 #include <optional>
 
+#include "tensor/arena.h"
 #include "tensor/gemm_backend.h"
 
 namespace apf::serve {
@@ -130,12 +131,19 @@ Tensor InferenceEngine::forward(const core::TokenBatch& batch) {
   std::optional<EvalGuard> eval;
   if (model_.training()) eval.emplace(model_);
   NoGradGuard no_grad;
+  // Grad-free activations for this batch live in the thread-local bump
+  // arena: hundreds of intermediates become pointer bumps, reclaimed in
+  // one cursor reset when the scope closes. The logits escape the scope,
+  // so they are deep-copied to heap ownership first (arena.h escape rule)
+  // — the pause guard routes that clone back to the heap.
+  ArenaScope arena;
   Var logits = model_.forward(batch, rng_);  // [B, C, Z, Z]
   APF_CHECK(logits.val().ndim() == 4 && logits.size(0) == batch.batch(),
             "InferenceEngine: model returned " << logits.val().str()
                                                << " for a batch of "
                                                << batch.batch());
-  return logits.val();
+  ArenaPauseGuard heap;
+  return logits.val().clone();
 }
 
 std::vector<img::Image> InferenceEngine::decode(const Tensor& logits) const {

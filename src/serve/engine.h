@@ -122,6 +122,10 @@ class InferenceEngine {
   /// -> [B, C, Z, Z] logits. Forces eval mode for the call (and restores
   /// it) only when the model is in training mode; serve::Server parks the
   /// model in eval once so its workers never toggle shared state.
+  /// Intermediate activations live in the calling thread's ArenaScope
+  /// (tensor/arena.h) for the duration of the call; the returned logits
+  /// are deep-copied to ordinary heap ownership, so callers may hold them
+  /// indefinitely.
   Tensor forward(const core::TokenBatch& batch);
 
   /// Stage 3 — decode pixel-space masks from logits: sigmoid threshold in

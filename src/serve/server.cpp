@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "tensor/gemm_backend.h"
+#include "tensor/thread_pool.h"
 
 namespace apf::serve {
 namespace {
@@ -98,6 +99,16 @@ void Server::worker_main(std::size_t worker_index) {
     std::vector<Request> batch =
         queue_.pop_batch(cfg_.engine.max_batch, deadline);
     if (batch.empty()) return;  // closed and drained
+    // Partition the shared thread pool across the workers that are BUSY
+    // right now: a lone worker gets the whole pool, concurrent workers
+    // split it evenly, and oversubscription is bounded by the pool's
+    // fixed worker count either way.
+    const int busy = busy_workers_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    struct BusyGuard {
+      std::atomic<int>& count;
+      ~BusyGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+    } busy_guard{busy_workers_};
+    ThreadLimitGuard thread_budget(std::max(1, num_threads() / busy));
     process_batch(engine, std::move(batch));
   }
 }

@@ -111,6 +111,13 @@ class Server {
   /// of submitting threads may share it.
   std::unique_ptr<InferenceEngine> patch_engine_;
   std::vector<std::thread> workers_;
+  /// Workers currently processing a batch. Each batch runs under a
+  /// ThreadLimitGuard of num_threads / busy_workers_, so the shared
+  /// ThreadPool is partitioned across the workers that are actually busy:
+  /// a lone busy worker gets the whole pool, concurrent workers converge
+  /// to an even split (and the pool's fixed worker count bounds real
+  /// thread usage regardless).
+  std::atomic<int> busy_workers_{0};
   std::atomic<std::uint64_t> next_id_{0};
   bool model_was_training_ = false;
   bool shut_down_ = false;

@@ -1,0 +1,95 @@
+#include "tensor/arena.h"
+
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "tensor/autograd.h"
+#include "tensor/check.h"
+
+namespace apf {
+namespace {
+
+// Default block: large enough that a typical grad-free forward at serving
+// resolutions fits in a handful of blocks, small enough that an idle
+// worker thread does not pin silly amounts of memory.
+constexpr std::int64_t kArenaBlockFloats = std::int64_t{1} << 21;  // 8 MiB
+constexpr std::int64_t kArenaAlignFloats = 16;                     // 64 B
+
+// One arena per thread, destroyed at thread exit. Tensors may outlive the
+// arena that carved out their storage (e.g. statics torn down after the
+// thread_local): that is safe because an arena-backed TensorStorage owns
+// nothing — its destructor never touches the block memory — and the
+// escape rule forbids READING such tensors past their scope anyway.
+thread_local std::unique_ptr<Arena> t_arena;
+
+}  // namespace
+
+Arena& Arena::this_thread() {
+  if (!t_arena) t_arena.reset(new Arena());
+  return *t_arena;
+}
+
+bool Arena::storage_enabled() {
+  const Arena* a = t_arena.get();
+  return a != nullptr && a->depth_ > 0 && a->paused_ == 0 &&
+         !ag::GradMode::is_enabled();
+}
+
+Arena::~Arena() {
+  for (Block& b : blocks_)
+    ::operator delete[](b.data, std::align_val_t{64});
+}
+
+float* Arena::allocate(std::int64_t numel, bool zero) {
+  APF_CHECK(depth_ > 0, "Arena::allocate outside any ArenaScope");
+  APF_CHECK(numel > 0, "Arena::allocate: non-positive size " << numel);
+  // Keep every allocation 64-byte aligned by rounding the bump up.
+  const std::int64_t need =
+      (numel + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
+  while (cursor_.block < blocks_.size() &&
+         blocks_[cursor_.block].cap - cursor_.offset < need) {
+    ++cursor_.block;
+    cursor_.offset = 0;
+  }
+  if (cursor_.block == blocks_.size()) {
+    const std::int64_t cap = std::max(need, kArenaBlockFloats);
+    Block b;
+    b.data = static_cast<float*>(::operator new[](
+        static_cast<std::size_t>(cap) * sizeof(float), std::align_val_t{64}));
+    b.cap = cap;
+    blocks_.push_back(b);
+    stats_.reserved_bytes += cap * static_cast<std::int64_t>(sizeof(float));
+  }
+  float* out = blocks_[cursor_.block].data + cursor_.offset;
+  cursor_.offset += need;
+  if (zero)
+    std::memset(out, 0, static_cast<std::size_t>(numel) * sizeof(float));
+  stats_.allocations += 1;
+  stats_.allocated_bytes += numel * static_cast<std::int64_t>(sizeof(float));
+  stats_.used_bytes += need * static_cast<std::int64_t>(sizeof(float));
+  return out;
+}
+
+ArenaScope::ArenaScope() {
+  Arena& a = Arena::this_thread();
+  entry_ = a.cursor_;
+  entry_used_ = a.stats_.used_bytes;
+  a.depth_ += 1;
+}
+
+ArenaScope::~ArenaScope() {
+  Arena& a = Arena::this_thread();
+  a.depth_ -= 1;
+  // Rewind to the entry cursor: everything bump-allocated under this scope
+  // is reclaimed for reuse (the blocks themselves are retained).
+  a.cursor_ = entry_;
+  a.stats_.used_bytes = entry_used_;
+  a.stats_.resets += 1;
+}
+
+ArenaPauseGuard::ArenaPauseGuard() { Arena::this_thread().paused_ += 1; }
+
+ArenaPauseGuard::~ArenaPauseGuard() { Arena::this_thread().paused_ -= 1; }
+
+}  // namespace apf

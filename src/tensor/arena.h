@@ -1,0 +1,119 @@
+#pragma once
+// Thread-local bump allocator for grad-free tensor storage.
+//
+// The grad-free forward of a transformer allocates hundreds of
+// intermediate activation tensors per batch, many past glibc's mmap
+// threshold — every one an mmap + page-fault + munmap round trip. Under
+// an ArenaScope those allocations become pointer bumps into blocks that
+// are RETAINED across batches, and one reset per batch reclaims them all.
+//
+// Lifecycle and rules:
+//  * ArenaScope (RAII) activates the calling thread's arena; Tensor
+//    storage allocation routes through it only while a scope is active on
+//    this thread AND autograd's GradMode is off (tensors a tape could
+//    retain must never live in memory a scope reset reclaims). Scopes
+//    nest; each restores the bump cursor it entered with.
+//  * ESCAPE RULE: memory bump-allocated under a scope is reclaimed (and
+//    will be reused) when that scope closes. Any tensor that must outlive
+//    the scope — returned logits, cached features — must be deep-copied
+//    to heap ownership first: take an ArenaPauseGuard (allocation falls
+//    back to the heap while it lives) and clone(). InferenceEngine::
+//    forward() is the model caller: scope around the model forward, pause
+//    + clone for the escaping logits.
+//  * Each thread owns its own arena (no locks, no sharing); pool worker
+//    threads never allocate tensors, so a scope on an engine/server
+//    thread covers exactly that thread's forward.
+//
+// Blocks are 64-byte aligned and zero-filled per allocation, preserving
+// Tensor's zero-init semantics on reused memory.
+
+#include <cstdint>
+#include <vector>
+
+namespace apf {
+
+/// Arena counters (per thread). allocations/allocated_bytes are lifetime
+/// totals of arena-served requests; used_bytes is the current cursor.
+struct ArenaStats {
+  std::int64_t allocations = 0;     ///< requests served from the arena
+  std::int64_t allocated_bytes = 0; ///< bytes served (lifetime)
+  std::int64_t reserved_bytes = 0;  ///< block capacity currently held
+  std::int64_t used_bytes = 0;      ///< bytes live under open scopes
+  std::int64_t resets = 0;          ///< scope closes that rewound the cursor
+};
+
+/// The calling thread's bump arena. Use through ArenaScope /
+/// ArenaPauseGuard; direct access is for tests and instrumentation.
+class Arena {
+ public:
+  /// The calling thread's arena (created on first use, lives for the
+  /// thread's lifetime; blocks are retained across scopes for reuse).
+  static Arena& this_thread();
+
+  /// True when allocation on this thread should go through the arena:
+  /// a scope is active, no pause guard is live, and GradMode is off.
+  static bool storage_enabled();
+
+  /// Bump-allocates numel floats, 64-byte aligned and (by default) zeroed
+  /// — reused arena memory must honor Tensor's zero-init promise; callers
+  /// that overwrite the whole buffer immediately pass zero = false. Grows
+  /// by appending blocks (oversized requests get a dedicated block). Must
+  /// only be called while a scope is active.
+  float* allocate(std::int64_t numel, bool zero = true);
+
+  const ArenaStats& stats() const { return stats_; }
+
+  /// Open scopes on this thread (0 = inactive).
+  int depth() const { return depth_; }
+
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+ private:
+  friend class ArenaScope;
+  friend class ArenaPauseGuard;
+  Arena() = default;
+
+  struct Block {
+    float* data = nullptr;
+    std::int64_t cap = 0;  // floats
+  };
+  struct Cursor {
+    std::size_t block = 0;
+    std::int64_t offset = 0;  // floats used in that block
+  };
+
+  Cursor cursor_;
+  std::vector<Block> blocks_;
+  ArenaStats stats_;
+  int depth_ = 0;
+  int paused_ = 0;
+};
+
+/// RAII: activates the thread-local arena for the guard's lifetime and
+/// rewinds the bump cursor to the entry position on destruction. See the
+/// escape rule in the file header before holding tensors across this.
+class ArenaScope {
+ public:
+  ArenaScope();
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena::Cursor entry_;
+  std::int64_t entry_used_ = 0;
+};
+
+/// RAII: routes this thread's tensor allocations back to the heap while
+/// alive (the escape hatch for results that must outlive the scope).
+class ArenaPauseGuard {
+ public:
+  ArenaPauseGuard();
+  ~ArenaPauseGuard();
+  ArenaPauseGuard(const ArenaPauseGuard&) = delete;
+  ArenaPauseGuard& operator=(const ArenaPauseGuard&) = delete;
+};
+
+}  // namespace apf

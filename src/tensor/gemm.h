@@ -42,6 +42,17 @@
 // one CBLAS call per row panel) and is deterministic for identical calls,
 // but its values may differ from reference within normal fp32 rounding —
 // which is why it is opt-in and never wins the default selection.
+//
+// ------------------------------------------------- parallel dispatch
+// apf::gemm() itself parallelizes: it splits m into kGemmRowPanel-aligned
+// chunks and runs them concurrently on the shared apf::ThreadPool
+// (tensor/thread_pool.h), each chunk a plain sub-call into the (serial)
+// selected backend. Because chunk boundaries are panel boundaries, the
+// panel contract makes this BITWISE IDENTICAL to serial dispatch for
+// every backend at every thread count (pinned by test_gemm). Thread count
+// comes from apf::set_num_threads() / APF_NUM_THREADS; calls issued from
+// inside a parallel region (e.g. the fused attention kernel's per-panel
+// tasks) run serially, and small calls below a flops floor skip the pool.
 
 #include <cstdint>
 

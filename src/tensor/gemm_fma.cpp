@@ -33,7 +33,6 @@
 #include <vector>
 
 #include "tensor/gemm_pack.h"
-#include "tensor/parallel_for.h"
 #endif
 
 namespace apf {
@@ -46,47 +45,50 @@ namespace {
 // std::fmaf so every element — vector lane or tail — sees one rounding
 // per k step.
 
+// B is read at row stride bs everywhere below: the packed panel (bs ==
+// cols) or, for untransposed B, the source matrix in place (bs == ldb).
+
 inline void tail_cols_scalar_fma(std::int64_t j0, std::int64_t cols,
                                  std::int64_t depth,
                                  const float* __restrict arow,
-                                 const float* __restrict bp,
+                                 const float* __restrict bp, std::int64_t bs,
                                  float* __restrict crow) {
   for (std::int64_t j = j0; j < cols; ++j) {
     float acc = crow[j];
     for (std::int64_t p = 0; p < depth; ++p)
-      acc = std::fmaf(arow[p], bp[p * cols + j], acc);
+      acc = std::fmaf(arow[p], bp[p * bs + j], acc);
     crow[j] = acc;
   }
 }
 
 inline void kernel_1x8_fma(std::int64_t cols, std::int64_t depth,
                            const float* __restrict arow,
-                           const float* __restrict bp,
+                           const float* __restrict bp, std::int64_t bs,
                            float* __restrict crow) {
   std::int64_t j = 0;
   for (; j + 8 <= cols; j += 8) {
     __m256 acc = _mm256_loadu_ps(crow + j);
     for (std::int64_t p = 0; p < depth; ++p) {
       const __m256 av = _mm256_broadcast_ss(arow + p);
-      const __m256 bv = _mm256_loadu_ps(bp + p * cols + j);
+      const __m256 bv = _mm256_loadu_ps(bp + p * bs + j);
       acc = _mm256_fmadd_ps(av, bv, acc);
     }
     _mm256_storeu_ps(crow + j, acc);
   }
-  tail_cols_scalar_fma(j, cols, depth, arow, bp, crow);
+  tail_cols_scalar_fma(j, cols, depth, arow, bp, bs, crow);
 }
 
 // Eight C rows x one 8-column vector, 8 fused accumulators in registers.
 inline void kernel_8x8_fma(std::int64_t cols, std::int64_t depth,
                            const float* __restrict ap,
-                           const float* __restrict bp, float* __restrict c,
-                           std::int64_t ldc) {
+                           const float* __restrict bp, std::int64_t bs,
+                           float* __restrict c, std::int64_t ldc) {
   std::int64_t j = 0;
   for (; j + 8 <= cols; j += 8) {
     __m256 acc[8];
     for (int r = 0; r < 8; ++r) acc[r] = _mm256_loadu_ps(c + r * ldc + j);
     for (std::int64_t p = 0; p < depth; ++p) {
-      const __m256 bv = _mm256_loadu_ps(bp + p * cols + j);
+      const __m256 bv = _mm256_loadu_ps(bp + p * bs + j);
       for (int r = 0; r < 8; ++r) {
         const __m256 av = _mm256_broadcast_ss(ap + r * depth + p);
         acc[r] = _mm256_fmadd_ps(av, bv, acc[r]);
@@ -95,18 +97,18 @@ inline void kernel_8x8_fma(std::int64_t cols, std::int64_t depth,
     for (int r = 0; r < 8; ++r) _mm256_storeu_ps(c + r * ldc + j, acc[r]);
   }
   for (int r = 0; r < 8; ++r)
-    tail_cols_scalar_fma(j, cols, depth, ap + r * depth, bp, c + r * ldc);
+    tail_cols_scalar_fma(j, cols, depth, ap + r * depth, bp, bs, c + r * ldc);
 }
 
 void micro_kernel_fma(std::int64_t rows, std::int64_t cols,
                       std::int64_t depth, const float* __restrict ap,
-                      const float* __restrict bp, float* __restrict c,
-                      std::int64_t ldc) {
+                      const float* __restrict bp, std::int64_t bs,
+                      float* __restrict c, std::int64_t ldc) {
   std::int64_t i = 0;
   for (; i + 8 <= rows; i += 8)
-    kernel_8x8_fma(cols, depth, ap + i * depth, bp, c + i * ldc, ldc);
+    kernel_8x8_fma(cols, depth, ap + i * depth, bp, bs, c + i * ldc, ldc);
   for (; i < rows; ++i)
-    kernel_1x8_fma(cols, depth, ap + i * depth, bp, c + i * ldc);
+    kernel_1x8_fma(cols, depth, ap + i * depth, bp, bs, c + i * ldc);
 }
 
 class FmaGemmBackend final : public GemmBackend {
@@ -126,37 +128,40 @@ class FmaGemmBackend final : public GemmBackend {
     detail::gemm_scale_c(m, n, beta, c, ldc);
     if (k == 0 || alpha == 0.f) return;
 
-    const std::int64_t m_blocks =
-        (m + detail::kGemmBlockM - 1) / detail::kGemmBlockM;
-    parallel_for(
-        m_blocks,
-        [&](std::int64_t bi) {
-          const std::int64_t i0 = bi * detail::kGemmBlockM;
-          const std::int64_t rows = std::min(detail::kGemmBlockM, m - i0);
-          thread_local std::vector<float> a_pack, b_pack;
-          a_pack.resize(static_cast<std::size_t>(detail::kGemmBlockM *
-                                                 detail::kGemmBlockK));
-          b_pack.resize(static_cast<std::size_t>(detail::kGemmBlockK *
-                                                 detail::kGemmBlockN));
-          for (std::int64_t k0 = 0; k0 < k; k0 += detail::kGemmBlockK) {
-            const std::int64_t depth = std::min(detail::kGemmBlockK, k - k0);
-            detail::gemm_pack_a(trans_a, a, lda, i0, k0, rows, depth,
-                                a_pack.data());
-            if (alpha != 1.f) {
-              // Hoisted av = alpha * a[i][p], as in the avx2 backend.
-              for (std::int64_t t = 0; t < rows * depth; ++t)
-                a_pack[static_cast<std::size_t>(t)] *= alpha;
-            }
-            for (std::int64_t j0 = 0; j0 < n; j0 += detail::kGemmBlockN) {
-              const std::int64_t cols = std::min(detail::kGemmBlockN, n - j0);
-              detail::gemm_pack_b(trans_b, b, ldb, k0, j0, depth, cols,
-                                  b_pack.data());
-              micro_kernel_fma(rows, cols, depth, a_pack.data(),
-                               b_pack.data(), c + i0 * ldc + j0, ldc);
-            }
+    // Serial over row panels: the apf::gemm dispatcher owns threading and
+    // hands each chunk to this backend whole (thread_local buffers keep
+    // concurrent chunks from sharing packing space).
+    thread_local std::vector<float> a_pack, b_pack;
+    a_pack.resize(static_cast<std::size_t>(detail::kGemmBlockM *
+                                           detail::kGemmBlockK));
+    b_pack.resize(static_cast<std::size_t>(detail::kGemmBlockK *
+                                           detail::kGemmBlockN));
+    for (std::int64_t i0 = 0; i0 < m; i0 += detail::kGemmBlockM) {
+      const std::int64_t rows = std::min(detail::kGemmBlockM, m - i0);
+      for (std::int64_t k0 = 0; k0 < k; k0 += detail::kGemmBlockK) {
+        const std::int64_t depth = std::min(detail::kGemmBlockK, k - k0);
+        detail::gemm_pack_a(trans_a, a, lda, i0, k0, rows, depth,
+                            a_pack.data());
+        if (alpha != 1.f) {
+          // Hoisted av = alpha * a[i][p], as in the avx2 backend.
+          for (std::int64_t t = 0; t < rows * depth; ++t)
+            a_pack[static_cast<std::size_t>(t)] *= alpha;
+        }
+        for (std::int64_t j0 = 0; j0 < n; j0 += detail::kGemmBlockN) {
+          const std::int64_t cols = std::min(detail::kGemmBlockN, n - j0);
+          if (!trans_b) {
+            // Untransposed B streams from the source in place.
+            micro_kernel_fma(rows, cols, depth, a_pack.data(),
+                             b + k0 * ldb + j0, ldb, c + i0 * ldc + j0, ldc);
+          } else {
+            detail::gemm_pack_b(trans_b, b, ldb, k0, j0, depth, cols,
+                                b_pack.data());
+            micro_kernel_fma(rows, cols, depth, a_pack.data(), b_pack.data(),
+                             cols, c + i0 * ldc + j0, ldc);
           }
-        },
-        /*grain=*/1);
+        }
+      }
+    }
   }
 };
 

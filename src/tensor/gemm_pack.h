@@ -5,11 +5,15 @@
 // bitwise-interchangeable — backends may only differ in how the packed
 // micro-kernel multiplies, and even there they must preserve the
 // per-element accumulation order documented in gemm.h.
+//
+// Everything here is SERIAL: threading belongs to the apf::gemm dispatcher
+// (panel-parallel chunks over the whole call), so backends — and these
+// helpers — run single-threaded inside their chunk.
 
+#include <algorithm>
 #include <cstring>
 
 #include "tensor/gemm.h"
-#include "tensor/parallel_for.h"
 
 namespace apf::detail {
 
@@ -38,9 +42,25 @@ void gemm_pack_a(bool trans, const float* a, std::int64_t lda,
       std::memcpy(out + i * depth, a + (i0 + i) * lda + k0,
                   sizeof(float) * static_cast<std::size_t>(depth));
   } else {
-    for (std::int64_t i = 0; i < rows; ++i)
-      for (std::int64_t p = 0; p < depth; ++p)
-        out[i * depth + p] = a[(k0 + p) * lda + (i0 + i)];
+    // Cache-blocked transpose. The transposed pack reads column i0 + i of
+    // the (k x m) storage — a stride-lda walk. Tiling both loops keeps the
+    // working set (kPackTile source rows x kPackTile destination rows) in
+    // L1 and makes the INNER loop walk the source contiguously, instead of
+    // the all-strided column walk a direct i-then-p nest performs. Pure
+    // reordering of the same element copies, so the packed panel — and
+    // every result built from it — is bitwise identical.
+    constexpr std::int64_t kPackTile = 16;
+    for (std::int64_t pt = 0; pt < depth; pt += kPackTile) {
+      const std::int64_t pe = std::min(depth, pt + kPackTile);
+      for (std::int64_t it = 0; it < rows; it += kPackTile) {
+        const std::int64_t ie = std::min(rows, it + kPackTile);
+        for (std::int64_t p = pt; p < pe; ++p) {
+          const float* src = a + (k0 + p) * lda + i0;
+          for (std::int64_t i = it; i < ie; ++i)
+            out[i * depth + p] = src[i];
+        }
+      }
+    }
   }
 }
 
@@ -59,20 +79,20 @@ void gemm_pack_b(bool trans, const float* b, std::int64_t ldb,
   }
 }
 
-// Scales C by beta row-parallel (beta == 0 overwrites, never reads C).
-// Every CPU backend runs this identical pre-pass so beta semantics — and
-// their rounding — cannot differ between backends.
+// Scales C by beta (beta == 0 overwrites, never reads C). Every CPU
+// backend runs this identical pre-pass so beta semantics — and their
+// rounding — cannot differ between backends.
 void gemm_scale_c(std::int64_t m, std::int64_t n, float beta, float* c,
                   std::int64_t ldc) {
   if (beta == 1.f) return;
-  parallel_for(m, [&](std::int64_t i) {
+  for (std::int64_t i = 0; i < m; ++i) {
     float* row = c + i * ldc;
     if (beta == 0.f) {
       std::memset(row, 0, sizeof(float) * static_cast<std::size_t>(n));
     } else {
       for (std::int64_t j = 0; j < n; ++j) row[j] *= beta;
     }
-  });
+  }
 }
 
 }  // namespace

@@ -16,7 +16,7 @@ template <class F>
 Tensor binary_op(const Tensor& a, const Tensor& b, F&& f, const char* name) {
   APF_CHECK(a.same_shape(b),
             name << ": shape mismatch " << a.str() << " vs " << b.str());
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -27,7 +27,7 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F&& f, const char* name) {
 
 template <class F>
 Tensor unary_op(const Tensor& a, F&& f) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   parallel_for(a.numel(), [&](std::int64_t i) { po[i] = f(pa[i]); },
@@ -117,7 +117,7 @@ Tensor add_bias(const Tensor& x, const Tensor& bias) {
   const std::int64_t d = bias.numel();
   APF_CHECK(x.ndim() >= 1 && x.size(-1) == d,
             "add_bias: " << x.str() << " vs bias " << bias.str());
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const std::int64_t rows = x.numel() / d;
   const float* px = x.data();
   const float* pb = bias.data();
@@ -134,7 +134,7 @@ Tensor sum_to_lastdim(const Tensor& x) {
   APF_CHECK(x.ndim() >= 1, "sum_to_lastdim: scalar input");
   const std::int64_t d = x.size(-1);
   const std::int64_t rows = x.numel() / d;
-  Tensor out({d});
+  Tensor out = Tensor::empty({d});
   float* po = out.data();
   const float* px = x.data();
   // Deterministic fixed-order accumulation per output column.
@@ -151,7 +151,7 @@ Tensor mul_lastdim(const Tensor& x, const Tensor& scale) {
             "mul_lastdim: " << x.str() << " vs " << scale.str());
   const std::int64_t d = scale.numel();
   const std::int64_t rows = x.numel() / d;
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* px = x.data();
   const float* ps = scale.data();
   float* po = out.data();
@@ -169,7 +169,7 @@ Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const std::int64_t kb = trans_b ? b.size(1) : b.size(0);
   const std::int64_t n = trans_b ? b.size(0) : b.size(1);
   APF_CHECK(ka == kb, "matmul: inner dims " << ka << " vs " << kb);
-  Tensor c({m, n});
+  Tensor c = Tensor::empty({m, n});
   gemm(trans_a, trans_b, m, n, ka, 1.f, a.data(), a.size(1), b.data(),
        b.size(1), 0.f, c.data(), n);
   return c;
@@ -185,7 +185,7 @@ Tensor bmm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const std::int64_t kb = trans_b ? b.size(2) : b.size(1);
   const std::int64_t n = trans_b ? b.size(1) : b.size(2);
   APF_CHECK(ka == kb, "bmm: inner dims " << ka << " vs " << kb);
-  Tensor c({bs, m, n});
+  Tensor c = Tensor::empty({bs, m, n});
   const std::int64_t sa = a.size(1) * a.size(2);
   const std::int64_t sb = b.size(1) * b.size(2);
   const std::int64_t sc = m * n;
@@ -215,7 +215,7 @@ Tensor permute(const Tensor& x, const std::vector<int>& perm) {
     out_strides[static_cast<std::size_t>(i)] = stride;
     stride *= out_shape[static_cast<std::size_t>(i)];
   }
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   const float* px = x.data();
   float* po = out.data();
   parallel_for(out.numel(), [&](std::int64_t flat) {
@@ -254,7 +254,7 @@ Tensor concat(const std::vector<Tensor>& xs, std::int64_t axis) {
     total += t.size(axis);
   }
   out_shape[static_cast<std::size_t>(axis)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
 
   // outer = product of dims before axis, inner = product after.
   std::int64_t outer = 1, inner = 1;
@@ -285,7 +285,7 @@ Tensor slice(const Tensor& x, std::int64_t axis, std::int64_t start,
                        << x.str() << " axis " << axis);
   Shape out_shape = x.shape();
   out_shape[static_cast<std::size_t>(axis)] = len;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   std::int64_t outer = 1, inner = 1;
   for (std::int64_t d = 0; d < axis; ++d) outer *= x.size(d);
   for (std::int64_t d = axis + 1; d < nd; ++d) inner *= x.size(d);
@@ -351,7 +351,7 @@ Tensor softmax_lastdim(const Tensor& x, const Tensor* key_mask) {
     rows_per_b = rows / b;
     pm = key_mask->data();
   }
-  Tensor out(x.shape());
+  Tensor out = Tensor::empty(x.shape());
   const float* px = x.data();
   float* po = out.data();
   parallel_for(rows, [&](std::int64_t r) {
@@ -431,6 +431,52 @@ void layernorm_row(const float* x, const float* gamma, const float* beta,
   }
 }
 
+void im2col_into(const float* x, std::int64_t c, std::int64_t h,
+                 std::int64_t w, std::int64_t kh, std::int64_t kw,
+                 std::int64_t stride, std::int64_t pad, float* out,
+                 std::int64_t row0, std::int64_t row1) {
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  APF_CHECK(oh > 0 && ow > 0, "im2col: kernel larger than padded input");
+  APF_CHECK(0 <= row0 && row0 <= row1 && row1 <= c * kh * kw,
+            "im2col_into: row range [" << row0 << ", " << row1
+                                       << ") out of bounds");
+  for (std::int64_t row = row0; row < row1; ++row) {
+    const std::int64_t ch = row / (kh * kw);
+    const std::int64_t ki = (row / kw) % kh;
+    const std::int64_t kj = row % kw;
+    float* crow = out + row * oh * ow;
+    for (std::int64_t oi = 0; oi < oh; ++oi) {
+      const std::int64_t ii = oi * stride + ki - pad;
+      float* dst = crow + oi * ow;
+      if (ii < 0 || ii >= h) {
+        std::fill(dst, dst + ow, 0.f);
+        continue;
+      }
+      const float* src = x + (ch * h + ii) * w;
+      if (stride == 1) {
+        // Contiguous interior: jj = oj + kj - pad walks the source row
+        // unit-stride, so the in-bounds span is one memcpy and only the
+        // padding fringe is written element-free (zeros).
+        const std::int64_t j0 =
+            std::clamp<std::int64_t>(pad - kj, 0, ow);
+        const std::int64_t j1 =
+            std::clamp<std::int64_t>(w + pad - kj, j0, ow);
+        std::fill(dst, dst + j0, 0.f);
+        if (j1 > j0)
+          std::memcpy(dst + j0, src + j0 + kj - pad,
+                      static_cast<std::size_t>(j1 - j0) * sizeof(float));
+        std::fill(dst + j1, dst + ow, 0.f);
+      } else {
+        for (std::int64_t oj = 0; oj < ow; ++oj) {
+          const std::int64_t jj = oj * stride + kj - pad;
+          dst[oj] = (jj >= 0 && jj < w) ? src[jj] : 0.f;
+        }
+      }
+    }
+  }
+}
+
 Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
               std::int64_t stride, std::int64_t pad) {
   APF_CHECK(x.ndim() == 3, "im2col: need [C,H,W], got " << x.str());
@@ -438,25 +484,57 @@ Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
   const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
   const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
   APF_CHECK(oh > 0 && ow > 0, "im2col: kernel larger than padded input");
-  Tensor cols({c * kh * kw, oh * ow});
+  Tensor cols = Tensor::empty({c * kh * kw, oh * ow});
   const float* px = x.data();
   float* pc = cols.data();
   parallel_for(c * kh * kw, [&](std::int64_t row) {
-    const std::int64_t ch = row / (kh * kw);
-    const std::int64_t ki = (row / kw) % kh;
-    const std::int64_t kj = row % kw;
-    float* crow = pc + row * oh * ow;
-    for (std::int64_t oi = 0; oi < oh; ++oi) {
-      const std::int64_t ii = oi * stride + ki - pad;
-      for (std::int64_t oj = 0; oj < ow; ++oj) {
-        const std::int64_t jj = oj * stride + kj - pad;
-        crow[oi * ow + oj] = (ii >= 0 && ii < h && jj >= 0 && jj < w)
-                                 ? px[(ch * h + ii) * w + jj]
-                                 : 0.f;
-      }
-    }
+    im2col_into(px, c, h, w, kh, kw, stride, pad, pc, row, row + 1);
   }, /*grain=*/1);
   return cols;
+}
+
+void col2im_into(const float* cols, std::int64_t c, std::int64_t h,
+                 std::int64_t w, std::int64_t kh, std::int64_t kw,
+                 std::int64_t stride, std::int64_t pad, float* out,
+                 std::int64_t c0, std::int64_t c1) {
+  const std::int64_t oh = (h + 2 * pad - kh) / stride + 1;
+  const std::int64_t ow = (w + 2 * pad - kw) / stride + 1;
+  APF_CHECK(0 <= c0 && c0 <= c1 && c1 <= c,
+            "col2im_into: channel range [" << c0 << ", " << c1
+                                           << ") out of bounds");
+  for (std::int64_t ch = c0; ch < c1; ++ch) {
+    float* plane = out + ch * h * w;
+    std::memset(plane, 0, static_cast<std::size_t>(h * w) * sizeof(float));
+    for (std::int64_t ki = 0; ki < kh; ++ki) {
+      for (std::int64_t kj = 0; kj < kw; ++kj) {
+        const std::int64_t row = (ch * kh + ki) * kw + kj;
+        const float* crow = cols + row * oh * ow;
+        // Hoist the bounds: the in-range output indices form a contiguous
+        // oi / oj interval, so the inner loops run branch-free.
+        const std::int64_t oi0 =
+            ki < pad ? (pad - ki + stride - 1) / stride : 0;
+        const std::int64_t oi1 =
+            std::min(oh, h - 1 - ki + pad >= 0
+                             ? (h - 1 - ki + pad) / stride + 1
+                             : 0);
+        const std::int64_t oj0 =
+            kj < pad ? (pad - kj + stride - 1) / stride : 0;
+        const std::int64_t oj1 =
+            std::min(ow, w - 1 - kj + pad >= 0
+                             ? (w - 1 - kj + pad) / stride + 1
+                             : 0);
+        for (std::int64_t oi = oi0; oi < oi1; ++oi) {
+          // Index from the row base (never pre-bias the pointer by
+          // kj - pad: that would form an out-of-bounds pointer when
+          // kj < pad, UB even if no biased element is dereferenced).
+          float* dst = plane + (oi * stride + ki - pad) * w;
+          const float* src = crow + oi * ow;
+          for (std::int64_t oj = oj0; oj < oj1; ++oj)
+            dst[oj * stride + kj - pad] += src[oj];
+        }
+      }
+    }
+  }
 }
 
 Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
@@ -467,27 +545,13 @@ Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
   APF_CHECK(cols.ndim() == 2 && cols.size(0) == c * kh * kw &&
                 cols.size(1) == oh * ow,
             "col2im: cols " << cols.str() << " inconsistent with geometry");
-  Tensor x({c, h, w});
+  Tensor x = Tensor::empty({c, h, w});
   const float* pc = cols.data();
   float* px = x.data();
   // Parallel over channels: rows of `cols` for one channel only touch that
   // channel's plane, so there are no races.
   parallel_for(c, [&](std::int64_t ch) {
-    for (std::int64_t ki = 0; ki < kh; ++ki) {
-      for (std::int64_t kj = 0; kj < kw; ++kj) {
-        const std::int64_t row = (ch * kh + ki) * kw + kj;
-        const float* crow = pc + row * oh * ow;
-        for (std::int64_t oi = 0; oi < oh; ++oi) {
-          const std::int64_t ii = oi * stride + ki - pad;
-          if (ii < 0 || ii >= h) continue;
-          for (std::int64_t oj = 0; oj < ow; ++oj) {
-            const std::int64_t jj = oj * stride + kj - pad;
-            if (jj < 0 || jj >= w) continue;
-            px[(ch * h + ii) * w + jj] += crow[oi * ow + oj];
-          }
-        }
-      }
-    }
+    col2im_into(pc, c, h, w, kh, kw, stride, pad, px, ch, ch + 1);
   }, /*grain=*/1);
   return x;
 }
@@ -495,7 +559,7 @@ Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
 Tensor upsample2x_nearest(const Tensor& x) {
   APF_CHECK(x.ndim() == 3, "upsample2x: need [C,H,W], got " << x.str());
   const std::int64_t c = x.size(0), h = x.size(1), w = x.size(2);
-  Tensor out({c, h * 2, w * 2});
+  Tensor out = Tensor::empty({c, h * 2, w * 2});
   const float* px = x.data();
   float* po = out.data();
   parallel_for(c * h, [&](std::int64_t idx) {

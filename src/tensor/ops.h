@@ -108,10 +108,28 @@ void layernorm_row(const float* x, const float* gamma, const float* beta,
 /// kernel/stride/padding (zero padding).
 Tensor im2col(const Tensor& x, std::int64_t kh, std::int64_t kw,
               std::int64_t stride, std::int64_t pad);
+/// Raw-pointer im2col for rows [row0, row1) of the column matrix (a row is
+/// one (channel, ki, kj) triple; pass 0 / c*kh*kw for all). Writes into
+/// out, an [C*kh*kw, out_h*out_w] buffer laid out like im2col's result —
+/// which it produces bitwise (the stride-1 interior fast path is a pure
+/// reordering of the same copies). Lets the conv layers fill a
+/// preallocated buffer (no per-item tensor) and parallelize across items
+/// or channels without nested allocation.
+void im2col_into(const float* x, std::int64_t c, std::int64_t h,
+                 std::int64_t w, std::int64_t kh, std::int64_t kw,
+                 std::int64_t stride, std::int64_t pad, float* out,
+                 std::int64_t row0, std::int64_t row1);
 /// col2im: reverse scatter-add of im2col, producing [C, H, W].
 Tensor col2im(const Tensor& cols, std::int64_t c, std::int64_t h,
               std::int64_t w, std::int64_t kh, std::int64_t kw,
               std::int64_t stride, std::int64_t pad);
+/// Raw-pointer col2im for channels [c0, c1) of the output: zeroes each
+/// channel plane of out ([C, H, W]) then scatter-adds its rows of cols,
+/// bitwise identical to col2im. Same motivation as im2col_into.
+void col2im_into(const float* cols, std::int64_t c, std::int64_t h,
+                 std::int64_t w, std::int64_t kh, std::int64_t kw,
+                 std::int64_t stride, std::int64_t pad, float* out,
+                 std::int64_t c0, std::int64_t c1);
 
 // ---- Spatial resampling (NCHW, single image [C,H,W]) ---------------------------
 /// 2x nearest-neighbour upsample.

@@ -1,42 +1,40 @@
 #pragma once
-// Single choke point for shared-memory parallelism (OpenMP).
+// Single choke point for shared-memory parallelism.
 //
 // Every data-parallel loop in the library goes through parallel_for /
 // parallel_for_2d so threading policy (grain size, nesting, determinism)
-// is controlled in one place.
+// is controlled in one place. Since PR 5 the backing threads come from the
+// in-tree apf::ThreadPool (tensor/thread_pool.h) instead of OpenMP: the
+// pool is TSan-visible, shared with the gemm panel dispatcher, and
+// partitionable per thread via ThreadLimitGuard (which is how
+// serve::Server keeps its workers from oversubscribing it).
 
 #include <cstdint>
 
-#ifdef _OPENMP
-#include <omp.h>
-#endif
+#include "tensor/thread_pool.h"
 
 namespace apf {
 
-/// Number of worker threads the runtime will use for parallel loops.
-inline int num_threads() {
-#ifdef _OPENMP
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
-
 /// Runs f(i) for i in [0, n). Parallelizes when n >= grain; loops with
 /// fewer iterations run serially to avoid fork/join overhead on tiny work.
-/// f must be safe to call concurrently for distinct i.
+/// f must be safe to call concurrently for distinct i. Iterations are
+/// dealt to threads as contiguous [begin, end) chunks, at most one chunk
+/// per available thread; a region entered from inside another parallel
+/// region runs serially (no nesting).
 template <class F>
 void parallel_for(std::int64_t n, F&& f, std::int64_t grain = 256) {
   if (n <= 0) return;
-#ifdef _OPENMP
-  if (n >= grain && !omp_in_parallel()) {
-#pragma omp parallel for schedule(static)
+  const std::int64_t width = detail::parallel_width();
+  if (width <= 1 || n < grain) {
     for (std::int64_t i = 0; i < n; ++i) f(i);
     return;
   }
-#endif
-  (void)grain;
-  for (std::int64_t i = 0; i < n; ++i) f(i);
+  const std::int64_t chunks = n < width ? n : width;
+  ThreadPool::global().run_chunks(chunks, [&](std::int64_t c) {
+    const std::int64_t begin = n * c / chunks;
+    const std::int64_t end = n * (c + 1) / chunks;
+    for (std::int64_t i = begin; i < end; ++i) f(i);
+  });
 }
 
 /// Runs f(i, j) over the [0,n0) x [0,n1) grid, parallelizing the collapsed

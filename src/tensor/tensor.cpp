@@ -1,12 +1,62 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstring>
 #include <numeric>
 #include <sstream>
 
-#include "tensor/parallel_for.h"
+#include "tensor/arena.h"
 
 namespace apf {
+
+namespace detail {
+namespace {
+std::atomic<std::int64_t> g_heap_storage_allocs{0};
+}  // namespace
+
+std::int64_t storage_heap_allocations() {
+  return g_heap_storage_allocs.load(std::memory_order_relaxed);
+}
+
+TensorStorage::TensorStorage(std::int64_t n) {
+  if (n <= 0) return;
+  if (Arena::storage_enabled()) {
+    data_ = Arena::this_thread().allocate(n);  // zeroed by the arena
+  } else {
+    heap_.reset(new float[n]());  // value-init: zeroed
+    data_ = heap_.get();
+    g_heap_storage_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TensorStorage::TensorStorage(std::int64_t n, Uninit) {
+  if (n <= 0) return;
+  if (Arena::storage_enabled()) {
+    data_ = Arena::this_thread().allocate(n, /*zero=*/false);
+  } else {
+    heap_.reset(new float[n]);  // default-init: uninitialized
+    data_ = heap_.get();
+    g_heap_storage_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+TensorStorage::TensorStorage(std::int64_t n, const float* src) {
+  if (n <= 0) return;
+  if (Arena::storage_enabled()) {
+    data_ = Arena::this_thread().allocate(n, /*zero=*/false);
+  } else {
+    heap_.reset(new float[n]);
+    data_ = heap_.get();
+    g_heap_storage_allocs.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::memcpy(data_, src, static_cast<std::size_t>(n) * sizeof(float));
+}
+
+TensorStorage::TensorStorage(std::vector<float> values)
+    : adopted_(std::move(values)), data_(adopted_.data()) {}
+
+}  // namespace detail
 
 std::int64_t shape_numel(const Shape& s) {
   std::int64_t n = 1;
@@ -28,12 +78,21 @@ std::string shape_str(const Shape& s) {
   return os.str();
 }
 
-Tensor::Tensor(Shape shape)
-    : storage_(std::make_shared<std::vector<float>>(shape_numel(shape), 0.f)),
-      shape_(std::move(shape)),
-      numel_(static_cast<std::int64_t>(storage_->size())) {}
+Tensor::Tensor(Shape shape) : numel_(shape_numel(shape)) {
+  storage_ = std::make_shared<detail::TensorStorage>(numel_);
+  shape_ = std::move(shape);
+}
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.numel_ = shape_numel(shape);
+  t.storage_ = std::make_shared<detail::TensorStorage>(
+      t.numel_, detail::TensorStorage::Uninit{});
+  t.shape_ = std::move(shape);
+  return t;
+}
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
 
@@ -49,7 +108,7 @@ Tensor Tensor::from(std::vector<float> values, Shape shape) {
             "from(): " << values.size() << " values for shape "
                        << shape_str(shape));
   Tensor t;
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  t.storage_ = std::make_shared<detail::TensorStorage>(std::move(values));
   t.shape_ = std::move(shape);
   t.numel_ = n;
   return t;
@@ -57,7 +116,7 @@ Tensor Tensor::from(std::vector<float> values, Shape shape) {
 
 Tensor Tensor::arange(std::int64_t n) {
   Tensor t({n});
-  std::iota(t.storage_->begin(), t.storage_->end(), 0.f);
+  std::iota(t.data(), t.data() + t.numel(), 0.f);
   return t;
 }
 
@@ -94,7 +153,7 @@ float& Tensor::at(std::initializer_list<std::int64_t> idx) {
     flat = flat * shape_[d] + ix;
     ++d;
   }
-  return (*storage_)[static_cast<std::size_t>(flat)];
+  return storage_->data()[flat];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> idx) const {
@@ -133,7 +192,7 @@ Tensor Tensor::reshape(Shape new_shape) const {
 Tensor Tensor::clone() const {
   if (!defined()) return Tensor();
   Tensor t;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  t.storage_ = std::make_shared<detail::TensorStorage>(numel_, data());
   t.shape_ = shape_;
   t.numel_ = numel_;
   return t;
@@ -141,12 +200,12 @@ Tensor Tensor::clone() const {
 
 void Tensor::fill(float value) {
   if (!defined()) return;
-  std::fill(storage_->begin(), storage_->end(), value);
+  std::fill(data(), data() + numel_, value);
 }
 
 void Tensor::copy_from(const Tensor& src) {
   APF_CHECK(same_shape(src), "copy_from(): " << src.str() << " into " << str());
-  std::copy(src.storage_->begin(), src.storage_->end(), storage_->begin());
+  std::copy(src.data(), src.data() + numel_, data());
 }
 
 }  // namespace apf

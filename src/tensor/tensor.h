@@ -5,9 +5,12 @@
 //  * Value-semantic handle: copying a Tensor is O(1) and shares storage
 //    (like a shared_ptr). clone() deep-copies.
 //  * Always contiguous. reshape() is zero-copy; transposes/permutes
-//    materialize. This keeps every kernel a flat loop and makes OpenMP
+//    materialize. This keeps every kernel a flat loop and makes
 //    parallelization trivial (Core Guidelines: prefer simple, regular data).
 //  * No dtype zoo: float32 only, which is what the training pipeline needs.
+//  * Storage is heap-owned by default; under a grad-free ArenaScope
+//    (tensor/arena.h) new storage bump-allocates from the thread's arena
+//    instead — see detail::TensorStorage and the arena escape rule.
 
 #include <cstdint>
 #include <initializer_list>
@@ -22,6 +25,45 @@ namespace apf {
 
 /// Shape type used across the library.
 using Shape = std::vector<std::int64_t>;
+
+namespace detail {
+
+/// Contiguous float buffer behind a Tensor: either an owned heap vector
+/// or a borrowed slice of the calling thread's grad-free Arena
+/// (tensor/arena.h — chosen at construction when a scope is active and
+/// GradMode is off). Arena-backed storage performs NO deallocation: the
+/// memory is reclaimed wholesale when its ArenaScope closes, which is why
+/// tensors escaping a scope must be deep-copied first (see arena.h).
+class TensorStorage {
+ public:
+  struct Uninit {};  ///< tag: skip the zero fill (Tensor::empty)
+
+  /// Zero-initialized buffer of n floats (arena-aware).
+  explicit TensorStorage(std::int64_t n);
+  /// Uninitialized buffer of n floats (arena-aware).
+  TensorStorage(std::int64_t n, Uninit);
+  /// Buffer of n floats copied from src (arena-aware, skips the zeroing).
+  TensorStorage(std::int64_t n, const float* src);
+  /// Adopts an existing heap vector (never touches the arena).
+  explicit TensorStorage(std::vector<float> values);
+  TensorStorage(const TensorStorage&) = delete;
+  TensorStorage& operator=(const TensorStorage&) = delete;
+
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+
+ private:
+  std::vector<float> adopted_;     ///< only set by the adopting ctor
+  std::unique_ptr<float[]> heap_;  ///< owned buffer when not arena-backed
+  float* data_ = nullptr;
+};
+
+/// Lifetime count of tensor storage buffers taken from the heap (not the
+/// arena; adopted vectors excluded). The arena tests pin the serving
+/// forward's allocation-count drop against this.
+std::int64_t storage_heap_allocations();
+
+}  // namespace detail
 
 /// Returns the number of elements a shape describes (product of dims).
 std::int64_t shape_numel(const Shape& s);
@@ -43,6 +85,12 @@ class Tensor {
   static Tensor zeros(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
+  /// UNINITIALIZED storage (torch::empty idiom): contents are unspecified
+  /// until written. Strictly for kernels that overwrite every element
+  /// before the tensor escapes — it skips the zero fill that Tensor(shape)
+  /// performs, which matters on the serving hot path where most
+  /// activations are fully produced by the next op anyway.
+  static Tensor empty(Shape shape);
   /// Takes ownership of values; values.size() must equal shape's numel.
   static Tensor from(std::vector<float> values, Shape shape);
   /// [0, 1, 2, ..., n-1] as a 1-D tensor.
@@ -68,8 +116,8 @@ class Tensor {
 
   float* data() { return storage_ ? storage_->data() : nullptr; }
   const float* data() const { return storage_ ? storage_->data() : nullptr; }
-  float& operator[](std::int64_t i) { return (*storage_)[i]; }
-  float operator[](std::int64_t i) const { return (*storage_)[i]; }
+  float& operator[](std::int64_t i) { return storage_->data()[i]; }
+  float operator[](std::int64_t i) const { return storage_->data()[i]; }
 
   /// Multi-index accessor (slow; intended for tests and small setup code).
   float& at(std::initializer_list<std::int64_t> idx);
@@ -98,7 +146,7 @@ class Tensor {
   std::string str() const { return shape_str(shape_); }
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<detail::TensorStorage> storage_;
   Shape shape_;
   std::int64_t numel_ = 0;
 };

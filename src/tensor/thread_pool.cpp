@@ -1,0 +1,196 @@
+#include "tensor/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apf {
+namespace {
+
+thread_local bool t_on_pool = false;
+thread_local bool t_in_parallel = false;
+thread_local int t_limit = 0;
+
+std::atomic<int> g_user_threads{0};
+
+int env_or_hardware_threads() {
+  static const int resolved = [] {
+    if (const char* e = std::getenv("APF_NUM_THREADS")) {
+      char* end = nullptr;
+      const long n = std::strtol(e, &end, 10);
+      if (end != e && n >= 1 && n <= 4096) return static_cast<int>(n);
+      std::fprintf(stderr,
+                   "[apf::ThreadPool] ignoring APF_NUM_THREADS=\"%s\" "
+                   "(need an integer in [1, 4096])\n",
+                   e);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }();
+  return resolved;
+}
+
+/// One parallel region in flight. Chunk claims are a relaxed atomic ticket
+/// counter; completion and the error slot are published through mu so the
+/// waiting caller has a happens-before edge on everything the chunks wrote.
+struct Job {
+  void (*fn)(void*, std::int64_t) = nullptr;
+  void* ctx = nullptr;
+  std::int64_t n = 0;
+  std::atomic<std::int64_t> next{0};
+  std::int64_t completed = 0;  // guarded by mu
+  std::exception_ptr error;    // guarded by mu; first failure wins
+  std::mutex mu;
+  std::condition_variable done;
+};
+
+// Claims and runs chunks until the job's ticket counter is exhausted.
+void execute(Job& job) {
+  const bool was_in_parallel = t_in_parallel;
+  t_in_parallel = true;  // regions entered from a chunk run serially
+  for (;;) {
+    const std::int64_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    std::exception_ptr err;
+    try {
+      job.fn(job.ctx, i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lk(job.mu);
+    if (err && !job.error) job.error = err;
+    if (++job.completed == job.n) job.done.notify_all();
+  }
+  t_in_parallel = was_in_parallel;
+}
+
+}  // namespace
+
+int num_threads() {
+  const int user = g_user_threads.load(std::memory_order_acquire);
+  return user > 0 ? user : env_or_hardware_threads();
+}
+
+void set_num_threads(int n) {
+  g_user_threads.store(n > 0 ? n : 0, std::memory_order_release);
+}
+
+int thread_limit() { return t_limit; }
+
+ThreadLimitGuard::ThreadLimitGuard(int limit) : prev_(t_limit) {
+  t_limit = limit > 0 ? limit : 1;
+}
+
+ThreadLimitGuard::~ThreadLimitGuard() { t_limit = prev_; }
+
+namespace detail {
+int parallel_width() {
+  if (t_in_parallel) return 1;
+  const int width = num_threads();
+  return t_limit > 0 && t_limit < width ? t_limit : width;
+}
+}  // namespace detail
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<Job>> jobs;  // FIFO; front is drained first
+  std::vector<std::thread> workers;
+  bool stop = false;
+
+  // Spawns workers until `target` exist. Caller holds mu.
+  void ensure_workers_locked(int target) {
+    while (static_cast<int>(workers.size()) < target)
+      workers.emplace_back([this] { worker_main(); });
+  }
+
+  void worker_main() {
+    t_on_pool = true;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv.wait(lk, [&] { return stop || !jobs.empty(); });
+      if (stop) return;
+      std::shared_ptr<Job> job = jobs.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->n) {
+        // Exhausted (still completing on other threads): retire it so the
+        // queue can sleep, then look for the next job.
+        jobs.pop_front();
+        continue;
+      }
+      lk.unlock();
+      execute(*job);
+      lk.lock();
+      if (!jobs.empty() && jobs.front() == job &&
+          job->next.load(std::memory_order_relaxed) >= job->n)
+        jobs.pop_front();
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+bool ThreadPool::on_pool_thread() { return t_on_pool; }
+
+int ThreadPool::worker_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return static_cast<int>(impl_->workers.size());
+}
+
+void ThreadPool::run(std::int64_t chunks, RawFn fn, void* ctx) {
+  if (chunks <= 0) return;
+  // Serial when there is nothing to share or sharing is not allowed:
+  // single chunk, width 1, or already inside a parallel region. Note the
+  // in-parallel flag is NOT raised here — a 1-chunk region occupies no
+  // extra thread, so loops nested inside it (a batch-1 conv's gemms, for
+  // example) must stay free to parallelize. When the width really is 1 or
+  // the caller is already inside a region, nested loops resolve to serial
+  // on their own.
+  if (chunks == 1 || t_in_parallel || detail::parallel_width() <= 1) {
+    for (std::int64_t i = 0; i < chunks; ++i) fn(ctx, i);
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->ctx = ctx;
+  job->n = chunks;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    // chunks - 1 helpers suffice; never more workers than the global width
+    // allows (per-thread limits only shrink the CHUNK count, see callers).
+    impl_->ensure_workers_locked(static_cast<int>(std::min<std::int64_t>(
+        chunks - 1, static_cast<std::int64_t>(num_threads()) - 1)));
+    impl_->jobs.push_back(job);
+  }
+  impl_->cv.notify_all();
+
+  execute(*job);  // the caller participates
+
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->done.wait(lk, [&] { return job->completed == job->n; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace apf

@@ -1,0 +1,110 @@
+#pragma once
+// Shared worker pool — the single source of threads for every parallel
+// loop in the library (parallel_for, the apf::gemm panel dispatcher, the
+// fused attention kernel's per-(batch*head) panels, conv planes, ...).
+//
+// The pool replaces the earlier OpenMP dependence: one in-tree,
+// TSan-visible implementation means thread count, nesting policy, and
+// caller participation are controlled here instead of inside libgomp.
+//
+// Threading model:
+//  * num_threads() is the global parallel width: the most recent
+//    set_num_threads() value, else the APF_NUM_THREADS environment
+//    variable, else std::thread::hardware_concurrency(). The pool keeps
+//    num_threads() - 1 workers; the caller of a parallel region always
+//    participates, so a width of 1 never touches the pool at all.
+//  * ThreadLimitGuard caps the width for the CURRENT thread (thread-local,
+//    RAII). serve::Server uses it to partition the pool across its worker
+//    threads so num_workers x pool oversubscription cannot happen.
+//  * No nesting: a parallel region entered from inside another parallel
+//    region (on any thread) runs serially, like omp_in_parallel() before
+//    it. Nested gemms inside fused-attention tasks rely on this.
+//
+// Determinism: the pool only changes WHICH thread runs a chunk, never what
+// the chunk computes; every user in this library writes disjoint outputs
+// per chunk, so results are bitwise independent of the thread count. The
+// gemm dispatcher strengthens this to a contract (see gemm.h).
+
+#include <cstdint>
+#include <type_traits>
+
+namespace apf {
+
+/// Global parallel width: set_num_threads() > APF_NUM_THREADS > hardware
+/// concurrency. Always >= 1.
+int num_threads();
+
+/// Sets the global parallel width. n >= 1 pins it; n <= 0 restores the
+/// automatic resolution (environment variable, then hardware concurrency).
+/// The pool grows lazily on the next parallel region; it never shrinks its
+/// OS threads — excess workers just idle on the queue.
+void set_num_threads(int n);
+
+/// Per-thread width cap installed by ThreadLimitGuard (0 = uncapped).
+int thread_limit();
+
+/// RAII cap on the calling thread's parallel width. A limit of 1 forces
+/// every parallel region entered by this thread to run serially; k > 1
+/// lets its regions occupy at most k threads (itself included). Guards
+/// nest; the previous limit is restored on destruction.
+class ThreadLimitGuard {
+ public:
+  explicit ThreadLimitGuard(int limit);
+  ~ThreadLimitGuard();
+  ThreadLimitGuard(const ThreadLimitGuard&) = delete;
+  ThreadLimitGuard& operator=(const ThreadLimitGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+namespace detail {
+/// Width a parallel region entered by the calling thread may use right
+/// now: 1 when already inside a parallel region (no nesting), else
+/// min(num_threads(), thread_limit()).
+int parallel_width();
+}  // namespace detail
+
+/// The process-wide worker pool. Use through parallel_for / run_chunks;
+/// the class is public so the gemm dispatcher and tests can size chunks
+/// explicitly.
+class ThreadPool {
+ public:
+  /// The lazily created global pool (workers spawn on first parallel run).
+  static ThreadPool& global();
+
+  /// Runs chunk(i) for every i in [0, chunks) and blocks until all chunks
+  /// completed. The calling thread participates; idle pool workers help.
+  /// Chunks must be safe to run concurrently for distinct i. The first
+  /// exception thrown by a chunk is rethrown on the caller after every
+  /// chunk finished. Reentrant: a run() issued from inside a chunk
+  /// executes serially on the issuing thread.
+  template <class F>
+  void run_chunks(std::int64_t chunks, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    run(chunks,
+        [](void* ctx, std::int64_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<void*>(static_cast<const void*>(&f)));
+  }
+
+  /// True on a pool worker thread (diagnostics; nesting detection uses a
+  /// separate in-region flag so caller threads are covered too).
+  static bool on_pool_thread();
+
+  /// Spawned worker threads (monotone; excludes participating callers).
+  int worker_count() const;
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  using RawFn = void (*)(void*, std::int64_t);
+  void run(std::int64_t chunks, RawFn fn, void* ctx);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace apf

@@ -1,0 +1,304 @@
+// Grad-free tensor arena + shared ThreadPool tests: scope activation and
+// reset/reuse, nesting, the escape-copy rule (ArenaPauseGuard), GradMode
+// gating, zero-init of reused memory, pool chunk coverage and exception
+// propagation, and the pinned allocation-count drop on the serving
+// engine's forward. These suites also run under the TSan CI leg with
+// APF_NUM_THREADS above the runner's core count.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/apf_config.h"
+#include "core/patcher.h"
+#include "data/synthetic.h"
+#include "models/unetr.h"
+#include "serve/engine.h"
+#include "tensor/arena.h"
+#include "tensor/autograd.h"
+#include "tensor/parallel_for.h"
+#include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
+
+namespace apf {
+namespace {
+
+/// RAII restore for the global thread count.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+// ------------------------------------------------------------- arena
+
+TEST(Arena, InactiveOutsideScopeAndWithGradEnabled) {
+  EXPECT_FALSE(Arena::storage_enabled());  // no scope
+  {
+    ArenaScope scope;
+    // Scope alone is not enough: GradMode is on by default.
+    EXPECT_TRUE(ag::GradMode::is_enabled());
+    EXPECT_FALSE(Arena::storage_enabled());
+    NoGradGuard ng;
+    EXPECT_TRUE(Arena::storage_enabled());
+  }
+  EXPECT_FALSE(Arena::storage_enabled());
+}
+
+TEST(Arena, ScopeResetReusesTheSameMemory) {
+  NoGradGuard ng;
+  const float* first = nullptr;
+  {
+    ArenaScope scope;
+    Tensor t({1000});
+    first = t.data();
+    ASSERT_NE(first, nullptr);
+  }
+  {
+    ArenaScope scope;
+    Tensor t({1000});
+    // Same bump cursor, same block: the storage is recycled.
+    EXPECT_EQ(t.data(), first);
+  }
+}
+
+TEST(Arena, ReusedMemoryIsZeroInitialized) {
+  NoGradGuard ng;
+  {
+    ArenaScope scope;
+    Tensor t({257});
+    t.fill(42.f);
+  }
+  {
+    ArenaScope scope;
+    Tensor t({257});  // same memory as above; Tensor promises zeros
+    for (std::int64_t i = 0; i < t.numel(); ++i) ASSERT_EQ(t[i], 0.f);
+  }
+}
+
+TEST(Arena, NestedScopeRewindsToItsEntryCursor) {
+  NoGradGuard ng;
+  ArenaScope outer;
+  Tensor kept({64});
+  kept.fill(3.f);
+  const float* inner_ptr = nullptr;
+  {
+    ArenaScope inner;
+    Tensor tmp({64});
+    inner_ptr = tmp.data();
+    EXPECT_NE(inner_ptr, kept.data());
+  }
+  // The inner scope's memory is reusable; the outer allocation is intact.
+  Tensor next({64});
+  EXPECT_EQ(next.data(), inner_ptr);
+  for (std::int64_t i = 0; i < kept.numel(); ++i) ASSERT_EQ(kept[i], 3.f);
+}
+
+TEST(Arena, PauseGuardRoutesToHeapAndEscapesTheScope) {
+  NoGradGuard ng;
+  const std::int64_t before_heap = detail::storage_heap_allocations();
+  Tensor escaped;
+  {
+    ArenaScope scope;
+    Tensor inside({128});
+    inside.fill(7.f);
+    const std::int64_t arena_allocs =
+        Arena::this_thread().stats().allocations;
+    ArenaPauseGuard heap;
+    EXPECT_FALSE(Arena::storage_enabled());
+    escaped = inside.clone();
+    // The clone took the heap, not the arena.
+    EXPECT_EQ(Arena::this_thread().stats().allocations, arena_allocs);
+  }
+  // The scope is gone; the escaped copy still owns its values.
+  EXPECT_GT(detail::storage_heap_allocations(), before_heap);
+  for (std::int64_t i = 0; i < escaped.numel(); ++i)
+    ASSERT_EQ(escaped[i], 7.f);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnBlock) {
+  NoGradGuard ng;
+  ArenaScope scope;
+  // Far above the default block: must land in a dedicated block and
+  // remain fully usable.
+  Tensor big({std::int64_t{1} << 22});  // 16 MiB of floats
+  big.fill(1.f);
+  Tensor small({32});
+  small.fill(2.f);
+  EXPECT_EQ(big[0], 1.f);
+  EXPECT_EQ(big[big.numel() - 1], 1.f);
+  EXPECT_EQ(small[31], 2.f);
+}
+
+TEST(Arena, GradOnAllocationsBypassTheArena) {
+  ArenaScope scope;  // active scope, but GradMode stays on
+  const std::int64_t arena_allocs = Arena::this_thread().stats().allocations;
+  const std::int64_t heap_allocs = detail::storage_heap_allocations();
+  Tensor t({512});
+  EXPECT_EQ(Arena::this_thread().stats().allocations, arena_allocs);
+  EXPECT_EQ(detail::storage_heap_allocations(), heap_allocs + 1);
+  (void)t;
+}
+
+// ---------------------------------------------------- engine + arena
+
+// The point of the arena: a serving forward allocates its hundreds of
+// intermediates as pointer bumps, with only a handful of heap
+// allocations (the escaping logits clone chief among them).
+TEST(Arena, EngineForwardAllocationCountDrop) {
+  const std::int64_t z = 64, patch = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 2;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(1);
+  models::Unetr2d model(mcfg, mrng);
+  model.set_training(false);
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = patch;
+  ecfg.patcher.min_patch = patch;
+  ecfg.patcher.max_depth = 6;
+  ecfg.patcher.seq_len = 64;
+  serve::InferenceEngine engine(model, ecfg);
+
+  core::TokenBatch batch =
+      serve::InferenceEngine::prepare({engine.patch(gen.sample(0).image)},
+                                      ecfg.patcher.seq_len);
+  engine.forward(batch);  // warm-up: arena blocks allocated lazily
+
+  const std::int64_t heap0 = detail::storage_heap_allocations();
+  const std::int64_t arena0 = Arena::this_thread().stats().allocations;
+  Tensor logits = engine.forward(batch);
+  const std::int64_t heap_delta = detail::storage_heap_allocations() - heap0;
+  const std::int64_t arena_delta =
+      Arena::this_thread().stats().allocations - arena0;
+
+  // Pinned: the forward's intermediates live in the arena...
+  EXPECT_GT(arena_delta, 50) << "expected the forward's intermediates to "
+                                "bump-allocate from the arena";
+  // ...and heap traffic collapses to the escape copy plus a few odds and
+  // ends (the same forward without the arena takes arena_delta + heap
+  // allocations). 8 is deliberate headroom over the current count.
+  EXPECT_LE(heap_delta, 8) << "heap allocations leaked back into the "
+                              "grad-free forward";
+
+  // And the result escaped: usable, correct shape, heap-owned.
+  EXPECT_EQ(logits.ndim(), 4);
+  EXPECT_EQ(logits.size(0), 1);
+}
+
+// Escape correctness end to end: forward's logits survive both the scope
+// close and a later unrelated forward that reuses the arena memory.
+TEST(Arena, EngineForwardResultSurvivesArenaReuse) {
+  const std::int64_t z = 64, patch = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 2;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(1);
+  models::Unetr2d model(mcfg, mrng);
+  model.set_training(false);
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = patch;
+  ecfg.patcher.min_patch = patch;
+  ecfg.patcher.max_depth = 6;
+  serve::InferenceEngine engine(model, ecfg);
+
+  core::TokenBatch b0 =
+      serve::InferenceEngine::prepare({engine.patch(gen.sample(0).image)});
+  core::TokenBatch b1 =
+      serve::InferenceEngine::prepare({engine.patch(gen.sample(1).image)});
+
+  Tensor first = engine.forward(b0);
+  Tensor first_copy = first.clone();
+  engine.forward(b1);  // reuses (overwrites) the arena memory
+  for (std::int64_t i = 0; i < first.numel(); ++i)
+    ASSERT_EQ(first[i], first_copy[i]) << "escaped logits were clobbered";
+}
+
+// -------------------------------------------------------- thread pool
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadCountGuard restore;
+  set_num_threads(7);
+  const std::int64_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  parallel_for(n, [&](std::int64_t i) { hits[i].fetch_add(1); },
+               /*grain=*/1);
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, NestedParallelForRunsSerialInside) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  std::atomic<int> outer{0};
+  parallel_for(8, [&](std::int64_t) {
+    // Inside a parallel region the width collapses to 1, so a nested
+    // loop must not deadlock or re-enter the pool.
+    std::int64_t sum = 0;
+    parallel_for(100, [&](std::int64_t j) { sum += j; }, /*grain=*/1);
+    EXPECT_EQ(sum, 4950);
+    outer.fetch_add(1);
+  }, /*grain=*/1);
+  EXPECT_EQ(outer.load(), 8);
+}
+
+TEST(ThreadPool, ExceptionInChunkPropagatesToCaller) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  EXPECT_THROW(
+      ThreadPool::global().run_chunks(
+          8,
+          [](std::int64_t i) {
+            if (i == 3) throw std::runtime_error("boom");
+          }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ThreadLimitGuardCapsWidth) {
+  ThreadCountGuard restore;
+  set_num_threads(8);
+  {
+    ThreadLimitGuard limit(1);
+    // Width 1 => the loop runs on the calling thread only.
+    std::set<std::thread::id> ids;
+    parallel_for(64, [&](std::int64_t) { ids.insert(std::this_thread::get_id()); },
+                 /*grain=*/1);
+    EXPECT_EQ(ids.size(), 1u);
+    EXPECT_EQ(*ids.begin(), std::this_thread::get_id());
+  }
+}
+
+TEST(ThreadPool, ConcurrentCallersBothComplete) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  std::atomic<std::int64_t> total{0};
+  std::thread other([&] {
+    parallel_for(500, [&](std::int64_t) { total.fetch_add(1); }, /*grain=*/1);
+  });
+  parallel_for(500, [&](std::int64_t) { total.fetch_add(1); }, /*grain=*/1);
+  other.join();
+  EXPECT_EQ(total.load(), 1000);
+}
+
+}  // namespace
+}  // namespace apf

@@ -24,6 +24,7 @@
 #include "tensor/gemm_backend.h"
 #include "tensor/rng.h"
 #include "tensor/tensor.h"
+#include "tensor/thread_pool.h"
 
 namespace apf {
 namespace {
@@ -268,6 +269,89 @@ TEST(GemmCrossBackend, BlasMatchesReferenceWithinTolerance) {
   for (std::int64_t i = 0; i < ref.numel(); ++i)
     ASSERT_NEAR(got[i], ref[i], 1e-4 * std::max(1.f, std::fabs(ref[i])))
         << "at " << i;
+}
+
+// -------------------------------------------------- parallel dispatch
+
+/// RAII restore for the global thread count (0 = automatic resolution).
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : prev_(num_threads()) {}
+  ~ThreadCountGuard() { set_num_threads(0); (void)prev_; }
+
+ private:
+  int prev_;
+};
+
+// The tentpole guarantee: apf::gemm's panel-parallel dispatch is bitwise
+// identical to serial dispatch for EVERY available backend at every
+// thread count (panel contract, gemm.h). Shapes span several row panels
+// with a ragged tail so chunk boundaries actually land mid-matrix.
+TEST(GemmParallelDispatch, BitwiseIdenticalAcrossThreadCountsAllBackends) {
+  ThreadCountGuard restore;
+  const std::int64_t m = 321, n = 130, k = 96;  // 6 panels + 1-row tail
+  Rng rng(0x9a9);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor at = Tensor::randn({k, m}, rng);
+  Tensor bmat = Tensor::randn({k, n}, rng);
+  Tensor bt = Tensor::randn({n, k}, rng);
+  Tensor c_init = Tensor::randn({m, n}, rng);
+
+  for (const std::string& backend : available_gemm_backend_names()) {
+    for (const bool ta : {false, true}) {
+      for (const bool tb : {false, true}) {
+        const Tensor& pa = ta ? at : a;
+        const Tensor& pb = tb ? bt : bmat;
+        set_num_threads(1);
+        Tensor want =
+            run_backend(backend, ta, tb, m, n, k, 0.5f, pa, pb, 0.5f, c_init);
+        for (const int threads : {2, 7}) {
+          set_num_threads(threads);
+          Tensor got = run_backend(backend, ta, tb, m, n, k, 0.5f, pa, pb,
+                                   0.5f, c_init);
+          for (std::int64_t i = 0; i < want.numel(); ++i)
+            ASSERT_EQ(want[i], got[i])
+                << "backend=" << backend << " ta=" << ta << " tb=" << tb
+                << " threads=" << threads << " at " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmParallelDispatch, ThreadLimitGuardForcesSerialBitwiseNeutral) {
+  ThreadCountGuard restore;
+  set_num_threads(7);
+  const std::int64_t m = 200, n = 64, k = 48;
+  Rng rng(0xabc);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({n, k}, rng);
+  Tensor c1 = Tensor::zeros({m, n});
+  Tensor c2 = Tensor::zeros({m, n});
+  gemm(false, true, m, n, k, 1.f, a.data(), k, b.data(), k, 0.f, c1.data(),
+       n);
+  {
+    ThreadLimitGuard serial_only(1);
+    gemm(false, true, m, n, k, 1.f, a.data(), k, b.data(), k, 0.f, c2.data(),
+         n);
+  }
+  for (std::int64_t i = 0; i < c1.numel(); ++i) ASSERT_EQ(c1[i], c2[i]);
+}
+
+TEST(GemmParallelDispatch, NumThreadsResolution) {
+  ThreadCountGuard restore;
+  set_num_threads(5);
+  EXPECT_EQ(num_threads(), 5);
+  set_num_threads(0);  // back to env / hardware resolution
+  EXPECT_GE(num_threads(), 1);
+  EXPECT_EQ(thread_limit(), 0);
+  {
+    ThreadLimitGuard limit(3);
+    EXPECT_EQ(thread_limit(), 3);
+    ThreadLimitGuard inner(1);
+    EXPECT_EQ(thread_limit(), 1);
+  }
+  EXPECT_EQ(thread_limit(), 0);
 }
 
 // ------------------------------------------------------------- registry

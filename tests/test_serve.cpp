@@ -22,6 +22,7 @@
 #include "serve/request_queue.h"
 #include "serve/server.h"
 #include "tensor/check.h"
+#include "tensor/thread_pool.h"
 
 namespace apf {
 namespace {
@@ -462,6 +463,56 @@ TEST(Server, ConcurrentClientsStressBitwiseEqualsSerial) {
   server.shutdown();
   serve::InferenceStats agg = server.stats();
   EXPECT_EQ(agg.images, static_cast<std::int64_t>(images.size()));
+}
+
+// The PR 5 acceptance pin: with the panel-parallel gemm dispatch engaged
+// (thread counts > 1) and the grad-free arena active, engine and server
+// outputs are bit-for-bit equal to the single-threaded serial path. The
+// pool partitioning (ThreadLimitGuard per worker) must not change a bit
+// either.
+TEST(Server, ThreadedEngineAndServerBitwiseEqualSingleThreadSerial) {
+  // RAII so an ASSERT failure cannot leave the global width pinned for
+  // the rest of the process.
+  struct ThreadCountGuard {
+    ~ThreadCountGuard() { set_num_threads(0); }
+  } restore_threads;
+  Rig rig;
+  const std::vector<img::Image> images = rig.images(12);
+
+  set_num_threads(1);
+  serve::InferenceEngine serial(rig.model, rig.engine_config());
+  const serve::InferenceResult want = serial.run(images);
+
+  for (const int threads : {2, 7}) {
+    set_num_threads(threads);
+
+    serve::InferenceEngine engine(rig.model, rig.engine_config());
+    serve::InferenceResult got = engine.run(images);
+    ASSERT_EQ(got.logits.shape(), want.logits.shape());
+    for (std::int64_t j = 0; j < got.logits.numel(); ++j)
+      ASSERT_EQ(got.logits[j], want.logits[j])
+          << "serial engine diverged at " << j << " with " << threads
+          << " threads";
+
+    serve::ServerConfig scfg;
+    scfg.engine = rig.engine_config();
+    scfg.num_workers = 2;
+    scfg.batch_deadline_ms = 0.5;
+    scfg.bucket_granularity = 8;
+    serve::Server server(rig.model, scfg);
+    std::vector<std::future<serve::InferenceResult>> futures =
+        server.submit_many(images);
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      serve::InferenceResult r = futures[i].get();
+      const std::int64_t per = want.logits.numel() /
+                               static_cast<std::int64_t>(images.size());
+      for (std::int64_t j = 0; j < r.logits.numel(); ++j)
+        ASSERT_EQ(r.logits[j],
+                  want.logits[static_cast<std::int64_t>(i) * per + j])
+            << "server image " << i << " diverged at " << j << " with "
+            << threads << " threads";
+    }
+  }
 }
 
 }  // namespace
