@@ -21,6 +21,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -234,17 +235,16 @@ int main(int argc, char** argv) {
   // --- End-to-end serving throughput: the serial single-caller engine vs
   // the async server with length-bucketed dynamic batching, on a
   // MIXED-LENGTH adaptive workload (seq_len = 0: every image keeps its
-  // natural token count, so first-come batches pad to the global worst
-  // case while the server pads only within each length bucket).
+  // natural token count, so first-come batches pad to the batch's worst
+  // case while the server batches only same-length peers).
   //
-  // Threading: unless APF_NUM_THREADS pins it, the serving section runs
-  // with at least 4 threads (the panel-parallel gemm dispatch + arena are
-  // bitwise-neutral, so this only changes speed). Each measurement takes
-  // one UNTIMED warm-up pass first — steady-state serving throughput is
-  // the trajectory metric, and the warm-up absorbs one-time costs (arena
-  // block faults, pool spawn) that would otherwise swamp a 0.4s run.
-  if (std::getenv("APF_NUM_THREADS") == nullptr)
-    set_num_threads(std::max(4, num_threads()));
+  // Threading: the bench runs at the scheduler's automatic width
+  // (APF_NUM_THREADS still overrides). The unified scheduler bounds
+  // EXECUTION concurrency at num_threads() process-wide — extra server
+  // workers park on the gate instead of timeslicing — so forcing the
+  // width above the host's (as this bench once did) no longer buys
+  // anything: capacity follows the hardware, worker count only shapes
+  // scheduling.
   const int bench_threads = num_threads();
   const unsigned hw_threads = std::thread::hardware_concurrency();
   std::printf("serving threads: %d (hardware_concurrency %u)\n",
@@ -260,18 +260,100 @@ int main(int argc, char** argv) {
   for (std::int64_t i = 0; i < 32; ++i)
     images.push_back(gen.sample(i).image);
 
-  // One untimed warm-up, then best-of-3 timed passes: the host this runs
-  // on can be time-shared, and the minimum-interference pass is the
-  // stable estimate of what the code can deliver (classic microbenchmark
-  // practice; the same policy must hold across PRs for bench_diff.py
-  // comparisons to mean anything).
+  // Measurement policy: the host this runs on can be time-shared, and its
+  // absolute speed drifts over a run — so serial and server passes are
+  // INTERLEAVED round by round (each round times one serial pass, then
+  // one server pass) and each side keeps its best round. Drift then hits
+  // both sides of every ratio instead of whichever side happened to run
+  // later. Every server is warmed with one untimed pass first (thread
+  // spawn, arena block faults, pack-buffer growth), matching the serial
+  // engine's untimed warm-up.
   engine.run(images);  // warm-up (untimed)
-  serve::InferenceResult serial = engine.run(images);
-  for (int rep = 1; rep < 3; ++rep) {
-    serve::InferenceResult r = engine.run(images);
-    if (r.stats.images_per_sec() > serial.stats.images_per_sec())
-      serial = std::move(r);
+
+  struct ServerRun {
+    int workers = 0;
+    double wall = 0.0;            // best server round
+    double img_s = 0.0;
+    double serial_img_s = 0.0;    // best serial round of the SAME sweep
+    double speedup = 0.0;         // median of the per-round ratios
+    serve::InferenceStats pass;   // best round's delta stats
+    serve::InferenceStats window; // whole-lifetime stats (scheduler view)
+  };
+  constexpr int kRounds = 5;
+  const int worker_counts[] = {1, 2, 4};
+  std::vector<ServerRun> runs;
+  serve::InferenceResult serial;  // best serial pass across all sweeps
+  for (int workers : worker_counts) {
+    serve::ServerConfig scfg;
+    scfg.engine = ecfg;
+    scfg.num_workers = workers;
+    scfg.max_queue = 64;
+    scfg.batch_deadline_ms = 2.0;
+    // Exact-length bucketing: measured on the serving rig, per-image cost
+    // RISES with batch size (padded slots plus cache footprint outweigh
+    // the per-call savings even though the masked kernels skip padded
+    // rows), so the server's edge is batching only requests that pad to
+    // NOTHING. Granularity 1 admits exactly those.
+    scfg.bucket_granularity = 1;
+    ServerRun run;
+    run.workers = workers;
+    serve::Server server(model, scfg);
+    for (auto& f : server.submit_many(images)) f.get();  // warm-up
+    serve::InferenceStats prev = server.stats();
+    double serial_best_wall = 0.0;
+    std::vector<double> round_ratios;
+    for (int rep = 0; rep < kRounds; ++rep) {
+      bench::Stopwatch ssw;
+      serve::InferenceResult sr = engine.run(images);
+      const double serial_wall = ssw.seconds();
+      if (serial_best_wall == 0.0 || serial_wall < serial_best_wall)
+        serial_best_wall = serial_wall;
+      if (serial.stats.images == 0 ||
+          sr.stats.images_per_sec() > serial.stats.images_per_sec())
+        serial = std::move(sr);
+
+      bench::Stopwatch sw;
+      std::vector<std::future<serve::InferenceResult>> futures =
+          server.submit_many(images);
+      for (auto& f : futures) f.get();
+      const double wall = sw.seconds();
+      if (wall > 0.0) round_ratios.push_back(serial_wall / wall);
+      serve::InferenceStats now = server.stats();
+      if (run.wall == 0.0 || wall < run.wall) {
+        run.wall = wall;
+        run.pass = now;
+        run.pass.images -= prev.images;
+        run.pass.batches -= prev.batches;
+        run.pass.tokens -= prev.tokens;
+        run.pass.padded_tokens -= prev.padded_tokens;
+        run.pass.forward_seconds -= prev.forward_seconds;
+        run.pass.model_flops -= prev.model_flops;
+      }
+      prev = now;
+    }
+    run.window = server.stats();
+    run.img_s =
+        run.wall > 0.0 ? static_cast<double>(images.size()) / run.wall : 0.0;
+    run.serial_img_s = serial_best_wall > 0.0
+                           ? static_cast<double>(images.size()) /
+                                 serial_best_wall
+                           : 0.0;
+    // The speedup is the MEDIAN of the per-round serial/server ratios:
+    // the two passes of a round run back to back, so host drift (which
+    // moves absolute img/s by far more than the effect being measured)
+    // cancels within each ratio, and the median ignores the odd round
+    // where a background burst hit one side only. Comparing each side's
+    // independent best would re-import that drift.
+    std::sort(round_ratios.begin(), round_ratios.end());
+    run.speedup = round_ratios.empty()
+                      ? 0.0
+                      : round_ratios[round_ratios.size() / 2];
+    std::printf("  workers=%d round ratios:", workers);
+    for (double r : round_ratios) std::printf(" %.3f", r);
+    std::printf("\n");
+    runs.push_back(std::move(run));
   }
+
   const double serial_gflops_busy = serial.stats.model_gflops_per_sec();
   const double serial_gflops_wall =
       serial.stats.total_seconds > 0.0
@@ -290,64 +372,42 @@ int main(int argc, char** argv) {
       serial.stats.padding_ratio(), serial.stats.gemm_backend.c_str(),
       serial_gflops_busy, serial_gflops_wall);
 
-  serve::ServerConfig scfg;
-  scfg.engine = ecfg;
-  scfg.num_workers = 2;
-  scfg.max_queue = 64;
-  scfg.batch_deadline_ms = 2.0;
-  scfg.bucket_granularity = 32;
-  double server_wall = 0.0;
-  serve::InferenceStats server_stats;
-  {
-    serve::Server server(model, scfg);
-    for (auto& f : server.submit_many(images)) f.get();  // warm-up
-    // Best-of-3 timed passes (same policy as the serial engine above);
-    // each pass's aggregate is the delta over the previous snapshot.
-    serve::InferenceStats prev = server.stats();
-    for (int rep = 0; rep < 3; ++rep) {
-      bench::Stopwatch sw;
-      std::vector<std::future<serve::InferenceResult>> futures =
-          server.submit_many(images);
-      for (auto& f : futures) f.get();
-      const double wall = sw.seconds();
-      serve::InferenceStats now = server.stats();
-      if (rep == 0 || wall < server_wall) {
-        server_wall = wall;
-        server_stats = now;
-        server_stats.images -= prev.images;
-        server_stats.batches -= prev.batches;
-        server_stats.tokens -= prev.tokens;
-        server_stats.padded_tokens -= prev.padded_tokens;
-        server_stats.forward_seconds -= prev.forward_seconds;
-        server_stats.model_flops -= prev.model_flops;
-      }
-      prev = now;
-    }
+  double min_speedup = 0.0;
+  for (const ServerRun& run : runs) {
+    if (min_speedup == 0.0 || run.speedup < min_speedup)
+      min_speedup = run.speedup;
+    std::printf(
+        "async server (%d worker%s): %.2f img/s vs %.2f serial interleaved "
+        "(%.3fx); %lld batches, pad %.3f, %.2f GFLOP/s busy\n",
+        run.workers, run.workers == 1 ? "" : "s", run.img_s,
+        run.serial_img_s, run.speedup,
+        static_cast<long long>(run.pass.batches), run.pass.padding_ratio(),
+        run.pass.model_gflops_per_sec());
+    // Scheduler observability over the server's whole lifetime (warm-up
+    // included): how the unified pool actually moved the work.
+    std::printf(
+        "  scheduler: %llu steals, %llu forward tasks, %llu panel tasks; "
+        "avg queue depth %.1f; batch sizes:",
+        static_cast<unsigned long long>(run.window.scheduler_steals),
+        static_cast<unsigned long long>(run.window.forward_tasks),
+        static_cast<unsigned long long>(run.window.panel_tasks),
+        run.window.avg_queue_depth());
+    for (const auto& [size, count] : run.window.batch_size_counts)
+      std::printf(" %lldx%lld", static_cast<long long>(count),
+                  static_cast<long long>(size));
+    std::printf("\n");
   }
-  const double server_img_s =
-      server_wall > 0.0 ? images.size() / server_wall : 0.0;
-  // Wall-clock GFLOP/s is comparable to the serial figure (concurrent
-  // workers overlap in time); busy GFLOP/s divides by summed worker
-  // forward time — the kernel-delivery metric that the wall figure
-  // understates whenever the queue idles on deadlines or patch supply.
-  const double server_gflops_wall =
-      server_wall > 0.0 ? server_stats.model_flops / server_wall / 1e9 : 0.0;
-  const double server_gflops_busy =
-      server_stats.forward_seconds > 0.0
-          ? server_stats.model_flops / server_stats.forward_seconds / 1e9
-          : 0.0;
-  std::printf(
-      "async server: %lld images in %.3fs (%.2f img/s; %lld batches, "
-      "%d workers, bucket %lld)\n"
-      "async server: %lld valid + %lld pad tokens (padding ratio %.3f vs "
-      "%.3f serial), %.2f GFLOP/s busy / %.2f wall\n",
-      static_cast<long long>(server_stats.images), server_wall, server_img_s,
-      static_cast<long long>(server_stats.batches), scfg.num_workers,
-      static_cast<long long>(scfg.bucket_granularity),
-      static_cast<long long>(server_stats.tokens),
-      static_cast<long long>(server_stats.padded_tokens),
-      server_stats.padding_ratio(), serial.stats.padding_ratio(),
-      server_gflops_busy, server_gflops_wall);
+  std::printf("server vs serial speedup (min over worker counts): %.3fx\n",
+              min_speedup);
+
+  // The best-throughput configuration is the headline "server" entry the
+  // trajectory diff gates on; the full sweep rides along under
+  // "server_runs". server_vs_serial_speedup is the MIN ratio over worker
+  // counts — the server must beat the serial engine at EVERY benched
+  // count, not just its best one.
+  const ServerRun* best = &runs.front();
+  for (const ServerRun& run : runs)
+    if (run.img_s > best->img_s) best = &run;
 
   // Machine-readable serving trajectory (img/s, delivered GFLOP/s,
   // padding ratio) for CI artifact diffing (scripts/bench_diff.py).
@@ -369,19 +429,33 @@ int main(int argc, char** argv) {
          << ", \"gflops_per_sec_wall\": " << serial_gflops_wall
          << ", \"gflops_per_sec_busy\": " << serial_gflops_busy
          << ", \"padding_ratio\": " << serial.stats.padding_ratio() << "},\n"
-         << "  \"server\": {\"images_per_sec\": " << server_img_s
-         << ", \"gflops_per_sec_wall\": " << server_gflops_wall
-         << ", \"gflops_per_sec_busy\": " << server_gflops_busy
-         << ", \"padding_ratio\": " << server_stats.padding_ratio()
-         << ", \"num_workers\": " << scfg.num_workers
-         << ", \"max_batch\": " << scfg.engine.max_batch
-         << ", \"bucket_granularity\": " << scfg.bucket_granularity
-         << ", \"batch_deadline_ms\": " << scfg.batch_deadline_ms << "},\n"
-         << "  \"server_vs_serial_speedup\": "
-         << (serial.stats.images_per_sec() > 0.0
-                 ? server_img_s / serial.stats.images_per_sec()
-                 : 0.0)
-         << "\n}\n";
+         << "  \"server\": {\"images_per_sec\": " << best->img_s
+         << ", \"gflops_per_sec_wall\": "
+         << (best->wall > 0.0 ? best->pass.model_flops / best->wall / 1e9
+                              : 0.0)
+         << ", \"gflops_per_sec_busy\": " << best->pass.model_gflops_per_sec()
+         << ", \"padding_ratio\": " << best->pass.padding_ratio()
+         << ", \"num_workers\": " << best->workers
+         << ", \"max_batch\": " << ecfg.max_batch
+         << ", \"bucket_granularity\": " << 1
+         << ", \"batch_deadline_ms\": " << 2.0 << "},\n"
+         << "  \"server_runs\": [";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ServerRun& run = runs[i];
+      json << (i ? ",\n    " : "\n    ") << "{\"num_workers\": "
+           << run.workers << ", \"images_per_sec\": " << run.img_s
+           << ", \"serial_images_per_sec\": " << run.serial_img_s
+           << ", \"vs_serial_speedup\": " << run.speedup
+           << ", \"batches\": " << run.pass.batches
+           << ", \"padding_ratio\": " << run.pass.padding_ratio()
+           << ", \"scheduler_steals\": " << run.window.scheduler_steals
+           << ", \"forward_tasks\": " << run.window.forward_tasks
+           << ", \"panel_tasks\": " << run.window.panel_tasks
+           << ", \"avg_queue_depth\": " << run.window.avg_queue_depth()
+           << "}";
+    }
+    json << "\n  ],\n"
+         << "  \"server_vs_serial_speedup\": " << min_speedup << "\n}\n";
   }
   std::printf("wrote BENCH_serving.json\n");
 

@@ -3,7 +3,8 @@
 
 Usage:
     bench_diff.py --baseline BENCH_serving.json \
-                  --candidate build/BENCH_serving.json [--threshold 0.15]
+                  --candidate build/BENCH_serving.json \
+                  [--threshold 0.15] [--min-speedup 1.0]
 
 Compares the serving-trajectory metrics (serial and server images/sec) and
 exits non-zero when the candidate regresses by more than the threshold
@@ -11,10 +12,18 @@ exits non-zero when the candidate regresses by more than the threshold
 Context fields (gemm backend, thread counts, padding ratios, GFLOP/s) are
 printed for the log but never gate: they shift with runner hardware. When
 the recorded measurement context (hardware_concurrency / num_threads /
-gemm_backend) differs between baseline and candidate, the whole run is
-report-only — absolute img/s across different machines or backends
-measures the environment, not the code (so each CI matrix leg needs its
-own baseline to arm its gate).
+gemm_backend) differs between baseline and candidate, the absolute-img/s
+comparison is report-only — absolute img/s across different machines or
+backends measures the environment, not the code (so each CI matrix leg
+needs its own baseline to arm its gate).
+
+--min-speedup arms a second, hardware-INDEPENDENT gate that enforces even
+under a context mismatch: the candidate's server_vs_serial_speedup (and
+every per-worker-count vs_serial_speedup under server_runs) must be at
+least the given floor. Both sides of that ratio were measured interleaved
+on the same host in the same process, so it carries across machines —
+this is the enforcing check CI runs with --min-speedup 1.0 (the async
+server must beat the serial engine at every benched worker count).
 
 CI runs this after bench_inference and uploads the candidate as an
 artifact, so scheduler/kernel regressions show up per PR (ROADMAP
@@ -58,6 +67,18 @@ def main():
         type=float,
         default=float(os.environ.get("APF_BENCH_DIFF_THRESHOLD", "0.15")),
         help="relative img/s drop that fails the check (default 0.15)",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=(
+            float(os.environ["APF_BENCH_MIN_SPEEDUP"])
+            if "APF_BENCH_MIN_SPEEDUP" in os.environ
+            else None
+        ),
+        help="floor for the candidate's server-vs-serial speedup ratios; "
+        "enforced even when the hardware context differs (the ratio is "
+        "measured interleaved on one host). Unset = report only.",
     )
     args = ap.parse_args()
 
@@ -104,15 +125,46 @@ def main():
             mark = "  << REGRESSION"
         print(f"{label:24} {b:12.3f} {c:12.3f} {delta:+7.1%}{mark}")
 
-    if failures:
-        print(
-            f"\nFAIL: {len(failures)} metric(s) regressed more than "
-            f"{args.threshold:.0%}:"
-        )
-        for label, b, c, delta in failures:
-            print(f"  {label}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+    # Hardware-independent speedup floor: gated on the CANDIDATE alone
+    # (the ratio needs no baseline to mean something), so it stays armed
+    # when the img/s comparison above went report-only.
+    speedup_failures = []
+    if args.min_speedup is not None:
+        checks = [("server_vs_serial_speedup",
+                   cand.get("server_vs_serial_speedup"))]
+        for run in cand.get("server_runs", []):
+            checks.append(
+                (f"vs_serial_speedup (workers={run.get('num_workers', '?')})",
+                 run.get("vs_serial_speedup")))
+        print(f"\nspeedup floor: {args.min_speedup:.3f}")
+        for label, value in checks:
+            if value is None:
+                print(f"  {label:40} missing (skipped)")
+                continue
+            ok = value >= args.min_speedup
+            print(f"  {label:40} {value:8.3f}  {'ok' if ok else '<< BELOW FLOOR'}")
+            if not ok:
+                speedup_failures.append((label, value))
+
+    if failures or speedup_failures:
+        if failures:
+            print(
+                f"\nFAIL: {len(failures)} metric(s) regressed more than "
+                f"{args.threshold:.0%}:"
+            )
+            for label, b, c, delta in failures:
+                print(f"  {label}: {b:.3f} -> {c:.3f} ({delta:+.1%})")
+        if speedup_failures:
+            print(
+                f"\nFAIL: {len(speedup_failures)} speedup ratio(s) below "
+                f"the {args.min_speedup:.3f} floor:"
+            )
+            for label, value in speedup_failures:
+                print(f"  {label}: {value:.3f}")
         return 1
     print(f"\nOK: no gated metric regressed more than {args.threshold:.0%}")
+    if args.min_speedup is not None:
+        print(f"OK: all speedup ratios at or above {args.min_speedup:.3f}")
     return 0
 
 

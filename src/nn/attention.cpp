@@ -104,9 +104,12 @@ Tensor fused_masked_attention(const Tensor& q, const Tensor& k,
   const float* pk = k.data();
   const float* pv = v.data();
   float* pc = ctx.data();
-  // One task per (batch*head, query-row-panel). The nested gemm calls run
-  // serially inside the worker (parallel_for does not nest), so the whole
-  // kernel parallelizes at this outer level.
+  // One task per (batch*head, query-row-panel). The nested gemm calls all
+  // see m <= kGemmRowPanel (one panel), so they stay inline on whichever
+  // thread runs the task; the kernel parallelizes at this outer level and
+  // never re-enters the scheduler from inside a task. The thread_local
+  // scratch below is safe for the same reason: no wait happens while it
+  // holds live data.
   parallel_for(bh * nblk, [&](std::int64_t task) {
     const std::int64_t bi = task / nblk;
     const std::int64_t i0 = (task % nblk) * kGemmRowPanel;

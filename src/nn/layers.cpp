@@ -60,11 +60,11 @@ Var Linear::forward(const Var& x, const Tensor* key_mask) const {
       // One gemm per item over just its valid prefix; padded suffix rows
       // stay zero. Valid rows are bitwise identical to the full [B*L]
       // call by the gemm row-stability contract — which also makes the
-      // items independent, so the loop may run in either regime: below
-      // num_threads() items it stays serial and each gemm parallelizes
-      // internally over its row panels (keeping every core busy for small
-      // batches); at or above, the items themselves parallelize and the
-      // nested gemms run serial.
+      // items independent, so the loop composes with the scheduler both
+      // ways: below num_threads() items the loop stays serial and each
+      // gemm parallelizes over its row panels; at or above, the items
+      // parallelize and any nested gemm panels are submitted to the same
+      // shared pool, where idle workers steal them.
       Tensor y({b, l, out_});
       const float* px = x.val().data();
       const float* pw = weight_.val().data();

@@ -20,6 +20,7 @@
 // logits do not depend on which batch it rode in or how far it was padded.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,27 @@ struct InferenceStats {
   /// Size of the dynamic batch a request was coalesced into. Only set on
   /// per-request server stats; 0 on the serial path.
   std::int64_t batch_size = 0;
+  /// Requests already pending when this one was admitted. Per-request
+  /// server stats hold that request's own depth; aggregate server stats
+  /// hold the sum over requests (see avg_queue_depth()). 0 on the serial
+  /// path.
+  std::int64_t queue_depth = 0;
+  /// Unified-scheduler activity over the stats window (server aggregate
+  /// only; the process-wide counters of tensor/thread_pool.h diffed
+  /// against the server's construction-time snapshot, so concurrent
+  /// non-server work in the same process is included). Steals are job
+  /// acquisitions from a foreign deque or the shared inbox; tasks are
+  /// counted per chunk by kind (kForward = one worker's run-to-completion
+  /// drain, which may cover several consecutive batches — or none, when
+  /// its pop lost a race; kPanel = gemm panels / parallel_for chunks).
+  /// Width-1 inline execution bypasses the scheduler and is not counted.
+  std::uint64_t scheduler_steals = 0;
+  std::uint64_t forward_tasks = 0;
+  std::uint64_t panel_tasks = 0;
+  /// Effective dynamic batch size distribution: size -> number of batches
+  /// flushed at that size (server aggregate only; adaptive batching shows
+  /// up here as mass moving to larger sizes under load).
+  std::map<std::int64_t, std::int64_t> batch_size_counts;
   double patch_seconds = 0.0;      ///< edge map + quadtree + resample
   double queue_seconds = 0.0;      ///< waiting for a batch slot (server)
   double forward_seconds = 0.0;    ///< model time under NoGradGuard
@@ -69,6 +91,10 @@ struct InferenceStats {
   /// Delivered encoder compute throughput over the grad-free forward.
   double model_gflops_per_sec() const {
     return forward_seconds > 0.0 ? model_flops / forward_seconds / 1e9 : 0.0;
+  }
+  /// Mean queue depth seen at admission (0 when nothing completed).
+  double avg_queue_depth() const {
+    return images > 0 ? static_cast<double>(queue_depth) / images : 0.0;
   }
   /// Fraction of fed tokens that were padding (0 when nothing was fed).
   double padding_ratio() const {

@@ -1,6 +1,7 @@
 #include "serve/request_queue.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "tensor/check.h"
 
@@ -72,51 +73,146 @@ std::optional<RequestQueue::BucketKey> RequestQueue::ripe_bucket(
   return std::nullopt;
 }
 
+double RequestQueue::pressure_locked() const {
+  if (pending_ <= 0) return 0.0;
+  if (pending_ >= max_pending_) return 1.0;
+  return static_cast<double>(pending_) / static_cast<double>(max_pending_);
+}
+
+double RequestQueue::load_pressure() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pressure_locked();
+}
+
+std::int64_t RequestQueue::effective_max_batch(
+    double pressure, std::int64_t max_batch, std::int64_t adaptive_max_batch) {
+  if (adaptive_max_batch <= max_batch) return max_batch;
+  const double p = std::clamp(pressure, 0.0, 1.0);
+  return max_batch + static_cast<std::int64_t>(
+                         std::llround(p * static_cast<double>(
+                                              adaptive_max_batch - max_batch)));
+}
+
+std::chrono::duration<double> RequestQueue::effective_deadline(
+    double pressure, std::chrono::duration<double> deadline,
+    std::chrono::duration<double> min_deadline) {
+  if (min_deadline >= deadline) return deadline;
+  const double p = std::clamp(pressure, 0.0, 1.0);
+  return deadline + p * (min_deadline - deadline);
+}
+
 std::vector<Request> RequestQueue::pop_batch(
-    std::int64_t max_batch, std::chrono::duration<double> deadline) {
+    std::int64_t max_batch, std::chrono::duration<double> deadline,
+    std::int64_t adaptive_max_batch,
+    std::chrono::duration<double> min_deadline) {
   APF_CHECK(max_batch > 0,
             "RequestQueue::pop_batch: max_batch must be positive");
+  const bool adaptive = adaptive_max_batch > max_batch;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
+    // Pressure is re-read on every scheduling decision (each wakeup), so
+    // the effective knobs grow under load and relax as the queue drains.
+    const double pressure = adaptive ? pressure_locked() : 0.0;
+    const std::int64_t eff_max =
+        adaptive ? effective_max_batch(pressure, max_batch, adaptive_max_batch)
+                 : max_batch;
+    const std::chrono::duration<double> eff_deadline =
+        adaptive ? effective_deadline(pressure, deadline, min_deadline)
+                 : deadline;
     const auto now = std::chrono::steady_clock::now();
-    const std::optional<BucketKey> key = ripe_bucket(max_batch, deadline, now);
-    if (key) {
-      std::deque<Request>& q = buckets_[*key];
-      std::vector<Request> batch;
-      const std::int64_t n =
-          std::min<std::int64_t>(max_batch, static_cast<std::int64_t>(q.size()));
-      batch.reserve(static_cast<std::size_t>(n));
-      for (std::int64_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(q.front()));
-        q.pop_front();
-      }
-      if (q.empty()) buckets_.erase(*key);
-      pending_ -= n;
-      not_full_.notify_all();
-      // Another bucket may also be ripe — let a second worker look.
-      if (pending_ > 0) ready_.notify_one();
-      return batch;
-    }
+    const std::optional<BucketKey> key =
+        ripe_bucket(eff_max, eff_deadline, now);
+    if (key) return take_locked(*key, eff_max);
     if (closed_ && pending_ == 0) return {};  // drained: worker exit signal
-    if (pending_ > 0 && !closed_) {
-      // Part-full buckets: sleep until the oldest request's deadline (a
-      // new push or close() wakes us earlier).
-      std::chrono::steady_clock::time_point oldest_at{};
-      bool have = false;
-      for (const auto& [k, q] : buckets_) {
-        (void)k;
-        if (!q.empty() && (!have || q.front().enqueued < oldest_at)) {
-          oldest_at = q.front().enqueued;
-          have = true;
-        }
-      }
-      ready_.wait_until(
-          lock, oldest_at + std::chrono::duration_cast<
-                                std::chrono::steady_clock::duration>(deadline));
-    } else {
-      ready_.wait(lock);
-    }
+    wait_for_change(lock, eff_deadline);
   }
+}
+
+void RequestQueue::wait_for_change(
+    std::unique_lock<std::mutex>& lock,
+    std::chrono::duration<double> eff_deadline) {
+  if (pending_ > 0 && !closed_) {
+    // Part-full buckets: sleep until the oldest request's deadline (a
+    // new push or close() wakes us earlier).
+    std::chrono::steady_clock::time_point oldest_at{};
+    bool have = false;
+    for (const auto& [k, q] : buckets_) {
+      (void)k;
+      if (!q.empty() && (!have || q.front().enqueued < oldest_at)) {
+        oldest_at = q.front().enqueued;
+        have = true;
+      }
+    }
+    ready_.wait_until(
+        lock,
+        oldest_at + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(eff_deadline));
+  } else {
+    ready_.wait(lock);
+  }
+}
+
+bool RequestQueue::wait_ready(std::int64_t max_batch,
+                              std::chrono::duration<double> deadline,
+                              std::int64_t adaptive_max_batch,
+                              std::chrono::duration<double> min_deadline) {
+  APF_CHECK(max_batch > 0,
+            "RequestQueue::wait_ready: max_batch must be positive");
+  const bool adaptive = adaptive_max_batch > max_batch;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const double pressure = adaptive ? pressure_locked() : 0.0;
+    const std::int64_t eff_max =
+        adaptive ? effective_max_batch(pressure, max_batch, adaptive_max_batch)
+                 : max_batch;
+    const std::chrono::duration<double> eff_deadline =
+        adaptive ? effective_deadline(pressure, deadline, min_deadline)
+                 : deadline;
+    if (ripe_bucket(eff_max, eff_deadline, std::chrono::steady_clock::now()))
+      return true;
+    if (closed_ && pending_ == 0) return false;
+    wait_for_change(lock, eff_deadline);
+  }
+}
+
+std::vector<Request> RequestQueue::take_locked(const BucketKey& key,
+                                               std::int64_t eff_max) {
+  std::deque<Request>& q = buckets_[key];
+  std::vector<Request> batch;
+  const std::int64_t n =
+      std::min<std::int64_t>(eff_max, static_cast<std::int64_t>(q.size()));
+  batch.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(q.front()));
+    q.pop_front();
+  }
+  if (q.empty()) buckets_.erase(key);
+  pending_ -= n;
+  not_full_.notify_all();
+  // Another bucket may also be ripe — let a second worker look.
+  if (pending_ > 0) ready_.notify_one();
+  return batch;
+}
+
+std::vector<Request> RequestQueue::try_pop_batch(
+    std::int64_t max_batch, std::chrono::duration<double> deadline,
+    std::int64_t adaptive_max_batch,
+    std::chrono::duration<double> min_deadline) {
+  APF_CHECK(max_batch > 0,
+            "RequestQueue::try_pop_batch: max_batch must be positive");
+  const bool adaptive = adaptive_max_batch > max_batch;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double pressure = adaptive ? pressure_locked() : 0.0;
+  const std::int64_t eff_max =
+      adaptive ? effective_max_batch(pressure, max_batch, adaptive_max_batch)
+               : max_batch;
+  const std::chrono::duration<double> eff_deadline =
+      adaptive ? effective_deadline(pressure, deadline, min_deadline)
+               : deadline;
+  const std::optional<BucketKey> key =
+      ripe_bucket(eff_max, eff_deadline, std::chrono::steady_clock::now());
+  if (!key) return {};
+  return take_locked(*key, eff_max);
 }
 
 void RequestQueue::close() {

@@ -20,6 +20,15 @@
 //      first, deadline ignored); pop_batch returns empty only when the
 //      queue is closed AND drained, which is the workers' exit signal.
 //
+// Load-adaptive batching (opt-in, per pop_batch call): when an
+// adaptive_max_batch ceiling is supplied, the EFFECTIVE max_batch and
+// flush deadline follow queue pressure (pending / max_pending) — an empty
+// queue uses the base knobs (small batches, patient deadline: low
+// latency), a full queue uses the ceiling and the floor deadline (big
+// batches, eager flush: high throughput). Pressure is re-read on every
+// scheduling decision, so both knobs shrink back automatically as the
+// queue drains.
+//
 // push() blocks while the queue holds max_pending requests (backpressure
 // toward the submitting clients) and fails only after close().
 
@@ -47,6 +56,9 @@ struct Request {
   std::promise<InferenceResult> promise;
   std::chrono::steady_clock::time_point enqueued{};
   double patch_seconds = 0.0;  ///< stage-1 time spent on the client thread
+  /// Requests already pending when this one was admitted (observability:
+  /// surfaces as InferenceStats::queue_depth).
+  std::int64_t queue_depth = 0;
 };
 
 /// Bounded multi-producer / multi-consumer queue of Requests, bucketed by
@@ -68,8 +80,59 @@ class RequestQueue {
 
   /// Pops the next batch per the scheduling policy above. Blocks until a
   /// batch is ready; an empty result means closed-and-drained.
-  std::vector<Request> pop_batch(std::int64_t max_batch,
-                                 std::chrono::duration<double> deadline);
+  ///
+  /// adaptive_max_batch > max_batch turns on load-adaptive batching: the
+  /// effective per-pop max batch grows from max_batch toward that ceiling
+  /// and the effective deadline shrinks from `deadline` toward
+  /// `min_deadline`, both linearly in the current load_pressure().
+  /// adaptive_max_batch == 0 (default) keeps the base knobs untouched.
+  std::vector<Request> pop_batch(
+      std::int64_t max_batch, std::chrono::duration<double> deadline,
+      std::int64_t adaptive_max_batch = 0,
+      std::chrono::duration<double> min_deadline =
+          std::chrono::duration<double>::zero());
+
+  /// Blocks until pop_batch would return without sleeping: true once a
+  /// bucket is ripe (full, past its pressure-adjusted deadline, or
+  /// closed-queue drain), false once the queue is closed AND drained.
+  /// Does NOT pop — lets a worker delay claiming requests until it can
+  /// actually run them (e.g. until it holds an execution permit), so no
+  /// batch sits parked behind a busy peer. The eventual try_pop_batch may
+  /// still come back empty when another consumer won the race.
+  bool wait_ready(std::int64_t max_batch,
+                  std::chrono::duration<double> deadline,
+                  std::int64_t adaptive_max_batch = 0,
+                  std::chrono::duration<double> min_deadline =
+                      std::chrono::duration<double>::zero());
+
+  /// Non-waiting pop_batch: returns exactly what pop_batch would pop
+  /// without sleeping — a full bucket, a bucket whose oldest member has
+  /// already outlived the (pressure-adjusted) deadline, or a closed-queue
+  /// drain — and an empty vector when nothing is ready RIGHT NOW. Lets a
+  /// worker that already holds an execution permit keep draining
+  /// back-to-back batches (run-to-completion) without parking in a wait.
+  std::vector<Request> try_pop_batch(
+      std::int64_t max_batch, std::chrono::duration<double> deadline,
+      std::int64_t adaptive_max_batch = 0,
+      std::chrono::duration<double> min_deadline =
+          std::chrono::duration<double>::zero());
+
+  /// Current queue fill fraction in [0, 1]: pending / max_pending.
+  double load_pressure() const;
+
+  /// The max batch a pop at `pressure` would use: max_batch at pressure
+  /// 0, adaptive_max_batch at pressure 1, linear between; the base
+  /// max_batch whenever the ceiling does not exceed it.
+  static std::int64_t effective_max_batch(double pressure,
+                                          std::int64_t max_batch,
+                                          std::int64_t adaptive_max_batch);
+
+  /// The flush deadline a pop at `pressure` would use: `deadline` at
+  /// pressure 0, `min_deadline` at pressure 1, linear between; `deadline`
+  /// whenever the floor is not below it.
+  static std::chrono::duration<double> effective_deadline(
+      double pressure, std::chrono::duration<double> deadline,
+      std::chrono::duration<double> min_deadline);
 
   /// Stops accepting pushes and lets pop_batch drain what is left
   /// immediately. Idempotent; wakes every blocked push/pop.
@@ -98,6 +161,17 @@ class RequestQueue {
   std::optional<BucketKey> ripe_bucket(
       std::int64_t max_batch, std::chrono::duration<double> deadline,
       std::chrono::steady_clock::time_point now) const;
+
+  double pressure_locked() const;  // caller holds mu_
+
+  // Moves up to eff_max requests out of `key`'s bucket. Caller holds mu_.
+  std::vector<Request> take_locked(const BucketKey& key, std::int64_t eff_max);
+
+  // One scheduling sleep: until the oldest part-full bucket's deadline
+  // when something is pending, else until the next push/close. Caller
+  // holds mu_ via `lock`.
+  void wait_for_change(std::unique_lock<std::mutex>& lock,
+                       std::chrono::duration<double> eff_deadline);
 
   const std::int64_t max_pending_;
   const std::int64_t granularity_;

@@ -30,6 +30,18 @@ Server::Server(models::TokenSegModel& model, ServerConfig cfg)
   APF_CHECK(cfg_.batch_deadline_ms >= 0.0,
             "ServerConfig: batch_deadline_ms must be >= 0, got "
                 << cfg_.batch_deadline_ms);
+  APF_CHECK(cfg_.adaptive_max_batch == 0 ||
+                cfg_.adaptive_max_batch >= cfg_.engine.max_batch,
+            "ServerConfig: adaptive_max_batch must be 0 (off) or >= "
+            "engine.max_batch ("
+                << cfg_.engine.max_batch << "), got "
+                << cfg_.adaptive_max_batch);
+  APF_CHECK(cfg_.adaptive_min_deadline_ms >= 0.0 &&
+                cfg_.adaptive_min_deadline_ms <= cfg_.batch_deadline_ms,
+            "ServerConfig: adaptive_min_deadline_ms must be in [0, "
+            "batch_deadline_ms = "
+                << cfg_.batch_deadline_ms << "], got "
+                << cfg_.adaptive_min_deadline_ms);
   // max_queue / bucket_granularity are validated by the RequestQueue; the
   // EngineConfig by the engines below.
   engines_.reserve(static_cast<std::size_t>(cfg_.num_workers));
@@ -41,6 +53,10 @@ Server::Server(models::TokenSegModel& model, ServerConfig cfg)
   // then only READ module state, so concurrent forwards are race-free.
   model_was_training_ = model_.training();
   model_.set_training(false);
+
+  // Scope the scheduler counters reported by stats() to this server's
+  // lifetime.
+  sched_at_start_ = scheduler_stats();
 
   workers_.reserve(engines_.size());
   for (std::size_t i = 0; i < engines_.size(); ++i)
@@ -68,6 +84,7 @@ std::future<InferenceResult> Server::submit(const img::Image& image) {
   r.seq = patch_engine_->patch(image);
   r.patch_seconds = seconds_since(t0);
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  r.queue_depth = queue_.pending();  // depth at admission (observability)
   r.enqueued = Clock::now();
   std::future<InferenceResult> future = r.promise.get_future();
   APF_CHECK(queue_.push(std::move(r)),
@@ -89,27 +106,48 @@ std::vector<std::future<InferenceResult>> Server::submit_many(
 }
 
 void Server::worker_main(std::size_t worker_index) {
-  // One NoGradGuard per worker thread (GradMode is thread-local): every
-  // forward below takes the fused, tape-free route.
-  NoGradGuard no_grad;
   InferenceEngine& engine = *engines_[worker_index];
   const auto deadline =
       std::chrono::duration<double>(cfg_.batch_deadline_ms / 1e3);
+  const auto min_deadline =
+      std::chrono::duration<double>(cfg_.adaptive_min_deadline_ms / 1e3);
   for (;;) {
-    std::vector<Request> batch =
-        queue_.pop_batch(cfg_.engine.max_batch, deadline);
-    if (batch.empty()) return;  // closed and drained
-    // Partition the shared thread pool across the workers that are BUSY
-    // right now: a lone worker gets the whole pool, concurrent workers
-    // split it evenly, and oversubscription is bounded by the pool's
-    // fixed worker count either way.
-    const int busy = busy_workers_.fetch_add(1, std::memory_order_acq_rel) + 1;
-    struct BusyGuard {
-      std::atomic<int>& count;
-      ~BusyGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
-    } busy_guard{busy_workers_};
-    ThreadLimitGuard thread_budget(std::max(1, num_threads() / busy));
-    process_batch(engine, std::move(batch));
+    // Wait for poppable work WITHOUT claiming it: requests are only
+    // popped inside the task below, once this worker actually holds an
+    // execution permit. A worker parked behind a busy peer therefore
+    // never sits on a claimed batch (which would force a cache-cold
+    // worker handoff the moment it finally ran).
+    if (!queue_.wait_ready(cfg_.engine.max_batch, deadline,
+                           cfg_.adaptive_max_batch, min_deadline))
+      return;  // closed and drained
+    // The forward work is an inter-op task on the shared work-stealing
+    // scheduler: it may run right here (wait() participates) or on a pool
+    // thread that stole it, and the gemm panels it spawns are intra-op
+    // tasks on the SAME pool — so capacity follows load instead of the
+    // static per-worker ThreadLimitGuard split this replaced. The task
+    // runs to completion: while it holds its execution permit it keeps
+    // draining whatever the queue can hand over without waiting, so on a
+    // host narrower than the worker count, consecutive batches stay on
+    // one cache-hot thread (and its warm thread-local arena) instead of
+    // ping-ponging between workers. The pop may also come back empty —
+    // another worker won the race — which just ends the task.
+    // Correctness is thread-independent: engine.forward() installs its
+    // own NoGradGuard and ArenaScope, and process_batch() fulfills
+    // promises itself (it never throws).
+    TaskGroup group;
+    group.submit(
+        1,
+        [&](std::int64_t) {
+          for (;;) {
+            std::vector<Request> batch = queue_.try_pop_batch(
+                cfg_.engine.max_batch, deadline, cfg_.adaptive_max_batch,
+                min_deadline);
+            if (batch.empty()) return;
+            process_batch(engine, std::move(batch));
+          }
+        },
+        TaskKind::kForward);
+    group.wait();
   }
 }
 
@@ -155,6 +193,7 @@ void Server::process_batch(InferenceEngine& engine,
       s.tokens = valid;
       s.padded_tokens = tb.length() - valid;
       s.patch_seconds = r.patch_seconds;
+      s.queue_depth = r.queue_depth;
       s.queue_seconds =
           std::chrono::duration<double>(t0 - r.enqueued).count();
       s.forward_seconds = forward_seconds;
@@ -167,6 +206,7 @@ void Server::process_batch(InferenceEngine& engine,
       delta.padded_tokens += s.padded_tokens;
       delta.patch_seconds += s.patch_seconds;
       delta.queue_seconds += s.queue_seconds;
+      delta.queue_depth += s.queue_depth;
       delta.model_flops += s.model_flops;
     }
 
@@ -181,8 +221,10 @@ void Server::process_batch(InferenceEngine& engine,
       aggregate_.patch_seconds += delta.patch_seconds;
       aggregate_.queue_seconds += delta.queue_seconds;
       aggregate_.forward_seconds += delta.forward_seconds;
+      aggregate_.queue_depth += delta.queue_depth;
       aggregate_.model_flops += delta.model_flops;
       aggregate_.gemm_backend = backend;
+      ++aggregate_.batch_size_counts[n];  // effective batch distribution
     }
     for (std::int64_t i = 0; i < n; ++i)
       batch[static_cast<std::size_t>(i)].promise.set_value(
@@ -205,6 +247,12 @@ InferenceStats Server::stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   InferenceStats out = aggregate_;
   out.total_seconds = seconds_since(started_);
+  // Scheduler activity since construction (process-wide counters diffed
+  // against the construction snapshot — see InferenceStats docs).
+  const SchedulerStats now = scheduler_stats();
+  out.scheduler_steals = now.steals - sched_at_start_.steals;
+  out.forward_tasks = now.forward_tasks - sched_at_start_.forward_tasks;
+  out.panel_tasks = now.panel_tasks - sched_at_start_.panel_tasks;
   return out;
 }
 

@@ -14,7 +14,15 @@
 //
 // Each worker owns an InferenceEngine view over the shared model; the
 // model is parked in eval mode for the server's lifetime so the grad-free
-// forwards never write shared state. Results are bitwise identical to the
+// forwards never write shared state. Workers submit each forward pass to
+// the unified work-stealing scheduler (tensor/thread_pool.h) as an
+// inter-op TaskKind::kForward task; the gemm panels inside it are
+// intra-op kPanel tasks on the SAME pool, so batch-level and panel-level
+// parallelism compose — a lone batch fans its panels across every idle
+// thread, concurrent batches naturally share — instead of the static
+// per-worker ThreadLimitGuard partition PR 5 used. Under queue pressure,
+// load-adaptive batching (adaptive_max_batch / adaptive_min_deadline_ms)
+// grows batches and flushes them sooner. Results are bitwise identical to the
 // serial InferenceEngine::run() path regardless of arrival order, batch
 // composition, or bucket padding: the fused masked attention, mask-aware
 // dense layers, and per-item scatter compute every image from its own
@@ -31,6 +39,7 @@
 
 #include "serve/engine.h"
 #include "serve/request_queue.h"
+#include "tensor/thread_pool.h"
 
 namespace apf::serve {
 
@@ -53,6 +62,15 @@ struct ServerConfig {
   /// requests only batch with same-bucket peers. 1 batches exact lengths
   /// only; a value >= the token budget degrades to first-come order.
   std::int64_t bucket_granularity = 32;
+  /// Load-adaptive batching ceiling (0 = off). When set (must then be
+  /// >= engine.max_batch), the effective per-pop max batch grows linearly
+  /// from engine.max_batch at an empty queue to this value at a full one,
+  /// and the flush deadline shrinks from batch_deadline_ms toward
+  /// adaptive_min_deadline_ms; both relax back as the queue drains.
+  std::int64_t adaptive_max_batch = 0;
+  /// Deadline floor (ms) under full-queue pressure; only meaningful with
+  /// adaptive_max_batch > 0. Must be in [0, batch_deadline_ms].
+  double adaptive_min_deadline_ms = 0.0;
 };
 
 /// Asynchronous inference server over one TokenSegModel.
@@ -90,7 +108,9 @@ class Server {
   /// Aggregate stats over everything completed so far: images, batches,
   /// valid/padded tokens (padding_ratio() is the scheduler's score),
   /// summed patch/queue/forward seconds, wall-clock total since
-  /// construction, delivered encoder FLOPs.
+  /// construction, delivered encoder FLOPs — plus scheduler observability
+  /// (summed queue depth at admission, steal and per-kind task counts
+  /// since construction, effective batch size distribution).
   InferenceStats stats() const;
 
   /// Requests accepted but not yet handed to a worker.
@@ -111,14 +131,10 @@ class Server {
   /// of submitting threads may share it.
   std::unique_ptr<InferenceEngine> patch_engine_;
   std::vector<std::thread> workers_;
-  /// Workers currently processing a batch. Each batch runs under a
-  /// ThreadLimitGuard of num_threads / busy_workers_, so the shared
-  /// ThreadPool is partitioned across the workers that are actually busy:
-  /// a lone busy worker gets the whole pool, concurrent workers converge
-  /// to an even split (and the pool's fixed worker count bounds real
-  /// thread usage regardless).
-  std::atomic<int> busy_workers_{0};
   std::atomic<std::uint64_t> next_id_{0};
+  /// Process-wide scheduler counters at construction; stats() reports the
+  /// delta, scoping steal/task counts to this server's lifetime.
+  SchedulerStats sched_at_start_;
   bool model_was_training_ = false;
   bool shut_down_ = false;
   std::mutex shutdown_mu_;  ///< serializes shutdown() callers

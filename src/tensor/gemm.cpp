@@ -121,18 +121,24 @@ void gemm(bool trans_a, bool trans_b, std::int64_t m, std::int64_t n,
                   ldc);
     return;
   }
-  ThreadPool::global().run_chunks(chunks, [&](std::int64_t ci) {
-    const std::int64_t p0 = panels * ci / chunks;
-    const std::int64_t p1 = panels * (ci + 1) / chunks;
-    const std::int64_t i0 = p0 * kGemmRowPanel;
-    const std::int64_t rows = std::min(m, p1 * kGemmRowPanel) - i0;
-    if (rows <= 0) return;
-    // Row i0 of op(A) is row i0 of A when not transposed, column i0 of the
-    // (k x m) storage otherwise.
-    const float* a_chunk = trans_a ? a + i0 : a + i0 * lda;
-    backend.sgemm(trans_a, trans_b, rows, n, k, alpha, a_chunk, lda, b, ldb,
-                  beta, c + i0 * ldc, ldc);
-  });
+  // Panels go to the shared work-stealing scheduler as intra-op tasks:
+  // the caller participates, idle workers steal, and WHO runs a panel
+  // never changes WHAT it computes, so stealing is bitwise-neutral.
+  ThreadPool::global().run_chunks(
+      chunks,
+      [&](std::int64_t ci) {
+        const std::int64_t p0 = panels * ci / chunks;
+        const std::int64_t p1 = panels * (ci + 1) / chunks;
+        const std::int64_t i0 = p0 * kGemmRowPanel;
+        const std::int64_t rows = std::min(m, p1 * kGemmRowPanel) - i0;
+        if (rows <= 0) return;
+        // Row i0 of op(A) is row i0 of A when not transposed, column i0 of
+        // the (k x m) storage otherwise.
+        const float* a_chunk = trans_a ? a + i0 : a + i0 * lda;
+        backend.sgemm(trans_a, trans_b, rows, n, k, alpha, a_chunk, lda, b,
+                      ldb, beta, c + i0 * ldc, ldc);
+      },
+      TaskKind::kPanel);
 }
 
 }  // namespace apf

@@ -49,10 +49,12 @@
 // (tensor/thread_pool.h), each chunk a plain sub-call into the (serial)
 // selected backend. Because chunk boundaries are panel boundaries, the
 // panel contract makes this BITWISE IDENTICAL to serial dispatch for
-// every backend at every thread count (pinned by test_gemm). Thread count
-// comes from apf::set_num_threads() / APF_NUM_THREADS; calls issued from
-// inside a parallel region (e.g. the fused attention kernel's per-panel
-// tasks) run serially, and small calls below a flops floor skip the pool.
+// every backend at every thread count (pinned by test_gemm) — work
+// stealing only moves a chunk between threads, never its boundaries.
+// Thread count comes from apf::set_num_threads() / APF_NUM_THREADS; calls
+// issued from inside a parallel region (e.g. the fused attention kernel's
+// per-panel tasks) submit to the same scheduler and compose, and small
+// calls below a flops floor (or with m <= kGemmRowPanel) stay inline.
 
 #include <cstdint>
 

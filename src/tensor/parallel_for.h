@@ -3,11 +3,11 @@
 //
 // Every data-parallel loop in the library goes through parallel_for /
 // parallel_for_2d so threading policy (grain size, nesting, determinism)
-// is controlled in one place. Since PR 5 the backing threads come from the
-// in-tree apf::ThreadPool (tensor/thread_pool.h) instead of OpenMP: the
-// pool is TSan-visible, shared with the gemm panel dispatcher, and
-// partitionable per thread via ThreadLimitGuard (which is how
-// serve::Server keeps its workers from oversubscribing it).
+// is controlled in one place. Since PR 6 the backing threads come from the
+// unified work-stealing scheduler (tensor/thread_pool.h): chunks are
+// submitted as intra-op TaskKind::kPanel tasks to the same shared pool
+// that runs serve::Server forward passes, so batch-level and loop-level
+// parallelism compose instead of competing for a static partition.
 
 #include <cstdint>
 
@@ -20,7 +20,8 @@ namespace apf {
 /// f must be safe to call concurrently for distinct i. Iterations are
 /// dealt to threads as contiguous [begin, end) chunks, at most one chunk
 /// per available thread; a region entered from inside another parallel
-/// region runs serially (no nesting).
+/// region submits to the same shared scheduler (nesting composes — the
+/// caller participates and idle workers steal the rest).
 template <class F>
 void parallel_for(std::int64_t n, F&& f, std::int64_t grain = 256) {
   if (n <= 0) return;
@@ -30,11 +31,14 @@ void parallel_for(std::int64_t n, F&& f, std::int64_t grain = 256) {
     return;
   }
   const std::int64_t chunks = n < width ? n : width;
-  ThreadPool::global().run_chunks(chunks, [&](std::int64_t c) {
-    const std::int64_t begin = n * c / chunks;
-    const std::int64_t end = n * (c + 1) / chunks;
-    for (std::int64_t i = begin; i < end; ++i) f(i);
-  });
+  ThreadPool::global().run_chunks(
+      chunks,
+      [&](std::int64_t c) {
+        const std::int64_t begin = n * c / chunks;
+        const std::int64_t end = n * (c + 1) / chunks;
+        for (std::int64_t i = begin; i < end; ++i) f(i);
+      },
+      TaskKind::kPanel);
 }
 
 /// Runs f(i, j) over the [0,n0) x [0,n1) grid, parallelizing the collapsed

@@ -247,16 +247,18 @@ TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
 }
 
-TEST(ThreadPool, NestedParallelForRunsSerialInside) {
+TEST(ThreadPool, NestedParallelForComposesWithoutDeadlock) {
   ThreadCountGuard restore;
   set_num_threads(4);
   std::atomic<int> outer{0};
   parallel_for(8, [&](std::int64_t) {
-    // Inside a parallel region the width collapses to 1, so a nested
-    // loop must not deadlock or re-enter the pool.
-    std::int64_t sum = 0;
-    parallel_for(100, [&](std::int64_t j) { sum += j; }, /*grain=*/1);
-    EXPECT_EQ(sum, 4950);
+    // A nested region submits to the same shared scheduler: its chunks
+    // may run on this thread (participate-while-wait) or be stolen, but
+    // every index runs exactly once and the wait must not deadlock.
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(100, [&](std::int64_t j) { sum.fetch_add(j); },
+                 /*grain=*/1);
+    EXPECT_EQ(sum.load(), 4950);
     outer.fetch_add(1);
   }, /*grain=*/1);
   EXPECT_EQ(outer.load(), 8);

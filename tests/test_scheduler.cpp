@@ -1,0 +1,315 @@
+// Unit suite for the unified work-stealing task scheduler
+// (tensor/thread_pool.h): task groups, nesting, participate-while-wait,
+// exception propagation from stolen tasks, kind counters, and the
+// degenerate one-thread configuration. The bitwise contract the scheduler
+// must preserve for gemm panels is pinned separately by test_gemm; the
+// serving-level guarantees by test_serve.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "tensor/parallel_for.h"
+#include "tensor/thread_pool.h"
+
+namespace apf {
+namespace {
+
+/// RAII restore for the global thread count (0 = automatic resolution).
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+// ---------------------------------------------------------- task groups
+
+TEST(Scheduler, TaskGroupRunsEveryChunkExactlyOnce) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  const std::int64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  for (auto& h : hits) h.store(0);
+  TaskGroup group;
+  group.submit(n, [&](std::int64_t i) { hits[i].fetch_add(1); });
+  group.wait();
+  for (std::int64_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(Scheduler, TaskGroupIsReusableAfterWait) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    group.submit(50, [&](std::int64_t) { count.fetch_add(1); });
+    group.wait();
+    EXPECT_EQ(count.load(), (round + 1) * 50);
+  }
+}
+
+TEST(Scheduler, TaskGroupCollectsMultipleSubmissions) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  TaskGroup group;
+  std::atomic<std::int64_t> sum{0};
+  group.submit(10, [&](std::int64_t i) { sum.fetch_add(i); });
+  group.submit(10, [&](std::int64_t i) { sum.fetch_add(100 + i); });
+  group.wait();
+  EXPECT_EQ(sum.load(), 45 + 10 * 100 + 45);
+}
+
+TEST(Scheduler, DestructorWaitsForOutstandingTasks) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group;
+    group.submit(32, [&](std::int64_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+      done.fetch_add(1);
+    });
+    // No wait(): the destructor must drain the group.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+// --------------------------------------------------------- participation
+
+TEST(Scheduler, WaitParticipatesInOwnGroup) {
+  ThreadCountGuard restore;
+  // Width beyond the already-spawned workers guarantees the submitter an
+  // execution permit; with enough slow chunks the waiting submitter must
+  // then execute some of them itself (participate-while-wait) rather
+  // than just blocking for the workers.
+  set_num_threads(ThreadPool::global().worker_count() + 2);
+  std::atomic<int> ran_on_submitter{0};
+  const std::thread::id me = std::this_thread::get_id();
+  TaskGroup group;
+  group.submit(64, [&](std::int64_t) {
+    if (std::this_thread::get_id() == me) ran_on_submitter.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  });
+  group.wait();
+  EXPECT_GT(ran_on_submitter.load(), 0);
+}
+
+TEST(Scheduler, PoolWorkersStealFromNonPoolSubmitter) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  const SchedulerStats before = scheduler_stats();
+  // Slow chunks from a non-pool thread land in the shared inbox; workers
+  // must acquire (steal) the job for any chunk to run off-thread.
+  std::set<std::thread::id> ids;
+  std::mutex ids_mu;
+  TaskGroup group;
+  group.submit(64, [&](std::int64_t) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    std::lock_guard<std::mutex> lk(ids_mu);
+    ids.insert(std::this_thread::get_id());
+  });
+  group.wait();
+  const SchedulerStats after = scheduler_stats();
+  EXPECT_GT(ids.size(), 1u) << "no worker ever helped";
+  EXPECT_GT(after.steals, before.steals);
+}
+
+// --------------------------------------------------------------- nesting
+
+TEST(Scheduler, NestedTaskGroupsCompose) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  std::atomic<std::int64_t> inner_total{0};
+  TaskGroup outer;
+  outer.submit(8, [&](std::int64_t) {
+    // Each outer task runs its own nested group on the same pool; the
+    // nested wait() participates, so this cannot deadlock even when every
+    // pool thread is inside an outer task.
+    TaskGroup inner;
+    std::atomic<std::int64_t> local{0};
+    inner.submit(16, [&](std::int64_t j) { local.fetch_add(j); });
+    inner.wait();
+    EXPECT_EQ(local.load(), 120);
+    inner_total.fetch_add(local.load());
+  });
+  outer.wait();
+  EXPECT_EQ(inner_total.load(), 8 * 120);
+}
+
+TEST(Scheduler, DeeplyNestedParallelForTerminates) {
+  ThreadCountGuard restore;
+  set_num_threads(3);
+  std::atomic<std::int64_t> leaves{0};
+  parallel_for(4, [&](std::int64_t) {
+    parallel_for(4, [&](std::int64_t) {
+      parallel_for(4, [&](std::int64_t) { leaves.fetch_add(1); },
+                   /*grain=*/1);
+    }, /*grain=*/1);
+  }, /*grain=*/1);
+  EXPECT_EQ(leaves.load(), 64);
+}
+
+// ------------------------------------------------------------ exceptions
+
+TEST(Scheduler, ExceptionFromStolenTaskPropagatesToWaiter) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  // Sleep in every chunk so workers steal some; whichever thread runs the
+  // throwing chunk, wait() on the submitting thread must observe it.
+  TaskGroup group;
+  group.submit(64, [&](std::int64_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+    if (i == 33) throw std::runtime_error("stolen boom");
+  });
+  try {
+    group.wait();
+    FAIL() << "wait() did not rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "stolen boom");
+  }
+}
+
+TEST(Scheduler, ExceptionDoesNotAbortSiblingChunks) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  std::atomic<int> ran{0};
+  TaskGroup group;
+  group.submit(64, [&](std::int64_t i) {
+    ran.fetch_add(1);
+    if (i == 0) throw std::runtime_error("first");
+  });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  // Every chunk still ran: one failure fails the group, not the work.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(Scheduler, GroupUsableAfterException) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  TaskGroup group;
+  group.submit(8, [](std::int64_t) { throw std::runtime_error("once"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+  std::atomic<int> ok{0};
+  group.submit(8, [&](std::int64_t) { ok.fetch_add(1); });
+  group.wait();  // must not rethrow the cleared error
+  EXPECT_EQ(ok.load(), 8);
+}
+
+// ------------------------------------------------------- one-thread mode
+
+TEST(Scheduler, SingleThreadRunsEverythingInlineWithoutDeadlock) {
+  ThreadCountGuard restore;
+  set_num_threads(1);
+  const std::thread::id me = std::this_thread::get_id();
+  std::int64_t sum = 0;  // deliberately unsynchronized: must stay inline
+  TaskGroup group;
+  group.submit(100, [&](std::int64_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+    // Nested regions at width 1 run inline too.
+    parallel_for(10, [&](std::int64_t j) { sum += j; }, /*grain=*/1);
+    sum += i;
+  });
+  group.wait();
+  EXPECT_EQ(sum, 100 * 45 + 4950);
+}
+
+TEST(Scheduler, ThreadLimitGuardForcesInlineRegions) {
+  ThreadCountGuard restore;
+  set_num_threads(8);
+  ThreadLimitGuard limit(1);
+  const std::thread::id me = std::this_thread::get_id();
+  ThreadPool::global().run_chunks(32, [&](std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), me);
+  });
+}
+
+// ---------------------------------------------------------- observability
+
+TEST(Scheduler, TaskKindCountersAttributeChunks) {
+  ThreadCountGuard restore;
+  set_num_threads(4);
+  const SchedulerStats before = scheduler_stats();
+
+  TaskGroup group;
+  group.submit(3, [](std::int64_t) {}, TaskKind::kForward);
+  group.wait();
+  group.submit(5, [](std::int64_t) {}, TaskKind::kGeneric);
+  group.wait();
+  ThreadPool::global().run_chunks(4, [](std::int64_t) {},
+                                  TaskKind::kPanel);
+
+  const SchedulerStats after = scheduler_stats();
+  EXPECT_EQ(after.forward_tasks - before.forward_tasks, 3u);
+  EXPECT_EQ(after.generic_tasks - before.generic_tasks, 5u);
+  EXPECT_EQ(after.panel_tasks - before.panel_tasks, 4u);
+}
+
+TEST(Scheduler, InlineRegionsAreNotCounted) {
+  ThreadCountGuard restore;
+  set_num_threads(1);  // width 1: everything runs inline
+  const SchedulerStats before = scheduler_stats();
+  parallel_for(1000, [](std::int64_t) {}, /*grain=*/1);
+  ThreadPool::global().run_chunks(8, [](std::int64_t) {});
+  const SchedulerStats after = scheduler_stats();
+  EXPECT_EQ(after.panel_tasks, before.panel_tasks);
+  EXPECT_EQ(after.steals, before.steals);
+}
+
+TEST(Scheduler, ExecutionConcurrencyBoundedByWidth) {
+  ThreadCountGuard restore;
+  // Four clients submit compute concurrently at width 1: the execution
+  // gate must serialize them (at most one chunk running at any instant),
+  // not let them timeslice against each other.
+  set_num_threads(1);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        TaskGroup group;
+        group.submit(4, [&](std::int64_t) {
+          const int now = running.fetch_add(1) + 1;
+          int prev = peak.load();
+          while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+          }
+          std::this_thread::sleep_for(std::chrono::microseconds(50));
+          running.fetch_sub(1);
+        }, TaskKind::kForward);
+        group.wait();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(peak.load(), 1);
+}
+
+// ------------------------------------------------------------- stress
+
+TEST(Scheduler, ConcurrentSubmittersWithNestingAllComplete) {
+  ThreadCountGuard restore;
+  set_num_threads(7);
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        TaskGroup group;
+        group.submit(1, [&](std::int64_t) {
+          parallel_for(64, [&](std::int64_t) { total.fetch_add(1); },
+                       /*grain=*/1);
+        }, TaskKind::kForward);
+        group.wait();
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 64);
+}
+
+}  // namespace
+}  // namespace apf

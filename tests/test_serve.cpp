@@ -178,6 +178,77 @@ TEST(RequestQueue, QueueFullBackpressure) {
   EXPECT_EQ(q.pending(), 1);
 }
 
+// ------------------------------------------------- adaptive batching
+
+TEST(RequestQueue, EffectiveKnobsInterpolateWithPressure) {
+  // Max batch grows linearly from the base to the ceiling.
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(0.0, 4, 16), 4);
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(0.5, 4, 16), 10);
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(1.0, 4, 16), 16);
+  // A ceiling at or below the base is inert (adaptive off).
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(1.0, 4, 0), 4);
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(1.0, 4, 4), 4);
+  // Deadline shrinks linearly toward the floor.
+  EXPECT_EQ(serve::RequestQueue::effective_deadline(0.0, 8ms, 2ms), 8ms);
+  EXPECT_EQ(serve::RequestQueue::effective_deadline(0.5, 8ms, 2ms), 5ms);
+  EXPECT_EQ(serve::RequestQueue::effective_deadline(1.0, 8ms, 2ms), 2ms);
+  // A floor at or above the base deadline is inert.
+  EXPECT_EQ(serve::RequestQueue::effective_deadline(1.0, 8ms, 8ms), 8ms);
+  // Out-of-range pressure clamps instead of extrapolating.
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(7.0, 4, 16), 16);
+  EXPECT_EQ(serve::RequestQueue::effective_max_batch(-1.0, 4, 16), 4);
+}
+
+TEST(RequestQueue, LoadPressureTracksFill) {
+  serve::RequestQueue q(/*max_pending=*/4, /*granularity=*/32);
+  EXPECT_DOUBLE_EQ(q.load_pressure(), 0.0);
+  ASSERT_TRUE(q.push(make_request(0, 8)));
+  EXPECT_DOUBLE_EQ(q.load_pressure(), 0.25);
+  ASSERT_TRUE(q.push(make_request(1, 8)));
+  ASSERT_TRUE(q.push(make_request(2, 8)));
+  ASSERT_TRUE(q.push(make_request(3, 8)));
+  EXPECT_DOUBLE_EQ(q.load_pressure(), 1.0);
+  q.pop_batch(4, 0ms);
+  EXPECT_DOUBLE_EQ(q.load_pressure(), 0.0);
+}
+
+TEST(RequestQueue, AdaptivePopGrowsBatchUnderPressure) {
+  serve::RequestQueue q(/*max_pending=*/8, /*granularity=*/32);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(q.push(make_request(i, 8)));  // one bucket, pressure 1.0
+  // Base max_batch 2 would flush pairs; under full pressure the adaptive
+  // ceiling takes over and one pop drains the whole backlog.
+  std::vector<serve::Request> batch =
+      q.pop_batch(/*max_batch=*/2, /*deadline=*/10s,
+                  /*adaptive_max_batch=*/8, /*min_deadline=*/0ms);
+  EXPECT_EQ(batch.size(), 8u);
+  EXPECT_EQ(q.pending(), 0);
+}
+
+TEST(RequestQueue, AdaptiveOffKeepsBaseBatch) {
+  serve::RequestQueue q(/*max_pending=*/8, /*granularity=*/32);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    ASSERT_TRUE(q.push(make_request(i, 8)));
+  std::vector<serve::Request> batch = q.pop_batch(2, 0ms);  // default: off
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(q.pending(), 6);
+}
+
+TEST(RequestQueue, AdaptiveDeadlineFlushesPartFullBucketUnderPressure) {
+  // One request in a capacity-1 queue = full pressure: the effective
+  // deadline collapses to the 0 floor, so the part-full bucket flushes
+  // immediately instead of waiting out the huge base deadline.
+  serve::RequestQueue q(/*max_pending=*/1, /*granularity=*/32);
+  ASSERT_TRUE(q.push(make_request(0, 8)));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<serve::Request> batch =
+      q.pop_batch(/*max_batch=*/4, /*deadline=*/10s,
+                  /*adaptive_max_batch=*/4 + 1, /*min_deadline=*/0ms);
+  const auto took = std::chrono::steady_clock::now() - t0;
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_LT(took, 5s) << "full-pressure deadline must collapse to the floor";
+}
+
 TEST(RequestQueue, CloseDrainsImmediatelyThenSignalsExit) {
   serve::RequestQueue q(16, 32);
   ASSERT_TRUE(q.push(make_request(0, 10)));
@@ -415,6 +486,90 @@ TEST(Server, ConfigValidation) {
   bad.engine = rig.engine_config();
   bad.engine.max_batch = 0;  // engine config validated through the server
   EXPECT_THROW(serve::Server(rig.model, bad), detail::CheckError);
+  bad = serve::ServerConfig{};
+  bad.engine = rig.engine_config();
+  bad.adaptive_max_batch = bad.engine.max_batch - 1;  // ceiling below base
+  EXPECT_THROW(serve::Server(rig.model, bad), detail::CheckError);
+  bad = serve::ServerConfig{};
+  bad.engine = rig.engine_config();
+  bad.adaptive_min_deadline_ms = bad.batch_deadline_ms + 1.0;  // floor > base
+  EXPECT_THROW(serve::Server(rig.model, bad), detail::CheckError);
+}
+
+// Scheduler observability surfaced through Server::stats(): queue depth
+// at admission, steal/task counters, and the effective batch size
+// distribution must be consistent with the work actually done.
+TEST(Server, StatsExposeSchedulerObservability) {
+  struct ThreadCountGuard {
+    ~ThreadCountGuard() { set_num_threads(0); }
+  } restore_threads;
+  set_num_threads(4);  // width > 1 so forward tasks reach the scheduler
+  Rig rig;
+  serve::ServerConfig scfg;
+  scfg.engine = rig.engine_config();
+  scfg.num_workers = 2;
+  scfg.batch_deadline_ms = 1.0;
+  scfg.bucket_granularity = 16;
+  const std::vector<img::Image> images = rig.images(8);
+
+  serve::Server server(rig.model, scfg);
+  std::vector<std::future<serve::InferenceResult>> futures =
+      server.submit_many(images);
+  for (auto& f : futures) {
+    const serve::InferenceResult r = f.get();
+    EXPECT_GE(r.stats.queue_depth, 0);
+    EXPECT_LT(r.stats.queue_depth, scfg.max_queue);
+  }
+  server.shutdown();
+
+  const serve::InferenceStats agg = server.stats();
+  EXPECT_EQ(agg.images, 8);
+  EXPECT_GE(agg.queue_depth, 0);
+  // Every batch ran inside SOME kForward task on the scheduler, and each
+  // forward runs gemm panels (kPanel) inside it. Tasks and batches need
+  // not match one-to-one in either direction: a task drains as many
+  // consecutive batches as the queue can hand it (run-to-completion), and
+  // a task whose pop lost the race to a peer processes none.
+  EXPECT_GT(agg.forward_tasks, 0u);
+  EXPECT_GT(agg.panel_tasks, 0u);
+  // The batch size histogram accounts for every batch and every image.
+  std::int64_t hist_batches = 0, hist_images = 0;
+  for (const auto& [size, count] : agg.batch_size_counts) {
+    EXPECT_GE(size, 1);
+    EXPECT_LE(size, scfg.engine.max_batch);
+    hist_batches += count;
+    hist_images += size * count;
+  }
+  EXPECT_EQ(hist_batches, agg.batches);
+  EXPECT_EQ(hist_images, agg.images);
+}
+
+// Load-adaptive batching end to end: a saturated queue must produce
+// batches larger than the base max_batch (and still bitwise-correct
+// results — covered by the equality pins below, which run adaptive off).
+TEST(Server, AdaptiveBatchingGrowsBatchesUnderBacklog) {
+  Rig rig;
+  serve::ServerConfig scfg;
+  scfg.engine = rig.engine_config();
+  scfg.engine.max_batch = 2;       // base: pairs
+  scfg.adaptive_max_batch = 8;     // ceiling under pressure
+  scfg.adaptive_min_deadline_ms = 0.0;
+  scfg.batch_deadline_ms = 50.0;   // patient when idle
+  scfg.num_workers = 1;
+  scfg.max_queue = 8;              // small capacity -> high pressure
+  scfg.bucket_granularity = 256;   // one bucket: backlog batches freely
+  const std::vector<img::Image> images = rig.images(16);
+
+  serve::Server server(rig.model, scfg);
+  std::vector<std::future<serve::InferenceResult>> futures =
+      server.submit_many(images);
+  std::int64_t max_seen = 0;
+  for (auto& f : futures)
+    max_seen = std::max(max_seen, f.get().stats.batch_size);
+  server.shutdown();
+  EXPECT_GT(max_seen, scfg.engine.max_batch)
+      << "backlog never grew a batch past the base max_batch";
+  EXPECT_LE(max_seen, scfg.adaptive_max_batch);
 }
 
 // N concurrent clients, interleaved arrival order, small queue (so
@@ -465,11 +620,11 @@ TEST(Server, ConcurrentClientsStressBitwiseEqualsSerial) {
   EXPECT_EQ(agg.images, static_cast<std::int64_t>(images.size()));
 }
 
-// The PR 5 acceptance pin: with the panel-parallel gemm dispatch engaged
-// (thread counts > 1) and the grad-free arena active, engine and server
-// outputs are bit-for-bit equal to the single-threaded serial path. The
-// pool partitioning (ThreadLimitGuard per worker) must not change a bit
-// either.
+// The PR 5/6 acceptance pin: with the unified work-stealing scheduler
+// engaged (thread counts > 1, forward passes and gemm panels in one
+// pool), engine and server outputs are bit-for-bit equal to the
+// single-threaded serial path at every worker count — stealing only moves
+// a task between threads, never what it computes.
 TEST(Server, ThreadedEngineAndServerBitwiseEqualSingleThreadSerial) {
   // RAII so an ASSERT failure cannot leave the global width pinned for
   // the rest of the process.
@@ -494,24 +649,117 @@ TEST(Server, ThreadedEngineAndServerBitwiseEqualSingleThreadSerial) {
           << "serial engine diverged at " << j << " with " << threads
           << " threads";
 
-    serve::ServerConfig scfg;
-    scfg.engine = rig.engine_config();
-    scfg.num_workers = 2;
-    scfg.batch_deadline_ms = 0.5;
-    scfg.bucket_granularity = 8;
-    serve::Server server(rig.model, scfg);
-    std::vector<std::future<serve::InferenceResult>> futures =
-        server.submit_many(images);
-    for (std::size_t i = 0; i < futures.size(); ++i) {
-      serve::InferenceResult r = futures[i].get();
-      const std::int64_t per = want.logits.numel() /
-                               static_cast<std::int64_t>(images.size());
-      for (std::int64_t j = 0; j < r.logits.numel(); ++j)
-        ASSERT_EQ(r.logits[j],
-                  want.logits[static_cast<std::int64_t>(i) * per + j])
-            << "server image " << i << " diverged at " << j << " with "
-            << threads << " threads";
+    for (const int workers : {1, 2, 4}) {
+      serve::ServerConfig scfg;
+      scfg.engine = rig.engine_config();
+      scfg.num_workers = workers;
+      scfg.batch_deadline_ms = 0.5;
+      scfg.bucket_granularity = 8;
+      serve::Server server(rig.model, scfg);
+      std::vector<std::future<serve::InferenceResult>> futures =
+          server.submit_many(images);
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        serve::InferenceResult r = futures[i].get();
+        const std::int64_t per = want.logits.numel() /
+                                 static_cast<std::int64_t>(images.size());
+        for (std::int64_t j = 0; j < r.logits.numel(); ++j)
+          ASSERT_EQ(r.logits[j],
+                    want.logits[static_cast<std::int64_t>(i) * per + j])
+              << "server image " << i << " diverged at " << j << " with "
+              << threads << " threads / " << workers << " workers";
+      }
     }
+  }
+}
+
+// The PR 6 throughput pin: on a 32-image mixed workload the async server
+// (bucketed + adaptive batching, unified scheduler) must not fall behind
+// the serial engine at any worker count. Serial pads every image to the
+// global longest sequence; the server pads only within a bucket, so it
+// does strictly less arithmetic — PR 5 still lost the difference to
+// static pool partitioning, which this scheduler removed. Best-of-2 on
+// both sides plus a grace factor keeps the pin robust to noisy shared
+// runners; the committed BENCH_serving.json carries the strict >= 1.0
+// gate for this container.
+TEST(Server, ThroughputAtLeastSerialOnMixedWorkload) {
+  struct ThreadCountGuard {
+    ~ThreadCountGuard() { set_num_threads(0); }
+  } restore_threads;
+  // Width 1 makes the comparison deterministic on any host: the
+  // scheduler's execution gate serializes the workers' forwards (run to
+  // completion on one cache-hot thread), so the server's edge must come
+  // from scheduling — exact-length bucketing removes the padding the
+  // serial engine's first-come batches pay — not from parallel hardware.
+  set_num_threads(1);
+  // A meatier rig than the shared one: 64px images give genuinely mixed
+  // sequence lengths (up to 256 tokens), so global-max padding costs the
+  // serial path real arithmetic and per-batch overhead stays amortized —
+  // the regime dynamic batching is for. The tiny shared Rig's ~0.5 ms
+  // forwards would drown the comparison in fixed overhead.
+  Rng rng(7);
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * 4 * 4;
+  mcfg.enc.d_model = 64;
+  mcfg.enc.depth = 2;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = 64;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  models::Unetr2d model(mcfg, rng);
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = 4;
+  ecfg.patcher.min_patch = 4;
+  ecfg.patcher.max_depth = 6;
+  ecfg.patcher.seq_len = 0;  // natural lengths: bucketing has real work
+  ecfg.max_batch = 4;
+  data::PaipConfig pc;
+  pc.resolution = 64;
+  data::SyntheticPaip gen(pc);
+  std::vector<img::Image> images;
+  for (std::int64_t i = 0; i < 32; ++i) images.push_back(gen.sample(i).image);
+
+  using Clock = std::chrono::steady_clock;
+  const auto seconds = [](Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+
+  serve::InferenceEngine serial(model, ecfg);
+  serial.run(images);  // warm up caches and the thread pool
+
+  for (const int workers : {1, 2, 4}) {
+    serve::ServerConfig scfg;
+    scfg.engine = ecfg;
+    scfg.num_workers = workers;
+    scfg.batch_deadline_ms = 2.0;
+    scfg.adaptive_max_batch = 2 * scfg.engine.max_batch;
+    scfg.adaptive_min_deadline_ms = 0.0;
+    // Exact-length bucketing: requests batch only with identical-length
+    // peers, so server batches carry ZERO padding while the serial
+    // engine's first-come batches pad every member to the batch max.
+    scfg.bucket_granularity = 1;
+    scfg.max_queue = 16;
+    // One server per worker count, warmed before timing (fresh worker
+    // threads pay one-time thread-local arena and pack-buffer faults),
+    // then serial/server passes interleaved so host-speed drift hits
+    // both sides alike.
+    serve::Server server(model, scfg);
+    for (auto& f : server.submit_many(images)) f.get();
+    double serial_best = 1e30, server_best = 1e30;
+    for (int pass = 0; pass < 3; ++pass) {
+      auto t0 = Clock::now();
+      serial.run(images);
+      serial_best = std::min(serial_best, seconds(t0, Clock::now()));
+      t0 = Clock::now();
+      std::vector<std::future<serve::InferenceResult>> futures =
+          server.submit_many(images);
+      for (auto& f : futures) f.get();
+      server_best = std::min(server_best, seconds(t0, Clock::now()));
+    }
+    // 0.85 grace: absorbs scheduler noise on loaded CI runners without
+    // letting a real regression (the 0.68x of PR 5) back in.
+    EXPECT_LE(server_best, serial_best / 0.85)
+        << "server slower than serial at " << workers << " workers ("
+        << server_best << "s vs " << serial_best << "s)";
   }
 }
 
