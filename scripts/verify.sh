@@ -2,7 +2,52 @@
 # Tier-1 verification: configure, build everything, run the full test
 # suite. This is the exact command sequence CI runs and the bar every PR
 # must keep green.
+#
+#   ./scripts/verify.sh            tier-1 build + tests
+#   ./scripts/verify.sh --static   the static-analysis gate: determinism
+#                                  linter (+ its fixture suite) always;
+#                                  clang -Wthread-safety build and
+#                                  clang-tidy when clang is installed
+#                                  (skipped with a notice otherwise, so
+#                                  the mode degrades instead of lying).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--static" ]]; then
+  echo "== determinism linter: fixture suite =="
+  python3 tests/test_lint_determinism.py
+
+  echo "== determinism linter: committed tree =="
+  if command -v clang++ >/dev/null 2>&1; then
+    # Full clang leg: thread-safety analysis over the annotated
+    # concurrency core, then lint against clang's compile commands.
+    cmake -B build-static -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DAPF_THREAD_SAFETY_ANALYSIS=ON \
+      -DAPF_BUILD_TESTS=OFF -DAPF_BUILD_EXAMPLES=OFF -DAPF_BUILD_BENCH=OFF
+    echo "== clang build (-Wthread-safety -Werror=thread-safety) =="
+    cmake --build build-static -j "$(nproc)"
+  else
+    echo "-- clang++ not found: thread-safety analysis runs in CI only;" \
+         "configuring with the default compiler for compile commands"
+    cmake -B build-static -S . \
+      -DAPF_BUILD_TESTS=OFF -DAPF_BUILD_EXAMPLES=OFF -DAPF_BUILD_BENCH=OFF
+  fi
+  python3 scripts/lint_determinism.py --root . \
+    --compile-commands build-static/compile_commands.json
+
+  echo "== clang-tidy (src/) =="
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -p build-static -quiet "$(pwd)/src/"
+  elif command -v clang-tidy >/dev/null 2>&1; then
+    find src -name '*.cpp' -print0 |
+      xargs -0 -n 1 -P "$(nproc)" clang-tidy -p build-static --quiet
+  else
+    echo "-- clang-tidy not found: skipped (runs in the CI" \
+         "static-analysis job)"
+  fi
+  echo "verify --static: done"
+  exit 0
+fi
 
 cmake -B build -S . && cmake --build build -j && cd build && ctest --output-on-failure -j

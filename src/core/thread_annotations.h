@@ -1,0 +1,154 @@
+#pragma once
+// Clang Thread-Safety-Analysis vocabulary for the repo's concurrency core.
+//
+// The APF_* macros expand to clang's thread-safety attributes under clang
+// and to nothing elsewhere, so g++ builds (the default toolchain and every
+// sanitizer leg) see plain standard C++ while the clang CI leg compiles
+// the same tree with -Wthread-safety -Werror=thread-safety and rejects
+// any access to guarded state outside its lock.
+//
+// libstdc++'s std::mutex carries no capability attributes, so annotating
+// members with GUARDED_BY(some std::mutex) analyzes nothing. apf::Mutex /
+// apf::MutexLock / apf::CondVar below are zero-cost annotated shims over
+// the standard primitives; every mutex in serve/, tensor/thread_pool and
+// dist/ goes through them. Conventions:
+//
+//  * data members touched under a lock:  T x_ APF_GUARDED_BY(mu_);
+//  * "caller holds mu_" helpers:         void f() APF_REQUIRES(mu_);
+//  * lock-taking scope:                  MutexLock lock(mu_);
+//  * condition waits: CondVar::wait(mu) (REQUIRES(mu)) with an explicit
+//    `while (!predicate) cv.wait(mu);` loop — predicate lambdas would be
+//    analyzed as separate unlocked functions and rejected.
+//
+// Extending: a new guarded structure only needs (1) apf::Mutex instead of
+// std::mutex, (2) APF_GUARDED_BY on the state it protects, (3)
+// APF_REQUIRES on any helper called with the lock held. The analysis does
+// not run on constructors/destructors or across system headers; state
+// intentionally read without the lock (e.g. barrier-synchronized buffers
+// in dist::detail::World) stays unannotated with a comment saying why.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define APF_TSA_ATTR(x) __attribute__((x))
+#else
+#define APF_TSA_ATTR(x)  // no-op off clang
+#endif
+
+#define APF_CAPABILITY(x) APF_TSA_ATTR(capability(x))
+#define APF_SCOPED_CAPABILITY APF_TSA_ATTR(scoped_lockable)
+#define APF_GUARDED_BY(x) APF_TSA_ATTR(guarded_by(x))
+#define APF_PT_GUARDED_BY(x) APF_TSA_ATTR(pt_guarded_by(x))
+#define APF_ACQUIRE(...) APF_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define APF_RELEASE(...) APF_TSA_ATTR(release_capability(__VA_ARGS__))
+#define APF_TRY_ACQUIRE(...) APF_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define APF_REQUIRES(...) APF_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define APF_EXCLUDES(...) APF_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define APF_ASSERT_CAPABILITY(x) APF_TSA_ATTR(assert_capability(x))
+#define APF_RETURN_CAPABILITY(x) APF_TSA_ATTR(lock_returned(x))
+#define APF_NO_THREAD_SAFETY_ANALYSIS APF_TSA_ATTR(no_thread_safety_analysis)
+
+namespace apf {
+
+/// Annotated std::mutex. Same cost, same semantics; the capability
+/// attribute is what lets clang track who holds it. BasicLockable, so it
+/// works directly with std::condition_variable_any (see CondVar) and
+/// std::scoped_lock if ever needed.
+class APF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() APF_ACQUIRE() { mu_.lock(); }
+  void unlock() APF_RELEASE() { mu_.unlock(); }
+  bool try_lock() APF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over apf::Mutex (the annotated lock_guard/unique_lock).
+/// Constructed locked; unlock()/lock() support the wait-participate
+/// pattern in thread_pool.cpp that drops the lock around chunk execution.
+/// The conditional release in the destructor is the canonical clang
+/// scoped-capability idiom — the analysis tracks the scope's lock state
+/// at compile time, `held_` tracks it at run time.
+class APF_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) APF_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.lock();
+  }
+  ~MutexLock() APF_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() APF_RELEASE() {
+    mu_.unlock();
+    held_ = false;
+  }
+  void lock() APF_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable paired with apf::Mutex. Backed by a plain
+/// std::condition_variable (the glibc futex fast path — NOT
+/// condition_variable_any, whose internal mutex measurably taxes the
+/// scheduler's gate and queue hot paths): each wait adopts the
+/// already-held native mutex into a throwaway unique_lock and releases
+/// it on the way out, so ownership stays with the caller's MutexLock.
+/// The REQUIRES contract makes clang verify every wait happens with the
+/// lock held. No predicate overloads on purpose — the analysis treats
+/// predicate lambdas as separate (lock-free) functions, so call sites
+/// spell the standard `while (!pred) cv.wait(mu);` loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(Mutex& mu) APF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // the caller's scope keeps ownership
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& mu,
+                            const std::chrono::time_point<Clock, Duration>& tp)
+      APF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_until(lk, tp);
+    lk.release();
+    return st;
+  }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& d)
+      APF_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status st = cv_.wait_for(lk, d);
+    lk.release();
+    return st;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace apf

@@ -17,6 +17,8 @@ std::vector<std::vector<std::int64_t>> BatchSampler::epoch_batches(
   Rng rng(seed_ ^ (static_cast<std::uint64_t>(epoch) * 0x9e3779b97f4a7c15ULL));
   rng.shuffle(order);
   std::vector<std::vector<std::int64_t>> batches;
+  batches.reserve((order.size() + static_cast<std::size_t>(batch_size_) - 1) /
+                  static_cast<std::size_t>(batch_size_));
   for (std::size_t i = 0; i < order.size(); i += static_cast<std::size_t>(batch_size_)) {
     const std::size_t end =
         std::min(order.size(), i + static_cast<std::size_t>(batch_size_));

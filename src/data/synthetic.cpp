@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "img/draw.h"
 #include "tensor/check.h"
@@ -210,7 +211,8 @@ ClsSample PaipClassification::sample(std::int64_t index) const {
   pc.stain_shift = 0.025f * (static_cast<float>(label) - 2.5f);
   SyntheticPaip gen(pc);
   ClsSample out;
-  out.image = gen.sample(index / kNumClasses).image;
+  SegSample seg = gen.sample(index / kNumClasses);
+  out.image = std::move(seg.image);
   out.label = label;
   return out;
 }

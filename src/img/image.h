@@ -36,12 +36,10 @@ struct Image {
   bool empty() const { return data.empty(); }
 
   float& at(std::int64_t y, std::int64_t x, std::int64_t ch = 0) {
-    APF_DCHECK(y >= 0 && y < h && x >= 0 && x < w && ch >= 0 && ch < c,
-               "Image::at out of bounds");
-    return data[static_cast<std::size_t>((y * w + x) * c + ch)];
+    return data[index_of(y, x, ch)];
   }
   float at(std::int64_t y, std::int64_t x, std::int64_t ch = 0) const {
-    return const_cast<Image*>(this)->at(y, x, ch);
+    return data[index_of(y, x, ch)];
   }
 
   /// Clamped accessor (replicate border), used by filters.
@@ -52,6 +50,13 @@ struct Image {
   }
 
   void fill(float v) { std::fill(data.begin(), data.end(), v); }
+
+ private:
+  std::size_t index_of(std::int64_t y, std::int64_t x, std::int64_t ch) const {
+    APF_DCHECK(y >= 0 && y < h && x >= 0 && x < w && ch >= 0 && ch < c,
+               "Image::at out of bounds");
+    return static_cast<std::size_t>((y * w + x) * c + ch);
+  }
 };
 
 /// Luminance conversion: RGB -> single channel (Rec.601 weights); a 1-channel

@@ -23,8 +23,8 @@ std::int64_t RequestQueue::bucket_of(std::int64_t length) const {
 }
 
 bool RequestQueue::push(Request&& r) {
-  std::unique_lock<std::mutex> lock(mu_);
-  not_full_.wait(lock, [&] { return closed_ || pending_ < max_pending_; });
+  MutexLock lock(mu_);
+  while (!closed_ && pending_ >= max_pending_) not_full_.wait(mu_);
   if (closed_) return false;
   buckets_[key_of(r)].push_back(std::move(r));
   ++pending_;
@@ -33,7 +33,7 @@ bool RequestQueue::push(Request&& r) {
 }
 
 bool RequestQueue::try_push(Request&& r) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_ || pending_ >= max_pending_) return false;
   buckets_[key_of(r)].push_back(std::move(r));
   ++pending_;
@@ -80,7 +80,7 @@ double RequestQueue::pressure_locked() const {
 }
 
 double RequestQueue::load_pressure() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pressure_locked();
 }
 
@@ -108,7 +108,7 @@ std::vector<Request> RequestQueue::pop_batch(
   APF_CHECK(max_batch > 0,
             "RequestQueue::pop_batch: max_batch must be positive");
   const bool adaptive = adaptive_max_batch > max_batch;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     // Pressure is re-read on every scheduling decision (each wakeup), so
     // the effective knobs grow under load and relax as the queue drains.
@@ -124,12 +124,11 @@ std::vector<Request> RequestQueue::pop_batch(
         ripe_bucket(eff_max, eff_deadline, now);
     if (key) return take_locked(*key, eff_max);
     if (closed_ && pending_ == 0) return {};  // drained: worker exit signal
-    wait_for_change(lock, eff_deadline);
+    wait_for_change(eff_deadline);
   }
 }
 
 void RequestQueue::wait_for_change(
-    std::unique_lock<std::mutex>& lock,
     std::chrono::duration<double> eff_deadline) {
   if (pending_ > 0 && !closed_) {
     // Part-full buckets: sleep until the oldest request's deadline (a
@@ -144,11 +143,11 @@ void RequestQueue::wait_for_change(
       }
     }
     ready_.wait_until(
-        lock,
+        mu_,
         oldest_at + std::chrono::duration_cast<
                         std::chrono::steady_clock::duration>(eff_deadline));
   } else {
-    ready_.wait(lock);
+    ready_.wait(mu_);
   }
 }
 
@@ -159,7 +158,7 @@ bool RequestQueue::wait_ready(std::int64_t max_batch,
   APF_CHECK(max_batch > 0,
             "RequestQueue::wait_ready: max_batch must be positive");
   const bool adaptive = adaptive_max_batch > max_batch;
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     const double pressure = adaptive ? pressure_locked() : 0.0;
     const std::int64_t eff_max =
@@ -171,7 +170,7 @@ bool RequestQueue::wait_ready(std::int64_t max_batch,
     if (ripe_bucket(eff_max, eff_deadline, std::chrono::steady_clock::now()))
       return true;
     if (closed_ && pending_ == 0) return false;
-    wait_for_change(lock, eff_deadline);
+    wait_for_change(eff_deadline);
   }
 }
 
@@ -201,7 +200,7 @@ std::vector<Request> RequestQueue::try_pop_batch(
   APF_CHECK(max_batch > 0,
             "RequestQueue::try_pop_batch: max_batch must be positive");
   const bool adaptive = adaptive_max_batch > max_batch;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const double pressure = adaptive ? pressure_locked() : 0.0;
   const std::int64_t eff_max =
       adaptive ? effective_max_batch(pressure, max_batch, adaptive_max_batch)
@@ -216,19 +215,19 @@ std::vector<Request> RequestQueue::try_pop_batch(
 }
 
 void RequestQueue::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   not_full_.notify_all();
   ready_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 std::int64_t RequestQueue::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_;
 }
 

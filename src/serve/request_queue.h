@@ -33,17 +33,16 @@
 // toward the submitting clients) and fails only after close().
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/patcher.h"
+#include "core/thread_annotations.h"
 #include "serve/engine.h"
 
 namespace apf::serve {
@@ -156,31 +155,32 @@ class RequestQueue {
   }
 
   // Returns the bucket to flush now, or nullopt when none is ready.
-  // Caller holds mu_. "now" decides deadline expiry; full buckets and
-  // closed-queue drain ignore it.
+  // "now" decides deadline expiry; full buckets and closed-queue drain
+  // ignore it.
   std::optional<BucketKey> ripe_bucket(
       std::int64_t max_batch, std::chrono::duration<double> deadline,
-      std::chrono::steady_clock::time_point now) const;
+      std::chrono::steady_clock::time_point now) const APF_REQUIRES(mu_);
 
-  double pressure_locked() const;  // caller holds mu_
+  double pressure_locked() const APF_REQUIRES(mu_);
 
-  // Moves up to eff_max requests out of `key`'s bucket. Caller holds mu_.
-  std::vector<Request> take_locked(const BucketKey& key, std::int64_t eff_max);
+  // Moves up to eff_max requests out of `key`'s bucket.
+  std::vector<Request> take_locked(const BucketKey& key, std::int64_t eff_max)
+      APF_REQUIRES(mu_);
 
   // One scheduling sleep: until the oldest part-full bucket's deadline
-  // when something is pending, else until the next push/close. Caller
-  // holds mu_ via `lock`.
-  void wait_for_change(std::unique_lock<std::mutex>& lock,
-                       std::chrono::duration<double> eff_deadline);
+  // when something is pending, else until the next push/close.
+  void wait_for_change(std::chrono::duration<double> eff_deadline)
+      APF_REQUIRES(mu_);
 
   const std::int64_t max_pending_;
   const std::int64_t granularity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable ready_;
-  std::map<BucketKey, std::deque<Request>> buckets_;  // key -> FIFO
-  std::int64_t pending_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  CondVar not_full_;
+  CondVar ready_;
+  std::map<BucketKey, std::deque<Request>> buckets_
+      APF_GUARDED_BY(mu_);  // key -> FIFO
+  std::int64_t pending_ APF_GUARDED_BY(mu_) = 0;
+  bool closed_ APF_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace apf::serve

@@ -66,7 +66,7 @@ Server::Server(models::TokenSegModel& model, ServerConfig cfg)
 Server::~Server() { shutdown(); }
 
 void Server::shutdown() {
-  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  MutexLock lock(shutdown_mu_);
   if (shut_down_) return;
   queue_.close();  // no new submits; workers drain what was accepted
   for (std::thread& t : workers_) t.join();
@@ -213,7 +213,7 @@ void Server::process_batch(InferenceEngine& engine,
     // Fold into the aggregate BEFORE fulfilling the promises, so a client
     // that has seen all its futures resolve also sees them in stats().
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       aggregate_.images += delta.images;
       aggregate_.batches += delta.batches;
       aggregate_.tokens += delta.tokens;
@@ -244,7 +244,7 @@ void Server::process_batch(InferenceEngine& engine,
 }
 
 InferenceStats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   InferenceStats out = aggregate_;
   out.total_seconds = seconds_since(started_);
   // Scheduler activity since construction (process-wide counters diffed

@@ -33,10 +33,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "serve/engine.h"
 #include "serve/request_queue.h"
 #include "tensor/thread_pool.h"
@@ -130,17 +130,19 @@ class Server {
   /// (validate_image / patch / flops_for_tokens) are used, so any number
   /// of submitting threads may share it.
   std::unique_ptr<InferenceEngine> patch_engine_;
-  std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> next_id_{0};
   /// Process-wide scheduler counters at construction; stats() reports the
   /// delta, scoping steal/task counts to this server's lifetime.
   SchedulerStats sched_at_start_;
-  bool model_was_training_ = false;
-  bool shut_down_ = false;
-  std::mutex shutdown_mu_;  ///< serializes shutdown() callers
+  Mutex shutdown_mu_;  ///< serializes shutdown() callers
+  /// Written by the constructor before any worker exists, then only
+  /// touched under shutdown_mu_ (join/clear/restore on the way down).
+  std::vector<std::thread> workers_ APF_GUARDED_BY(shutdown_mu_);
+  bool model_was_training_ APF_GUARDED_BY(shutdown_mu_) = false;
+  bool shut_down_ APF_GUARDED_BY(shutdown_mu_) = false;
 
-  mutable std::mutex stats_mu_;
-  InferenceStats aggregate_;
+  mutable Mutex stats_mu_;
+  InferenceStats aggregate_ APF_GUARDED_BY(stats_mu_);
   std::chrono::steady_clock::time_point started_;
 };
 

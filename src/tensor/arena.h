@@ -24,6 +24,16 @@
 //    threads never allocate tensors, so a scope on an engine/server
 //    thread covers exactly that thread's forward.
 //
+// Thread-safety-analysis audit (core/thread_annotations.h): this file is
+// intentionally free of APF_GUARDED_BY — there is no mutex here to guard
+// anything with. Every member of Arena is confined to the owning thread
+// by construction (Arena::this_thread() hands out a thread_local
+// instance, and neither Arena nor the RAII guards are copyable or
+// shareable), so clang's analysis has nothing to check and TSan covers
+// the confinement claim itself. If cross-thread arena sharing is ever
+// introduced, start by giving Arena an apf::Mutex and annotating
+// cursor_/blocks_/stats_ before writing the first locked accessor.
+//
 // Blocks are 64-byte aligned and zero-filled per allocation, preserving
 // Tensor's zero-init semantics on reused memory.
 

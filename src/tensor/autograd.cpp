@@ -57,6 +57,9 @@ void Var::backward(const Tensor& seed_grad) const {
   // Iterative post-order DFS to topologically sort the subgraph that
   // requires grad, then sweep in reverse.
   std::vector<Node*> order;
+  // determinism-ok(unordered): membership-only visited set (count/insert);
+  // the traversal order that builds `order` comes from the deterministic
+  // parent lists on the stack, never from hash iteration.
   std::unordered_set<Node*> visited;
   std::vector<std::pair<Node*, std::size_t>> stack;
   if (node_->requires_grad) stack.emplace_back(node_.get(), 0);

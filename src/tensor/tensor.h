@@ -99,6 +99,8 @@ class Tensor {
   static Tensor randn(Shape shape, Rng& rng, float mean = 0.f,
                       float stddev = 1.f);
   /// I.i.d. U[lo, hi) entries.
+  // determinism-ok(rng): seeded apf::Rng, not the C library generator —
+  // every stream is reproducible from its explicit seed.
   static Tensor rand(Shape shape, Rng& rng, float lo = 0.f, float hi = 1.f);
 
   // -- Introspection ----------------------------------------------------

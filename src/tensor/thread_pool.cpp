@@ -2,13 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "core/thread_annotations.h"
 
 namespace apf {
 namespace detail {
@@ -41,11 +41,12 @@ struct Job {
 /// mutex is the happens-before edge between a chunk's writes and the
 /// waiter that observes its completion.
 struct GroupState {
-  std::mutex mu;
-  std::condition_variable done;
-  std::int64_t outstanding = 0;            // guarded by mu
-  std::exception_ptr error;                // guarded by mu; first failure wins
-  std::vector<std::shared_ptr<Job>> jobs;  // guarded by mu
+  Mutex mu;
+  CondVar done;
+  std::int64_t outstanding APF_GUARDED_BY(mu) = 0;
+  /// First failure wins.
+  std::exception_ptr error APF_GUARDED_BY(mu);
+  std::vector<std::shared_ptr<Job>> jobs APF_GUARDED_BY(mu);
 };
 
 }  // namespace detail
@@ -81,9 +82,9 @@ std::atomic<int> g_user_threads{0};
 // block on the gate (reentrancy) — every wait-for edge ends at a thread
 // that is making progress.
 struct ExecGate {
-  std::mutex mu;
-  std::condition_variable cv;
-  int active = 0;  // guarded by mu
+  Mutex mu;
+  CondVar cv;
+  int active APF_GUARDED_BY(mu) = 0;
 };
 ExecGate g_gate;
 thread_local int t_permit_depth = 0;
@@ -93,14 +94,14 @@ thread_local int t_permit_depth = 0;
 struct PermitGuard {
   PermitGuard() {
     if (t_permit_depth++ > 0) return;
-    std::unique_lock<std::mutex> lk(g_gate.mu);
-    g_gate.cv.wait(lk, [] { return g_gate.active < num_threads(); });
+    MutexLock lk(g_gate.mu);
+    while (g_gate.active >= num_threads()) g_gate.cv.wait(g_gate.mu);
     ++g_gate.active;
   }
   ~PermitGuard() {
     if (--t_permit_depth > 0) return;
     {
-      std::lock_guard<std::mutex> lk(g_gate.mu);
+      MutexLock lk(g_gate.mu);
       --g_gate.active;
     }
     g_gate.cv.notify_one();
@@ -163,7 +164,7 @@ void drain_job(Job& job) {
       err = std::current_exception();
     }
     GroupState& g = *job.group;
-    std::lock_guard<std::mutex> lk(g.mu);
+    MutexLock lk(g.mu);
     if (err && !g.error) g.error = err;
     if (--g.outstanding == 0) g.done.notify_all();
   }
@@ -177,7 +178,7 @@ void drain_job(Job& job) {
 // actively executing a chunk, and the deepest nested region always has
 // either unclaimed chunks (its waiter drains them) or only running ones.
 void wait_on_group(GroupState& s) {
-  std::unique_lock<std::mutex> lk(s.mu);
+  MutexLock lk(s.mu);
   for (;;) {
     std::shared_ptr<Job> job;
     while (!s.jobs.empty()) {
@@ -199,7 +200,7 @@ void wait_on_group(GroupState& s) {
     if (s.outstanding == 0) break;
     // Woken either by the last completion or by a new job submitted to
     // this group (the loop re-scans s.jobs and participates).
-    s.done.wait(lk);
+    s.done.wait(s.mu);
   }
   s.jobs.clear();
   std::exception_ptr err = s.error;
@@ -256,11 +257,11 @@ struct ThreadPool::Impl {
   /// advertised until observed exhausted, so several threads can join
   /// one multi-chunk job; exhausted jobs are dropped lazily during scans.
   struct WorkDeque {
-    std::mutex mu;
-    std::deque<std::shared_ptr<Job>> jobs;
+    Mutex mu;
+    std::deque<std::shared_ptr<Job>> jobs APF_GUARDED_BY(mu);
 
     std::shared_ptr<Job> take(bool lifo) {
-      std::lock_guard<std::mutex> lk(mu);
+      MutexLock lk(mu);
       while (!jobs.empty()) {
         std::shared_ptr<Job>& slot = lifo ? jobs.back() : jobs.front();
         if (!slot->exhausted()) return slot;
@@ -274,7 +275,7 @@ struct ThreadPool::Impl {
     }
 
     void push(std::shared_ptr<Job> job) {
-      std::lock_guard<std::mutex> lk(mu);
+      MutexLock lk(mu);
       jobs.push_back(std::move(job));
     }
   };
@@ -286,21 +287,22 @@ struct ThreadPool::Impl {
   std::atomic<int> spawned_count{0};
   WorkDeque inbox;  ///< submissions from non-pool threads
 
-  std::mutex sleep_mu;
-  std::condition_variable sleep_cv;
-  std::uint64_t epoch = 0;  ///< bumped per submission; guards lost wakeups
-  int sleepers = 0;
-  bool stop = false;
+  Mutex sleep_mu;
+  CondVar sleep_cv;
+  /// Bumped per submission; guards lost wakeups.
+  std::uint64_t epoch APF_GUARDED_BY(sleep_mu) = 0;
+  int sleepers APF_GUARDED_BY(sleep_mu) = 0;
+  bool stop APF_GUARDED_BY(sleep_mu) = false;
 
-  std::mutex spawn_mu;
-  std::vector<std::thread> workers;
+  Mutex spawn_mu;
+  std::vector<std::thread> workers APF_GUARDED_BY(spawn_mu);
 
   // Grows the pool toward num_threads() - 1 workers (never shrinks; the
   // submitting thread is always a participant, hence the -1).
   void ensure_workers() {
     const int target = std::min(num_threads() - 1, kMaxWorkers);
     if (spawned_count.load(std::memory_order_acquire) >= target) return;
-    std::lock_guard<std::mutex> lk(spawn_mu);
+    MutexLock lk(spawn_mu);
     while (static_cast<int>(workers.size()) < target) {
       const int index = static_cast<int>(workers.size());
       workers.emplace_back([this, index] { worker_main(index); });
@@ -335,7 +337,7 @@ struct ThreadPool::Impl {
     for (;;) {
       std::uint64_t seen;
       {
-        std::lock_guard<std::mutex> lk(sleep_mu);
+        MutexLock lk(sleep_mu);
         if (stop) return;
         seen = epoch;
       }
@@ -344,11 +346,11 @@ struct ThreadPool::Impl {
         drain_job(*job);
         continue;
       }
-      std::unique_lock<std::mutex> lk(sleep_mu);
+      MutexLock lk(sleep_mu);
       if (stop) return;
       if (epoch != seen) continue;  // new work arrived during the scan
       ++sleepers;
-      sleep_cv.wait(lk);
+      sleep_cv.wait(sleep_mu);
       --sleepers;
     }
   }
@@ -361,7 +363,7 @@ struct ThreadPool::Impl {
     job->group = &state;
     count_submission(kind, job->n);
     {
-      std::lock_guard<std::mutex> lk(state.mu);
+      MutexLock lk(state.mu);
       state.outstanding += job->n;
       state.jobs.push_back(job);
       state.done.notify_all();
@@ -373,7 +375,7 @@ struct ThreadPool::Impl {
     }
     ensure_workers();
     {
-      std::lock_guard<std::mutex> lk(sleep_mu);
+      MutexLock lk(sleep_mu);
       ++epoch;
       if (sleepers == 0) return;
     }
@@ -385,11 +387,19 @@ ThreadPool::ThreadPool() : impl_(new Impl) {}
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(impl_->sleep_mu);
+    MutexLock lk(impl_->sleep_mu);
     impl_->stop = true;
   }
   impl_->sleep_cv.notify_all();
-  for (std::thread& t : impl_->workers) t.join();
+  // Move the worker handles out under spawn_mu, then join unlocked
+  // (workers never take spawn_mu, but joining under a lock is a habit
+  // worth not teaching).
+  std::vector<std::thread> workers;
+  {
+    MutexLock lk(impl_->spawn_mu);
+    workers.swap(impl_->workers);
+  }
+  for (std::thread& t : workers) t.join();
   delete impl_;
 }
 
@@ -428,7 +438,7 @@ void TaskGroup::submit_owned(std::int64_t chunks,
       try {
         f(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(state_->mu);
+        MutexLock lk(state_->mu);
         if (!state_->error) state_->error = std::current_exception();
       }
     }

@@ -64,6 +64,9 @@ class BinaryTokenSegTask : public Task {
   PatchFn patcher_;
   std::function<data::SegSample(std::int64_t)> sampler_;
   float w_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
@@ -89,6 +92,9 @@ class BinaryImageSegTask : public Task {
   models::ImageSegModel& model_;
   std::function<data::SegSample(std::int64_t)> sampler_;
   float w_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
@@ -115,6 +121,9 @@ class MultiTokenSegTask : public Task {
   std::function<data::SegSample(std::int64_t)> sampler_;
   std::int64_t n_classes_;
   float w_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
@@ -140,6 +149,9 @@ class MultiImageSegTask : public Task {
   std::function<data::SegSample(std::int64_t)> sampler_;
   std::int64_t n_classes_;
   float w_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
@@ -163,6 +175,9 @@ class ImageClassificationTask : public Task {
 
   models::ImageClsModel& model_;
   std::function<data::ClsSample(std::int64_t)> sampler_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
@@ -186,6 +201,9 @@ class ClassificationTask : public Task {
   models::VitClassifier& model_;
   PatchFn patcher_;
   std::function<data::ClsSample(std::int64_t)> sampler_;
+  // determinism-ok(unordered): membership-only sample cache — looked up
+  // and inserted by index (find/emplace), never iterated, so hash order
+  // can never reach a target, gradient, or output.
   std::unordered_map<std::int64_t, Cached> cache_;
 };
 
