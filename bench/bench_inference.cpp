@@ -36,9 +36,9 @@
 #include "serve/server.h"
 #include "tensor/gemm.h"
 #include "tensor/gemm_backend.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 using namespace apf;
 
@@ -416,6 +416,13 @@ int main(int argc, char** argv) {
     json << "{\n"
          << "  \"resolution\": " << z << ",\n"
          << "  \"images\": " << images.size() << ",\n"
+         // Poison builds pay a header + stamp check per allocation; the
+         // flag lets bench_diff.py refuse to gate on such numbers.
+#ifdef APF_ARENA_POISON
+         << "  \"arena_poison\": true,\n"
+#else
+         << "  \"arena_poison\": false,\n"
+#endif
          << "  \"gemm_backend\": \"" << serial.stats.gemm_backend << "\",\n"
          << "  \"num_threads\": " << bench_threads << ",\n"
          << "  \"hardware_concurrency\": " << hw_threads << ",\n"

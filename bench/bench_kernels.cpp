@@ -6,13 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "img/filters.h"
 #include "quadtree/morton.h"
 #include "quadtree/quadtree.h"
 #include "tensor/ops.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 
 namespace {
 

@@ -10,7 +10,7 @@
 #include <string>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "models/token_encoder.h"
 #include "models/unetr.h"

@@ -8,7 +8,7 @@
 #include <cstdlib>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "models/unetr.h"
 #include "train/trainer.h"

@@ -9,9 +9,9 @@
 #include <cstdlib>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
-#include "core/visualize.h"
+#include "models/visualize.h"
 #include "img/pnm_io.h"
 #include "models/unetr.h"
 #include "train/trainer.h"

@@ -11,8 +11,8 @@
 #include <cstdlib>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
-#include "core/visualize.h"
+#include "models/patcher.h"
+#include "models/visualize.h"
 #include "data/synthetic.h"
 #include "img/pnm_io.h"
 #include "img/resize.h"

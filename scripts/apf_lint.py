@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""apf-lint entry point — see apflint/ for the framework and analyzers.
+
+    apf_lint.py [--root DIR] [--compile-commands PATH] [--analyzer NAME]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from apflint.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

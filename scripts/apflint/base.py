@@ -1,0 +1,198 @@
+"""Shared infrastructure for the apf-lint analyzers.
+
+Everything here is analyzer-agnostic: walking src/, blanking comments and
+string literals while preserving line structure, the in-line waiver-marker
+protocol, and compile_commands.json plumbing. Each analyzer module builds
+its rules on top and exposes
+
+    NAME                the analyzer name used by the CLI and markers
+    run(root, entries)  -> list[Violation]   (entries may be None)
+
+Waiver protocol (same shape for every analyzer): a finding on line N is
+suppressed by a justification comment on that line or within
+MARKER_WINDOW lines above it:
+
+    // <analyzer>-ok(<rule>): <one line saying why this is safe>
+
+The rule name must match the finding's rule and the justification must be
+non-trivial (>= MIN_JUSTIFICATION characters); a bare marker is itself a
+violation.
+"""
+
+import glob
+import os
+import re
+import shlex
+
+MARKER_WINDOW = 4  # lines above a finding searched for a marker
+MIN_JUSTIFICATION = 10
+
+SOURCE_SUFFIXES = (".h", ".hpp", ".cpp", ".cc")
+
+
+def make_marker_re(analyzer):
+    """Waiver-marker regex for an analyzer, e.g. determinism-ok(rule): why."""
+    return re.compile(
+        re.escape(analyzer) + r"-ok\((?P<rule>[a-z-]+)\):\s*(?P<why>.*\S)")
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __repr__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def sort_key(self):
+        return (self.path, self.line, self.rule)
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so rule regexes never fire on prose or quoted text.
+    (Markers are read from the RAW text — they live in comments.)"""
+    out = []
+    i, n = 0, len(text)
+    mode = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode is None:
+            if c == "/" and nxt == "/":
+                mode = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                mode = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif mode == "line":
+            if c == "\n":
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif mode == "block":
+            if c == "*" and nxt == "/":
+                mode = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        else:  # inside a string/char literal
+            if c == "\\" and i + 1 < n:
+                out.append("  ")
+                i += 2
+                continue
+            if c == mode:
+                mode = None
+                out.append(c)
+            elif c == "\n":  # unterminated (macro line etc.) — bail out
+                mode = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+    return "".join(out)
+
+
+def find_marker(raw_lines, lineno, rule, marker_re, analyzer):
+    """Marker for `rule` on raw line `lineno` (1-based) or up to
+    MARKER_WINDOW lines above. Returns (found, malformed_message)."""
+    lo = max(0, lineno - 1 - MARKER_WINDOW)
+    for raw in raw_lines[lo:lineno]:
+        m = marker_re.search(raw)
+        if not m:
+            continue
+        if m.group("rule") != rule:
+            continue
+        if len(m.group("why")) < MIN_JUSTIFICATION:
+            return False, ("%s-ok(%s) marker needs a real justification "
+                           "(>= %d chars)" %
+                           (analyzer, rule, MIN_JUSTIFICATION))
+        return True, None
+    return False, None
+
+
+def iter_source_files(root, subdir="src"):
+    """Yields (relpath, text) for every C++ source/header under subdir,
+    relpath /-separated and relative to root, in sorted order."""
+    pattern = os.path.join(root, subdir, "**", "*")
+    for path in sorted(glob.glob(pattern, recursive=True)):
+        if not path.endswith(SOURCE_SUFFIXES):
+            continue
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path, encoding="utf-8") as f:
+            yield relpath, f.read()
+
+
+class Checker:
+    """Per-file violation collector that applies the waiver protocol."""
+
+    def __init__(self, analyzer, relpath, text):
+        self.analyzer = analyzer
+        self.relpath = relpath
+        self.raw_lines = text.splitlines()
+        self.code = strip_comments_and_strings(text)
+        self.code_lines = self.code.splitlines()
+        self.marker_re = make_marker_re(analyzer)
+        self.violations = []
+
+    def check(self, lineno, rule, message):
+        """Records a finding unless a valid waiver marker covers it."""
+        ok, malformed = find_marker(self.raw_lines, lineno, rule,
+                                    self.marker_re, self.analyzer)
+        if ok:
+            return
+        self.violations.append(
+            Violation(self.relpath, lineno, rule, malformed or message))
+
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"(?P<path>[^"]+)"')
+_INCLUDE_HEAD_RE = re.compile(r'^\s*#\s*include\s*"')
+
+
+def quoted_includes(raw_lines, code_lines):
+    """(lineno, include_path) for every quoted #include. Paths must come
+    from the RAW lines (the stripper blanks string contents), but only
+    lines still include-shaped in the STRIPPED code count — that is what
+    rules out commented-out includes."""
+    out = []
+    for idx, code in enumerate(code_lines):
+        if not _INCLUDE_HEAD_RE.match(code):
+            continue
+        m = INCLUDE_RE.match(raw_lines[idx])
+        if m:
+            out.append((idx + 1, m.group("path")))
+    return out
+
+
+def entry_args(entry):
+    if "arguments" in entry:
+        return list(entry["arguments"])
+    return shlex.split(entry.get("command", ""))
+
+
+def entry_relpath(entry, root):
+    path = entry["file"]
+    if not os.path.isabs(path):
+        path = os.path.join(entry.get("directory", root), path)
+    try:
+        rel = os.path.relpath(os.path.realpath(path), os.path.realpath(root))
+    except ValueError:  # different drive (windows) — keep absolute
+        return path.replace(os.sep, "/")
+    return rel.replace(os.sep, "/")

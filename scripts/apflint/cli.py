@@ -1,0 +1,61 @@
+"""Command-line driver for the apf-lint analyzers.
+
+Usage (via scripts/apf_lint.py):
+
+    apf_lint.py [--root DIR] [--compile-commands PATH]
+                [--analyzer NAME ...]
+
+Runs every analyzer by default; --analyzer (repeatable) restricts to a
+subset: determinism, layering, lock-order, arena. Exits non-zero iff
+violations were found. Without --compile-commands the determinism flag
+rules are skipped with a notice (all source rules still run).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def main(argv=None):
+    from . import ANALYZERS
+
+    parser = argparse.ArgumentParser(
+        prog="apf_lint.py",
+        description="Run the repo's static analyzers (apf-lint).")
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of scripts/)")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the determinism "
+                             "flag rules")
+    parser.add_argument("--analyzer", action="append", default=None,
+                        choices=sorted(ANALYZERS), dest="analyzers",
+                        help="analyzer to run (repeatable; default: all)")
+    args = parser.parse_args(argv)
+
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+
+    entries = None
+    if args.compile_commands:
+        with open(args.compile_commands, encoding="utf-8") as f:
+            entries = json.load(f)
+
+    selected = args.analyzers or sorted(ANALYZERS)
+    if entries is None and "determinism" in selected:
+        print("apf-lint: no --compile-commands given — determinism flag "
+              "rules (fp-contract, fast-math, isa-gate) skipped",
+              file=sys.stderr)
+
+    violations = []
+    for name in selected:
+        violations.extend(ANALYZERS[name].run(root, entries))
+
+    for v in sorted(violations, key=lambda v: v.sort_key()):
+        print(v)
+    if violations:
+        print(f"apf-lint: {len(violations)} violation(s) "
+              f"({', '.join(selected)})", file=sys.stderr)
+        return 1
+    print(f"apf-lint: OK ({', '.join(selected)})")
+    return 0

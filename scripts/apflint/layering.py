@@ -1,0 +1,173 @@
+"""Layer-DAG analyzer (apf-lint: layering).
+
+Builds the quoted-#include graph of src/ and enforces the architecture's
+layer DAG. Layers are the first-level directories under src/, lowest
+first:
+
+    core -> img -> quadtree -> tensor -> nn -> {models, data} -> dist
+         -> {serve, train}
+
+A file in layer L may include its own layer and anything strictly below
+it in the table (ALLOWED_DEPS). quadtree -> img is an explicitly allowed
+within-level edge (quadtree reads img::Image); every other sideways or
+upward edge is a violation. models and data must not include each other,
+nor serve/train.
+
+Rules:
+
+  layer-dag      an #include edge not permitted by ALLOWED_DEPS.
+  include-cycle  a cycle in the file-level include graph (reported once
+                 per cycle, anchored at one participating include line).
+  header-guard   a header under src/ without #pragma once.
+
+Waivers: // layering-ok(<rule>): <why> on or just above the offending
+include line (see apflint.base). The committed tree carries none — new
+code should move, not waive.
+Fixture coverage: tests/test_lint_layering.py.
+"""
+
+import posixpath
+
+from . import base
+
+NAME = "layering"
+
+# layer -> layers it may include (its own layer is always allowed).
+# Keep in sync with the README "Static analysis" diagram.
+ALLOWED_DEPS = {
+    "core": frozenset(),
+    "img": frozenset({"core"}),
+    "quadtree": frozenset({"core", "img"}),
+    "tensor": frozenset({"core", "img", "quadtree"}),
+    "nn": frozenset({"core", "img", "quadtree", "tensor"}),
+    "models": frozenset({"core", "img", "quadtree", "tensor", "nn"}),
+    "data": frozenset({"core", "img", "quadtree", "tensor", "nn"}),
+    "dist": frozenset(
+        {"core", "img", "quadtree", "tensor", "nn", "models", "data"}),
+    "serve": frozenset({"core", "img", "quadtree", "tensor", "nn", "models",
+                        "data", "dist"}),
+    "train": frozenset({"core", "img", "quadtree", "tensor", "nn", "models",
+                        "data", "dist"}),
+}
+
+HEADER_SUFFIXES = (".h", ".hpp")
+
+
+def include_layer(include_path):
+    """Layer a quoted include resolves to, or None if it is not a src/
+    layer header (e.g. a third-party or test-local include)."""
+    head = include_path.split("/", 1)[0]
+    return head if head in ALLOWED_DEPS else None
+
+
+def _resolve(relpath, include_path):
+    """Resolves a quoted include to a src/-relative /-separated path.
+    Includes are rooted at src/ in this repo; "./foo.h" style relative
+    includes resolve against the including file's directory."""
+    if include_path.startswith("."):
+        base_dir = posixpath.dirname(relpath[len("src/"):])
+        return posixpath.normpath(posixpath.join(base_dir, include_path))
+    return posixpath.normpath(include_path)
+
+
+def scan_source_text(relpath, text):
+    """layer-dag + header-guard violations for one file, plus the file's
+    outgoing include edges for the cycle pass.
+    Returns (violations, edges) with edges = [(lineno, src_rel_include)]."""
+    checker = base.Checker(NAME, relpath, text)
+    parts = relpath.split("/")
+    layer = parts[1] if len(parts) > 2 and parts[0] == "src" else None
+
+    if relpath.endswith(HEADER_SUFFIXES) and relpath.startswith("src/"):
+        if "#pragma once" not in checker.code:
+            checker.check(1, "header-guard",
+                          "header without #pragma once (multiple inclusion "
+                          "breaks the one-definition rule)")
+
+    edges = []
+    for lineno, inc in base.quoted_includes(checker.raw_lines,
+                                            checker.code_lines):
+        resolved = _resolve(relpath, inc)
+        edges.append((lineno, resolved))
+        if layer is None or layer not in ALLOWED_DEPS:
+            continue
+        target = include_layer(resolved)
+        if target is None or target == layer:
+            continue
+        if target not in ALLOWED_DEPS[layer]:
+            checker.check(
+                lineno, "layer-dag",
+                f"{layer} -> {target} edge (#include \"{inc}\") violates the "
+                f"layer DAG; {layer} may only include "
+                f"{{{', '.join(sorted(ALLOWED_DEPS[layer]) + [layer])}}}")
+    return checker.violations, edges
+
+
+def find_cycles(graph):
+    """Cycles in a {node: [(lineno, dest), ...]} include graph. Returns
+    [(cycle_nodes, anchor_node, anchor_line)] with each cycle reported
+    once, anchored at the include edge leaving its lexically-smallest
+    node."""
+    cycles = []
+    seen_cycles = set()
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack = []
+
+    def visit(node):
+        color[node] = GRAY
+        stack.append(node)
+        for lineno, dest in graph.get(node, ()):
+            if dest not in graph:
+                continue  # non-src include
+            if color.get(dest, WHITE) == WHITE:
+                visit(dest)
+            elif color.get(dest) == GRAY:
+                cycle = stack[stack.index(dest):] + [dest]
+                key = frozenset(cycle)
+                if key not in seen_cycles:
+                    seen_cycles.add(key)
+                    anchor = min(cycle[:-1])
+                    # Anchor line: the edge leaving `anchor` inside the cycle.
+                    nxt = cycle[(cycle.index(anchor) + 1) % (len(cycle) - 1)]
+                    anchor_line = next(
+                        (ln for ln, d in graph[anchor] if d == nxt), 1)
+                    cycles.append((cycle, anchor, anchor_line))
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            visit(node)
+    return cycles
+
+
+def scan_sources(root):
+    violations = []
+    graph = {}       # src-relative path -> [(lineno, src-relative dest)]
+    raw_texts = {}   # src-relative path -> raw text (for cycle waivers)
+    for relpath, text in base.iter_source_files(root):
+        file_violations, edges = scan_source_text(relpath, text)
+        violations.extend(file_violations)
+        if relpath.startswith("src/"):
+            node = relpath[len("src/"):]
+            graph[node] = edges
+            raw_texts[node] = text
+
+    marker_re = base.make_marker_re(NAME)
+    for cycle, anchor, anchor_line in find_cycles(graph):
+        raw_lines = raw_texts[anchor].splitlines()
+        ok, malformed = base.find_marker(raw_lines, anchor_line,
+                                         "include-cycle", marker_re, NAME)
+        if ok:
+            continue
+        path = "src/" + anchor
+        violations.append(base.Violation(
+            path, anchor_line, "include-cycle",
+            malformed or ("include cycle: " + " -> ".join(cycle))))
+    return violations
+
+
+def run(root, entries=None):
+    del entries  # layering needs no compile_commands
+    return scan_sources(root)

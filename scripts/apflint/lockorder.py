@@ -1,0 +1,487 @@
+"""Lock-order analyzer (apf-lint: lock-order): static deadlock detection.
+
+Builds a lock-acquisition graph for the whole of src/ from the TSA shim
+vocabulary (core/thread_annotations.h) and fails on cycles:
+
+  * nodes are mutexes, identified as EnclosingClass::member (apf::Mutex
+    member declarations give each class its mutex roster; `Class::method`
+    definitions and inline methods resolve the enclosing class; object
+    expressions like `g_gate.mu` or `state->mu` use the object's declared
+    type when a parameter/local declaration reveals it, else the object
+    name — an approximation that can split one mutex into several nodes,
+    which only ever loses edges, never invents them);
+  * an edge A -> B is recorded whenever B is acquired while A is held.
+    Held sets come from `MutexLock var(expr)` ranges (brace-aware, ending
+    with the enclosing block, honoring `var.unlock()` / `var.lock()`
+    toggles), from APF_REQUIRES(...) on the signature (declared in a
+    header, the requirement follows the method to its out-of-line
+    definition), and from non-empty APF_ACQUIRE(expr) annotations;
+  * one level of interprocedural resolution: a call made while holding A
+    to a function that is defined exactly once in src/ and itself
+    acquires B adds A -> B. Ambiguous names (e.g. two classes with a
+    `push`) are skipped — a missed edge, never a false one. Lambda
+    bodies get a fresh held set (they usually run on another thread).
+
+Rules:
+
+  lock-order-cycle  a cycle in the acquisition graph (potential
+                    deadlock), reported once per cycle at its
+                    lexically-first edge, full path in the message.
+  lock-recursion    a mutex acquired while already held (self-deadlock
+                    on these non-recursive mutexes).
+
+Waivers: // lock-order-ok(<rule>): <why> at the anchoring acquisition
+(see apflint.base). Fixture coverage: tests/test_lint_lockorder.py.
+"""
+
+import re
+
+from . import base
+
+NAME = "lock-order"
+
+CLASS_RE = re.compile(
+    r"(?:^|\s)(?:class|struct)\s+(?:APF_\w+\s*(?:\([^)]*\))?\s*)*"
+    r"(?P<name>[\w:]+)\s*(?::[^:]|$)?")
+LAMBDA_TAIL_RE = re.compile(
+    r"\[[^\]]*\]\s*(?:\([^)]*\))?\s*(?:mutable\b|noexcept\b|->\s*[\w:<>&*]+"
+    r"|APF_\w+\s*(?:\([^)]*\))?|\s)*$")
+FUNC_NAME_RE = re.compile(r"(?P<qual>[\w:~<>]+)\s*\(")
+MUTEX_MEMBER_RE = re.compile(
+    r"(?:^|\s)(?:mutable\s+)?Mutex\s+(?P<name>\w+)\s*$")
+MUTEXLOCK_RE = re.compile(
+    r"\bMutexLock\s+(?P<var>\w+)\s*[({]\s*(?P<expr>[^;)}]+?)\s*[)}]\s*$")
+REQUIRES_RE = re.compile(r"APF_REQUIRES\s*\(\s*(?P<exprs>[^)]+?)\s*\)")
+ACQUIRE_RE = re.compile(r"APF_ACQUIRE\s*\(\s*(?P<exprs>[^)]+?)\s*\)")
+TOGGLE_RE = re.compile(r"^(?P<var>\w+)\s*\.\s*(?P<op>lock|unlock)\s*\(\s*\)$")
+TYPED_DECL_RE = re.compile(r"(?P<type>[A-Z]\w*)\s*[&*]\s*(?P<var>\w+)\b")
+CALL_RE = re.compile(r"(?P<name>\w+)\s*\(")
+
+CONTROL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "co_await",
+    "throw", "new", "delete", "assert", "static_cast", "const_cast",
+    "reinterpret_cast", "dynamic_cast", "decltype", "alignof", "defined",
+})
+# The annotation shims themselves: their lock()/ctor bodies are the
+# acquisition PRIMITIVES, not call-graph edges.
+SHIM_CLASSES = frozenset({"Mutex", "MutexLock", "CondVar"})
+
+
+class _Scope:
+    def __init__(self, kind, name=None):
+        self.kind = kind  # 'class' | 'func' | 'lambda' | 'block' | 'ns'
+        self.name = name
+        self.locks = []   # [dict(var, mutex, active)] declared in this scope
+
+
+class _Func:
+    def __init__(self, qualname, class_stack):
+        self.qualname = qualname                 # as written, e.g. A::run
+        self.name = qualname.split("::")[-1]
+        self.class_stack = list(class_stack)     # enclosing class scopes
+        self.var_types = {}                      # var -> Type (params/locals)
+        self.acquisitions = []                   # [(mutex_id, line, held)]
+        self.calls = []                          # [(callee, line, held)]
+
+
+class FileModel:
+    def __init__(self, relpath, text):
+        self.relpath = relpath
+        self.raw_lines = text.splitlines()
+        self.mutex_members = {}   # class -> set(member names)
+        self.requires = {}        # (class, method) -> [exprs]
+        self.functions = []       # [_Func]
+
+
+def _pending_class(pending):
+    m = CLASS_RE.search(pending)
+    if not m:
+        return None
+    if re.search(r"\benum\s+(class|struct)\b", pending):
+        return None
+    return m.group("name").split("::")[-1]
+
+
+def _pending_func(pending):
+    """Function-definition qualname from the text before its `{`, or
+    None. Strips a ctor init list and trailing qualifiers first."""
+    sig = pending.split(" : ")[0] if ") : " in pending else pending
+    head = sig.split("(")[0]
+    m = None
+    for m in FUNC_NAME_RE.finditer(sig):
+        break  # first identifier( — the function name in a definition
+    if m is None:
+        return None
+    qual = m.group("qual").strip(":")
+    last = qual.split("::")[-1].lstrip("~")
+    if not last or last.split("<")[0] in CONTROL_KEYWORDS:
+        return None
+    if "=" in head:  # assignment, not a definition
+        return None
+    return qual
+
+
+class _Parser:
+    """Brace-aware single-file parse. Statement text accumulates until
+    `;` (processed: MutexLock decls, lock toggles, calls) or `{`
+    (classified: class / function / lambda / block scope)."""
+
+    def __init__(self, model, global_members, requires_map):
+        self.model = model
+        self.global_members = global_members  # class -> set(mutex members)
+        self.requires_map = requires_map      # (class, method) -> [exprs]
+        self.scopes = []
+        self.pending = []
+        self.line = 1
+        self.func = None
+
+    # -- identity ---------------------------------------------------------
+
+    def class_stack(self):
+        return [s.name for s in self.scopes if s.kind == "class"]
+
+    def current_classes(self):
+        """Candidate enclosing classes, innermost first: lexical class
+        scopes, then the qualifier of an out-of-line definition."""
+        out = list(reversed(self.class_stack()))
+        if self.func and "::" in self.func.qualname:
+            out.append(self.func.qualname.split("::")[-2])
+        return out
+
+    def mutex_id(self, expr):
+        expr = expr.strip().lstrip("&*").strip()
+        parts = re.split(r"->|\.", expr)
+        member = parts[-1].strip().split("[")[0]
+        if len(parts) == 1:
+            if "::" in member:  # already qualified
+                return member
+            for cls in self.current_classes():
+                if member in self.global_members.get(cls, ()):
+                    return f"{cls}::{member}"
+            owners = [c for c, ms in self.global_members.items()
+                      if member in ms]
+            if len(owners) == 1:
+                return f"{owners[0]}::{member}"
+            return member
+        owner_tok = re.findall(r"\w+", parts[-2])
+        owner = owner_tok[-1] if owner_tok else parts[-2].strip()
+        if self.func and owner in self.func.var_types:
+            owner = self.func.var_types[owner]
+        return f"{owner}::{member}"
+
+    # -- held-set tracking ------------------------------------------------
+
+    def func_boundary(self):
+        """Index in self.scopes of the innermost func/lambda scope."""
+        for i in range(len(self.scopes) - 1, -1, -1):
+            if self.scopes[i].kind in ("func", "lambda"):
+                return i
+        return None
+
+    def held(self):
+        lo = self.func_boundary()
+        if lo is None:
+            return []
+        out = []
+        for scope in self.scopes[lo:]:
+            out.extend(l["mutex"] for l in scope.locks if l["active"])
+        return out
+
+    def find_lock(self, var):
+        lo = self.func_boundary()
+        if lo is None:
+            return None
+        for scope in reversed(self.scopes[lo:]):
+            for lock in reversed(scope.locks):
+                if lock["var"] == var:
+                    return lock
+        return None
+
+    def acquire(self, mutex_id, var=None):
+        if self.func is not None:
+            self.func.acquisitions.append((mutex_id, self.line, self.held()))
+        self.scopes[-1].locks.append(
+            {"var": var or f"<anon{self.line}>", "mutex": mutex_id,
+             "active": True})
+
+    # -- statement / scope handling ---------------------------------------
+
+    def flush_statement(self):
+        stmt = "".join(self.pending).strip()
+        self.pending = []
+        if not stmt or self.func is None:
+            return
+        m = MUTEXLOCK_RE.search(stmt)
+        if m:
+            self.acquire(self.mutex_id(m.group("expr")), m.group("var"))
+            return
+        m = TOGGLE_RE.match(stmt)
+        if m:
+            lock = self.find_lock(m.group("var"))
+            if lock is not None:
+                if m.group("op") == "unlock":
+                    lock["active"] = False
+                else:
+                    if lock["active"]:  # .lock() on a held MutexLock
+                        self.func.acquisitions.append(
+                            (lock["mutex"], self.line, self.held()))
+                    else:
+                        lock["active"] = True
+                        self.func.acquisitions.append(
+                            (lock["mutex"], self.line, self.held()[:-1]))
+                return
+        for dm in TYPED_DECL_RE.finditer(stmt):
+            self.func.var_types.setdefault(dm.group("var"), dm.group("type"))
+        if self.held():
+            for cm in CALL_RE.finditer(stmt):
+                callee = cm.group("name")
+                if callee in CONTROL_KEYWORDS or callee == "MutexLock":
+                    continue
+                self.func.calls.append((callee, self.line, self.held()))
+
+    def open_scope(self):
+        pending = "".join(self.pending).strip()
+        self.pending = []
+        cls = _pending_class(pending)
+        if cls is not None:
+            self.scopes.append(_Scope("class", cls))
+            self.model.mutex_members.setdefault(cls, set())
+            return
+        if LAMBDA_TAIL_RE.search(pending):
+            self.scopes.append(_Scope("lambda"))
+            return
+        if pending.startswith("namespace") or pending == "extern":
+            self.scopes.append(_Scope("ns"))
+            return
+        qual = _pending_func(pending) if self.func_boundary() is None else None
+        if qual is not None:
+            self.scopes.append(_Scope("func", qual))
+            self.func = _Func(qual, self.class_stack())
+            for dm in TYPED_DECL_RE.finditer(pending):
+                self.func.var_types.setdefault(dm.group("var"),
+                                               dm.group("type"))
+            # Required-at-entry mutexes: inline annotation, or the one
+            # declared with the method in its header.
+            exprs = []
+            for rm in REQUIRES_RE.finditer(pending):
+                exprs.extend(e.strip() for e in
+                             rm.group("exprs").split(","))
+            if not exprs:
+                for cls in self.current_classes():
+                    exprs = self.requires_map.get((cls, self.func.name), [])
+                    if exprs:
+                        break
+            for expr in exprs:
+                self.acquire(self.mutex_id(expr))
+            for am in ACQUIRE_RE.finditer(pending):
+                for expr in am.group("exprs").split(","):
+                    if expr.strip():
+                        self.acquire(self.mutex_id(expr.strip()))
+            return
+        self.scopes.append(_Scope("block"))
+
+    def close_scope(self):
+        self.pending = []
+        if not self.scopes:
+            return
+        scope = self.scopes.pop()
+        if scope.kind == "func":
+            self.model.functions.append(self.func)
+            self.func = None
+        elif scope.kind == "lambda":
+            pass
+
+    def declaration_scan(self, stmt_line, stmt):
+        """Class-body declarations: mutex members and APF_REQUIRES on
+        method declarations (no body in this file)."""
+        del stmt_line
+        classes = self.class_stack()
+        if not classes:
+            return
+        cls = classes[-1]
+        m = MUTEX_MEMBER_RE.search(stmt)
+        if m:
+            self.model.mutex_members[cls].add(m.group("name"))
+        rm = REQUIRES_RE.search(stmt)
+        fm = FUNC_NAME_RE.search(stmt)
+        if rm and fm:
+            method = fm.group("qual").split("::")[-1]
+            exprs = [e.strip() for e in rm.group("exprs").split(",")]
+            self.model.requires.setdefault((cls, method), exprs)
+
+    def feed(self, code_lines):
+        in_macro = False
+        for idx, raw in enumerate(code_lines):
+            self.line = idx + 1
+            stripped = raw.lstrip()
+            if in_macro or stripped.startswith("#"):
+                in_macro = raw.rstrip().endswith("\\")
+                continue
+            for c in raw:
+                if c == "{":
+                    if self.func is None and self.class_stack():
+                        self.declaration_scan(self.line,
+                                              "".join(self.pending))
+                    self.open_scope()
+                elif c == "}":
+                    if self.func is None and self.class_stack():
+                        self.declaration_scan(self.line,
+                                              "".join(self.pending))
+                    self.close_scope()
+                elif c == ";":
+                    if self.func is None and self.class_stack():
+                        self.declaration_scan(self.line,
+                                              "".join(self.pending))
+                        self.pending = []
+                    else:
+                        self.flush_statement()
+                else:
+                    self.pending.append(c)
+            self.pending.append("\n")
+
+
+def parse_file(relpath, text, global_members=None, requires_map=None):
+    model = FileModel(relpath, text)
+    parser = _Parser(model, global_members or model.mutex_members,
+                     requires_map or {})
+    parser.feed(base.strip_comments_and_strings(text).splitlines())
+    return model
+
+
+class Edge:
+    def __init__(self, src, dst, path, line, via):
+        self.src = src
+        self.dst = dst
+        self.path = path
+        self.line = line
+        self.via = via
+
+
+def build_graph(models):
+    """Edges from every function's acquisitions plus one interprocedural
+    level (unambiguously-named callees only)."""
+    func_defs = {}      # name -> count of definitions
+    func_acquires = {}  # name -> [(mutex_id, relpath, line)]
+    for model in models:
+        for fn in model.functions:
+            if fn.class_stack and fn.class_stack[-1] in SHIM_CLASSES:
+                continue
+            func_defs[fn.name] = func_defs.get(fn.name, 0) + 1
+            for mutex_id, line, _held in fn.acquisitions:
+                func_acquires.setdefault(fn.name, []).append(
+                    (mutex_id, model.relpath, line))
+
+    edges = []
+    for model in models:
+        for fn in model.functions:
+            for mutex_id, line, held in fn.acquisitions:
+                for h in held:
+                    edges.append(Edge(h, mutex_id, model.relpath, line,
+                                      f"in {fn.qualname}"))
+            for callee, line, held in fn.calls:
+                if func_defs.get(callee, 0) != 1:
+                    continue  # unknown or ambiguous — skip, never guess
+                for mutex_id, cpath, cline in func_acquires.get(callee, []):
+                    for h in held:
+                        if mutex_id == h:
+                            continue  # re-entry through a wrapper is
+                                      # reported at the direct site
+                        edges.append(Edge(
+                            h, mutex_id, model.relpath, line,
+                            f"in {fn.qualname} via {callee}() "
+                            f"({cpath}:{cline})"))
+    return edges
+
+
+def find_cycles(edges):
+    """Cycles in the mutex graph; one representative per node set,
+    anchored at the cycle's lexically-first edge."""
+    adj = {}
+    for e in edges:
+        adj.setdefault(e.src, []).append(e)
+        adj.setdefault(e.dst, adj.get(e.dst, []))
+    cycles = []
+    seen = set()
+    state = {n: 0 for n in adj}
+    stack = []
+
+    def visit(node):
+        state[node] = 1
+        stack.append(node)
+        for e in adj.get(node, ()):
+            if state.get(e.dst, 0) == 0:
+                visit(e.dst)
+            elif state.get(e.dst) == 1:
+                nodes = stack[stack.index(e.dst):]
+                key = frozenset(nodes)
+                if key not in seen:
+                    seen.add(key)
+                    ring = nodes + [e.dst]
+                    ring_edges = []
+                    for a, b in zip(ring, ring[1:]):
+                        cand = [x for x in edges
+                                if x.src == a and x.dst == b]
+                        ring_edges.append(
+                            min(cand, key=lambda x: (x.path, x.line)))
+                    cycles.append(ring_edges)
+        stack.pop()
+        state[node] = 2
+
+    for node in sorted(adj):
+        if state[node] == 0:
+            visit(node)
+    return cycles
+
+
+def scan_models(models):
+    violations = []
+    raw = {m.relpath: m.raw_lines for m in models}
+    marker_re = base.make_marker_re(NAME)
+
+    def emit(path, line, rule, message):
+        ok, malformed = base.find_marker(raw[path], line, rule, marker_re,
+                                         NAME)
+        if ok:
+            return
+        violations.append(base.Violation(path, line, rule,
+                                         malformed or message))
+
+    edges = build_graph(models)
+    for e in edges:
+        if e.src == e.dst:
+            emit(e.path, e.line, "lock-recursion",
+                 f"{e.dst} acquired while already held ({e.via}): "
+                 "self-deadlock on a non-recursive mutex")
+    for ring_edges in find_cycles([e for e in edges if e.src != e.dst]):
+        anchor = min(ring_edges, key=lambda e: (e.path, e.line))
+        path = " -> ".join([ring_edges[0].src] +
+                           [e.dst for e in ring_edges])
+        sites = "; ".join(f"{e.src}->{e.dst} at {e.path}:{e.line} {e.via}"
+                          for e in ring_edges)
+        emit(anchor.path, anchor.line, "lock-order-cycle",
+             f"lock-order cycle {path} (potential deadlock): {sites}")
+    return violations
+
+
+def scan_sources(root, files=None):
+    """files: optional [(relpath, text)] override for fixtures."""
+    if files is None:
+        files = list(base.iter_source_files(root))
+    # Pass 1: mutex rosters + header-declared REQUIRES, so pass 2 can
+    # resolve identities and entry-held sets regardless of file order.
+    members = {}
+    requires = {}
+    for relpath, text in files:
+        model = parse_file(relpath, text)
+        for cls, names in model.mutex_members.items():
+            members.setdefault(cls, set()).update(names)
+        for key, exprs in model.requires.items():
+            requires.setdefault(key, exprs)
+    models = [parse_file(relpath, text, members, requires)
+              for relpath, text in files]
+    return scan_models(models)
+
+
+def run(root, entries=None):
+    del entries  # lock-order needs no compile_commands
+    return scan_sources(root)

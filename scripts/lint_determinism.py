@@ -1,337 +1,62 @@
 #!/usr/bin/env python3
-"""Bitwise-determinism contract linter.
+"""Bitwise-determinism contract linter — back-compat shim.
 
-The repo promises bitwise-identical outputs across gemm backends, thread
-counts, and request arrival orders (see README "Determinism contract").
-Most of that contract lives in prose and code review; this linter makes
-the mechanically checkable parts fail the build instead:
+The implementation moved into the apf-lint framework; this entry point
+keeps the original CLI (and the module surface the fixture tests import)
+while running exactly the determinism analyzer:
 
-Flag rules (need compile_commands.json, produced by
-CMAKE_EXPORT_COMPILE_COMMANDS):
-
-  fp-contract   every gemm kernel TU (src/tensor/gemm*.cpp) must be built
-                with -ffp-contract=off — an FMA contracted into a kernel
-                changes the rounding of every accumulation.
-  fast-math     no TU anywhere may carry -ffast-math or any of its
-                value-changing constituents (-Ofast, -funsafe-math-
-                optimizations, -fassociative-math, -freciprocal-math,
-                -ffinite-math-only).
-  isa-gate      TUs built with ISA extensions beyond the baseline
-                (-mavx2 / -mfma / -mavx512* / -march=...) must be on the
-                ISA_GATED_TUS allowlist: kernels reachable only through
-                the cpuid-gated backend registry (gemm_backend.cpp), so a
-                binary never executes instructions the host lacks and the
-                reference path stays the portable default.
-
-Source rules (scan src/**/*.{h,cpp}; no build needed):
-
-  rng           no C-library / OS randomness: rand(), srand(),
-                std::random_device. All randomness flows through the
-                seeded apf::Rng.
-  wallclock     no wall-clock in compute paths: time(), clock(),
-                gettimeofday(). std::chrono::steady_clock for intervals
-                is fine (different token, never matches).
-  accumulate    std::accumulate / std::reduce over floats depends on
-                evaluation order; only integral-init uses (e.g.
-                std::int64_t{0}) pass unannotated.
-  unordered     any std::unordered_map / std::unordered_set needs an
-                inline justification that hash-iteration order cannot
-                reach an output (iterating one writes host-hash-seed-
-                dependent data). Membership-only uses are fine — say so.
-
-Whitelisting: a finding is suppressed by a justification comment on the
-flagged line or within the {MARKER_WINDOW} lines above it:
-
-    // determinism-ok(<rule>): <one line saying why this is safe>
-
-The rule name must match and the justification must be non-trivial
-(>= {MIN_JUSTIFICATION} characters); bare markers are themselves a
-violation. Fixture coverage: tests/test_lint_determinism.py.
-
-Usage:
     lint_determinism.py [--root DIR] [--compile-commands PATH]
 
-Exits non-zero iff violations were found. Without --compile-commands the
-flag rules are skipped with a notice (source rules still run).
+is equivalent to
+
+    apf_lint.py --analyzer determinism [--root DIR] [--compile-commands P]
+
+See apflint/determinism.py for the rules and apflint/base.py for the
+shared scanning/waiver infrastructure.
 """
 
-import argparse
-import glob
-import json
 import os
-import re
-import shlex
 import sys
 
-# TUs allowed to carry ISA flags beyond the baseline: the runtime-gated
-# kernels behind the backend registry. Paths are /-separated and relative
-# to the repo root.
-ISA_GATED_TUS = frozenset({
-    "src/tensor/gemm_avx2.cpp",
-    "src/tensor/gemm_fma.cpp",
-})
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-# Every TU matching this prefix/suffix is a gemm kernel TU and must pin
-# -ffp-contract=off.
-GEMM_TU_PREFIX = "src/tensor/gemm"
-GEMM_TU_SUFFIX = ".cpp"
+from apflint import base as _base  # noqa: E402
+from apflint import determinism as _det  # noqa: E402
+from apflint.cli import main as _cli_main  # noqa: E402
 
-FAST_MATH_FLAGS = (
-    "-ffast-math",
-    "-Ofast",
-    "-funsafe-math-optimizations",
-    "-fassociative-math",
-    "-freciprocal-math",
-    "-ffinite-math-only",
-)
+# Re-exported surface (fixture tests and external callers).
+MARKER_WINDOW = _base.MARKER_WINDOW
+MIN_JUSTIFICATION = _base.MIN_JUSTIFICATION
+Violation = _base.Violation
+strip_comments_and_strings = _base.strip_comments_and_strings
+entry_args = _base.entry_args
+entry_relpath = _base.entry_relpath
 
-ISA_FLAG_RE = re.compile(r"^-m(avx2|fma|avx512\w*)$|^-march=")
-
-MARKER_WINDOW = 4  # lines above a finding searched for a marker
-MIN_JUSTIFICATION = 10
-MARKER_RE = re.compile(r"determinism-ok\((?P<rule>[a-z-]+)\):\s*(?P<why>.*\S)")
-
-# A call-ish token not preceded by an identifier char, scope/member access,
-# or template close — so `rand(` and `time(` hit, while `Tensor::rand(`,
-# `t.count(`, `steady_clock` and declarations-qualified names do not.
-def _call_re(name):
-    return re.compile(r"(?<![\w:.>])" + name + r"\s*\(")
-
-RNG_PATTERNS = [
-    (_call_re("rand"), "rand() (seed the shared apf::Rng instead)"),
-    (_call_re("srand"), "srand() (seed the shared apf::Rng instead)"),
-    (re.compile(r"std::random_device"),
-     "std::random_device (host entropy; seed apf::Rng explicitly)"),
-]
-
-WALLCLOCK_PATTERNS = [
-    (_call_re("time"), "time() (wall clock in a compute path)"),
-    (_call_re("clock"), "clock() (wall clock in a compute path)"),
-    (_call_re("gettimeofday"), "gettimeofday() (wall clock in a compute path)"),
-]
-
-ACCUMULATE_RE = re.compile(r"std::(accumulate|reduce)\s*[<(]")
-INTEGRAL_INIT_RE = re.compile(
-    r"(?:u?int\d*_t|size_t|ptrdiff_t|unsigned|long|short|int|char)\s*\{")
-
-UNORDERED_RE = re.compile(r"std::unordered_(map|set)\b")
-
-
-class Violation:
-    def __init__(self, path, line, rule, message):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.message = message
-
-    def __repr__(self):
-        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving line
-    structure, so rule regexes never fire on prose or quoted text.
-    (Markers are read from the RAW text — they live in comments.)"""
-    out = []
-    i, n = 0, len(text)
-    mode = None  # None | 'line' | 'block' | '"' | "'"
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if mode is None:
-            if c == "/" and nxt == "/":
-                mode = "line"
-                out.append("  ")
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                mode = "block"
-                out.append("  ")
-                i += 2
-                continue
-            if c in "\"'":
-                mode = c
-                out.append(c)
-                i += 1
-                continue
-            out.append(c)
-            i += 1
-        elif mode == "line":
-            if c == "\n":
-                mode = None
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-        elif mode == "block":
-            if c == "*" and nxt == "/":
-                mode = None
-                out.append("  ")
-                i += 2
-                continue
-            out.append(c if c == "\n" else " ")
-            i += 1
-        else:  # inside a string/char literal
-            if c == "\\" and i + 1 < n:
-                out.append("  ")
-                i += 2
-                continue
-            if c == mode:
-                mode = None
-                out.append(c)
-            elif c == "\n":  # unterminated (macro line etc.) — bail out
-                mode = None
-                out.append(c)
-            else:
-                out.append(" ")
-            i += 1
-    return "".join(out)
+MARKER_RE = _det.MARKER_RE
+ISA_GATED_TUS = _det.ISA_GATED_TUS
+GEMM_TU_PREFIX = _det.GEMM_TU_PREFIX
+GEMM_TU_SUFFIX = _det.GEMM_TU_SUFFIX
+FAST_MATH_FLAGS = _det.FAST_MATH_FLAGS
+ISA_FLAG_RE = _det.ISA_FLAG_RE
+RNG_PATTERNS = _det.RNG_PATTERNS
+WALLCLOCK_PATTERNS = _det.WALLCLOCK_PATTERNS
+ACCUMULATE_RE = _det.ACCUMULATE_RE
+INTEGRAL_INIT_RE = _det.INTEGRAL_INIT_RE
+UNORDERED_RE = _det.UNORDERED_RE
+scan_source_text = _det.scan_source_text
+scan_sources = _det.scan_sources
+check_compile_commands = _det.check_compile_commands
 
 
 def find_marker(raw_lines, lineno, rule):
-    """Marker for `rule` on raw line `lineno` (1-based) or up to
-    MARKER_WINDOW lines above. Returns (found, malformed_message)."""
-    lo = max(0, lineno - 1 - MARKER_WINDOW)
-    for raw in raw_lines[lo:lineno]:
-        m = MARKER_RE.search(raw)
-        if not m:
-            continue
-        if m.group("rule") != rule:
-            continue
-        if len(m.group("why")) < MIN_JUSTIFICATION:
-            return False, ("determinism-ok(%s) marker needs a real "
-                           "justification (>= %d chars)" %
-                           (rule, MIN_JUSTIFICATION))
-        return True, None
-    return False, None
-
-
-def scan_source_text(relpath, text):
-    """All source-rule violations for one file."""
-    violations = []
-    raw_lines = text.splitlines()
-    code_lines = strip_comments_and_strings(text).splitlines()
-
-    def check(lineno, rule, message):
-        ok, malformed = find_marker(raw_lines, lineno, rule)
-        if ok:
-            return
-        violations.append(
-            Violation(relpath, lineno, rule, malformed or message))
-
-    for idx, code in enumerate(code_lines):
-        lineno = idx + 1
-        stripped = code.lstrip()
-        if stripped.startswith("#"):  # includes / macros
-            continue
-        for pat, what in RNG_PATTERNS:
-            if pat.search(code):
-                check(lineno, "rng", "non-deterministic source: " + what)
-        for pat, what in WALLCLOCK_PATTERNS:
-            if pat.search(code):
-                check(lineno, "wallclock", what)
-        if ACCUMULATE_RE.search(code) and not INTEGRAL_INIT_RE.search(code):
-            check(lineno, "accumulate",
-                  "std::accumulate/std::reduce without an integral init: "
-                  "float reduction order is unspecified")
-        if UNORDERED_RE.search(code):
-            check(lineno, "unordered",
-                  "std::unordered_{map,set} without a justification that "
-                  "hash order cannot reach an output")
-    return violations
-
-
-def scan_sources(root):
-    violations = []
-    pattern = os.path.join(root, "src", "**", "*")
-    for path in sorted(glob.glob(pattern, recursive=True)):
-        if not path.endswith((".h", ".hpp", ".cpp", ".cc")):
-            continue
-        relpath = os.path.relpath(path, root).replace(os.sep, "/")
-        with open(path, encoding="utf-8") as f:
-            violations.extend(scan_source_text(relpath, f.read()))
-    return violations
-
-
-def entry_args(entry):
-    if "arguments" in entry:
-        return list(entry["arguments"])
-    return shlex.split(entry.get("command", ""))
-
-
-def entry_relpath(entry, root):
-    path = entry["file"]
-    if not os.path.isabs(path):
-        path = os.path.join(entry.get("directory", root), path)
-    try:
-        rel = os.path.relpath(os.path.realpath(path), os.path.realpath(root))
-    except ValueError:  # different drive (windows) — keep absolute
-        return path.replace(os.sep, "/")
-    return rel.replace(os.sep, "/")
-
-
-def check_compile_commands(entries, root):
-    violations = []
-    for entry in entries:
-        rel = entry_relpath(entry, root)
-        args = entry_args(entry)
-        # fast-math: nowhere, not even tests or benches.
-        for flag in args:
-            base = flag.split("=")[0] if flag.startswith("-ffp-") else flag
-            if base in FAST_MATH_FLAGS:
-                violations.append(Violation(
-                    rel, 0, "fast-math",
-                    f"built with {flag}: value-changing FP optimization "
-                    "breaks the bitwise contract"))
-        # Remaining flag rules only constrain the library's own TUs.
-        if not rel.startswith("src/"):
-            continue
-        if rel.startswith(GEMM_TU_PREFIX) and rel.endswith(GEMM_TU_SUFFIX):
-            if "-ffp-contract=off" not in args:
-                violations.append(Violation(
-                    rel, 0, "fp-contract",
-                    "gemm kernel TU built without -ffp-contract=off "
-                    "(contracted FMAs change accumulation rounding)"))
-        isa = [a for a in args if ISA_FLAG_RE.match(a)]
-        if isa and rel not in ISA_GATED_TUS:
-            violations.append(Violation(
-                rel, 0, "isa-gate",
-                f"built with {' '.join(isa)} but not on the cpuid-gated "
-                "backend allowlist (ISA_GATED_TUS); non-gated TUs must "
-                "stay on the baseline ISA"))
-    return violations
+    """Original signature: determinism markers only."""
+    return _base.find_marker(raw_lines, lineno, rule, MARKER_RE, _det.NAME)
 
 
 def main(argv=None):
-    parser = argparse.ArgumentParser(
-        description="Check the repo's bitwise-determinism contracts.")
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: parent of this script)")
-    parser.add_argument("--compile-commands", default=None,
-                        help="compile_commands.json for the flag rules")
-    args = parser.parse_args(argv)
-
-    root = args.root or os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__)))
-
-    violations = scan_sources(root)
-    if args.compile_commands:
-        with open(args.compile_commands, encoding="utf-8") as f:
-            entries = json.load(f)
-        violations.extend(check_compile_commands(entries, root))
-    else:
-        print("lint_determinism: no --compile-commands given — flag rules "
-              "(fp-contract, fast-math, isa-gate) skipped", file=sys.stderr)
-
-    for v in sorted(violations, key=lambda v: (v.path, v.line, v.rule)):
-        print(v)
-    if violations:
-        print(f"lint_determinism: {len(violations)} violation(s)",
-              file=sys.stderr)
-        return 1
-    checked = "source + flag rules" if args.compile_commands else "source rules"
-    print(f"lint_determinism: OK ({checked})")
-    return 0
+    if argv is None:
+        argv = sys.argv[1:]
+    return _cli_main(["--analyzer", "determinism"] + list(argv))
 
 
 if __name__ == "__main__":

@@ -4,20 +4,24 @@
 # must keep green.
 #
 #   ./scripts/verify.sh            tier-1 build + tests
-#   ./scripts/verify.sh --static   the static-analysis gate: determinism
-#                                  linter (+ its fixture suite) always;
-#                                  clang -Wthread-safety build and
-#                                  clang-tidy when clang is installed
-#                                  (skipped with a notice otherwise, so
-#                                  the mode degrades instead of lying).
+#   ./scripts/verify.sh --static   the static-analysis gate: apf-lint
+#                                  (determinism + layering + lock-order
+#                                  + arena analyzers, with their fixture
+#                                  suites) always; clang -Wthread-safety
+#                                  build, clang-tidy, ruff/flake8 and
+#                                  shellcheck when installed (skipped
+#                                  with a notice otherwise, so the mode
+#                                  degrades instead of lying).
 set -euo pipefail
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 1
 
 if [[ "${1:-}" == "--static" ]]; then
-  echo "== determinism linter: fixture suite =="
-  python3 tests/test_lint_determinism.py
+  echo "== apf-lint: fixture suites =="
+  for suite in determinism layering lockorder arena; do
+    python3 "tests/test_lint_${suite}.py"
+  done
 
-  echo "== determinism linter: committed tree =="
+  echo "== apf-lint: committed tree =="
   if command -v clang++ >/dev/null 2>&1; then
     # Full clang leg: thread-safety analysis over the annotated
     # concurrency core, then lint against clang's compile commands.
@@ -33,7 +37,7 @@ if [[ "${1:-}" == "--static" ]]; then
     cmake -B build-static -S . \
       -DAPF_BUILD_TESTS=OFF -DAPF_BUILD_EXAMPLES=OFF -DAPF_BUILD_BENCH=OFF
   fi
-  python3 scripts/lint_determinism.py --root . \
+  python3 scripts/apf_lint.py --root . \
     --compile-commands build-static/compile_commands.json
 
   echo "== clang-tidy (src/) =="
@@ -44,6 +48,24 @@ if [[ "${1:-}" == "--static" ]]; then
       xargs -0 -n 1 -P "$(nproc)" clang-tidy -p build-static --quiet
   else
     echo "-- clang-tidy not found: skipped (runs in the CI" \
+         "static-analysis job)"
+  fi
+
+  echo "== python lint (scripts/, tests/*.py) =="
+  if command -v ruff >/dev/null 2>&1; then
+    ruff check scripts tests
+  elif command -v flake8 >/dev/null 2>&1; then
+    flake8 scripts tests
+  else
+    echo "-- ruff/flake8 not found: skipped (runs in the CI" \
+         "static-analysis job)"
+  fi
+
+  echo "== shellcheck (scripts/*.sh) =="
+  if command -v shellcheck >/dev/null 2>&1; then
+    shellcheck scripts/*.sh
+  else
+    echo "-- shellcheck not found: skipped (runs in the CI" \
          "static-analysis job)"
   fi
   echo "verify --static: done"

@@ -4,14 +4,14 @@
 // Every data-parallel loop in the library goes through parallel_for /
 // parallel_for_2d so threading policy (grain size, nesting, determinism)
 // is controlled in one place. Since PR 6 the backing threads come from the
-// unified work-stealing scheduler (tensor/thread_pool.h): chunks are
+// unified work-stealing scheduler (core/thread_pool.h): chunks are
 // submitted as intra-op TaskKind::kPanel tasks to the same shared pool
 // that runs serve::Server forward passes, so batch-level and loop-level
 // parallelism compose instead of competing for a static partition.
 
 #include <cstdint>
 
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 

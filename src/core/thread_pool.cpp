@@ -1,4 +1,4 @@
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 #include <algorithm>
 #include <atomic>

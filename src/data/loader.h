@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "data/synthetic.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
 
 namespace apf::data {

@@ -5,8 +5,8 @@
 #include <utility>
 
 #include "img/draw.h"
-#include "tensor/check.h"
-#include "tensor/rng.h"
+#include "core/check.h"
+#include "core/rng.h"
 
 namespace apf::data {
 namespace {

@@ -3,7 +3,7 @@
 #include <thread>
 
 #include "core/thread_annotations.h"
-#include "tensor/check.h"
+#include "core/check.h"
 
 namespace apf::dist {
 

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "tensor/check.h"
+#include "core/check.h"
 
 namespace apf::dist {
 
@@ -12,78 +12,7 @@ namespace {
 constexpr double kTrainFlopsFactor = 3.0;
 constexpr double kBytesPerParam = 4.0;  // fp32 gradients
 
-void check_spec(const VitSpec& s) {
-  APF_CHECK(s.seq_len > 0 && s.token_dim > 0 && s.d_model > 0 && s.depth > 0 &&
-                s.heads > 0 && s.mlp_ratio > 0,
-            "VitSpec: all dimensions must be positive (seq_len="
-                << s.seq_len << ", token_dim=" << s.token_dim
-                << ", d_model=" << s.d_model << ", depth=" << s.depth
-                << ", heads=" << s.heads << ", mlp_ratio=" << s.mlp_ratio
-                << ")");
-}
-
 }  // namespace
-
-std::int64_t vit_param_count(const VitSpec& spec) {
-  check_spec(spec);
-  const std::int64_t d = spec.d_model;
-  const std::int64_t m = spec.mlp_ratio * d;
-  // Patch embedding: token_dim -> d, plus bias.
-  std::int64_t count = spec.token_dim * d + d;
-  // Per block: qkv + output projection, two-layer MLP, two LayerNorms.
-  const std::int64_t qkv = 3 * (d * d + d);
-  const std::int64_t proj = d * d + d;
-  const std::int64_t mlp = (d * m + m) + (m * d + d);
-  const std::int64_t norms = 2 * 2 * d;
-  count += spec.depth * (qkv + proj + mlp + norms);
-  count += 2 * d;  // final LayerNorm
-  return count;
-}
-
-double vit_flops_per_image(const VitSpec& spec) {
-  check_spec(spec);
-  const double s = static_cast<double>(spec.seq_len);
-  const double d = static_cast<double>(spec.d_model);
-  const double m = static_cast<double>(spec.mlp_ratio) * d;
-  // Patch embedding.
-  double flops = 2.0 * s * static_cast<double>(spec.token_dim) * d;
-  // Per block: qkv (2*s*d*3d) + out proj (2*s*d*d) + MLP (2 * 2*s*d*m),
-  // plus the quadratic attention products QK^T and AV (2 * 2*s^2*d).
-  const double linear = 2.0 * s * d * (3.0 * d) + 2.0 * s * d * d +
-                        2.0 * (2.0 * s * d * m);
-  const double attention = 2.0 * (2.0 * s * s * d);
-  flops += static_cast<double>(spec.depth) * (linear + attention);
-  return flops;
-}
-
-double decoder_flops_per_image(std::int64_t resolution, std::int64_t grid,
-                               std::int64_t d_model,
-                               std::int64_t base_channels) {
-  APF_CHECK(resolution >= grid && grid > 0,
-            "decoder_flops_per_image: need resolution >= grid > 0, got "
-                << resolution << " / " << grid);
-  APF_CHECK(d_model > 0 && base_channels > 0,
-            "decoder_flops_per_image: channels must be positive");
-  double flops = 0.0;
-  std::int64_t side = grid;
-  double c_in = static_cast<double>(d_model);
-  while (side < resolution) {
-    // Clamp the final stage to the requested output size so
-    // non-power-of-two resolution/grid ratios are not over-charged.
-    side = std::min(side * 2, resolution);
-    const double c_out =
-        std::max(static_cast<double>(base_channels), c_in / 2.0);
-    // One 3x3 conv at the upsampled resolution per stage.
-    const double hw = static_cast<double>(side) * static_cast<double>(side);
-    flops += 2.0 * hw * c_in * c_out * 9.0;
-    c_in = c_out;
-  }
-  // 1x1 logit head at full resolution.
-  const double hw =
-      static_cast<double>(resolution) * static_cast<double>(resolution);
-  flops += 2.0 * hw * c_in;
-  return flops;
-}
 
 double FrontierModel::allreduce_sec(std::int64_t params, int gpus) const {
   APF_CHECK(params >= 0, "allreduce_sec: negative gradient count " << params);

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "img/image.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 
 namespace apf::img {
 

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::img {
 

@@ -1,6 +1,6 @@
 #include "img/image.h"
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::img {
 
@@ -29,33 +29,6 @@ Image crop(const Image& src, std::int64_t y0, std::int64_t x0,
     float* drow = &out.data[static_cast<std::size_t>(y * size * src.c)];
     std::copy(srow, srow + size * src.c, drow);
   }
-  return out;
-}
-
-Tensor to_chw_tensor(const Image& src) {
-  Tensor t({src.c, src.h, src.w});
-  float* p = t.data();
-  parallel_for(src.h, [&](std::int64_t y) {
-    for (std::int64_t x = 0; x < src.w; ++x) {
-      for (std::int64_t ch = 0; ch < src.c; ++ch) {
-        p[(ch * src.h + y) * src.w + x] = src.at(y, x, ch);
-      }
-    }
-  });
-  return t;
-}
-
-Image from_chw_tensor(const Tensor& t) {
-  APF_CHECK(t.ndim() == 3, "from_chw_tensor: need [C,H,W], got " << t.str());
-  Image out(t.size(1), t.size(2), t.size(0));
-  const float* p = t.data();
-  parallel_for(out.h, [&](std::int64_t y) {
-    for (std::int64_t x = 0; x < out.w; ++x) {
-      for (std::int64_t ch = 0; ch < out.c; ++ch) {
-        out.at(y, x, ch) = p[(ch * out.h + y) * out.w + x];
-      }
-    }
-  });
   return out;
 }
 

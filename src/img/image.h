@@ -4,13 +4,13 @@
 // Layout is HWC row-major with values conventionally in [0, 1]. Kept
 // separate from apf::Tensor on purpose: image-processing code wants
 // (y, x, channel) indexing and integer geometry, while the training stack
-// wants flat NCHW tensors; img::to_chw_tensor converts at the boundary.
+// wants flat NCHW tensors; img::to_chw_tensor (tensor/image_convert.h —
+// the conversions live above this layer) converts at the boundary.
 
 #include <cstdint>
 #include <vector>
 
-#include "tensor/check.h"
-#include "tensor/tensor.h"
+#include "core/check.h"
 
 namespace apf::img {
 
@@ -66,11 +66,5 @@ Image to_gray(const Image& src);
 /// Crops the [y0, y0+size) x [x0, x0+size) square (must be in bounds).
 Image crop(const Image& src, std::int64_t y0, std::int64_t x0,
            std::int64_t size);
-
-/// Converts HWC image to a CHW tensor (the model-side layout).
-Tensor to_chw_tensor(const Image& src);
-
-/// Converts a CHW tensor back to an HWC image.
-Image from_chw_tensor(const Tensor& t);
 
 }  // namespace apf::img

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::img {
 

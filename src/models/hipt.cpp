@@ -1,7 +1,7 @@
 #include "models/hipt.h"
 
-#include "core/posenc.h"
-#include "tensor/parallel_for.h"
+#include "models/posenc.h"
+#include "core/parallel_for.h"
 
 namespace apf::models {
 

@@ -1,4 +1,4 @@
-#include "core/patcher.h"
+#include "models/patcher.h"
 
 #include <algorithm>
 #include <numeric>
@@ -6,7 +6,7 @@
 #include "img/filters.h"
 #include "img/resize.h"
 #include "quadtree/morton.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::core {
 

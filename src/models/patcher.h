@@ -10,7 +10,7 @@
 #include "core/apf_config.h"
 #include "img/image.h"
 #include "quadtree/quadtree.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
 
 namespace apf::core {

@@ -1,0 +1,46 @@
+#pragma once
+// Analytical shape/cost model of the paper's encoder + decoder (paper §V,
+// parts 1-2 of the perf model): closed-form parameter and FLOP counts as
+// a function of sequence length (the quantity APF shrinks) and width.
+//
+// Lives in models/ because the MODEL owns its analytic shape —
+// TokenSegModel::encoder_spec() (segmodel.h) hands one of these to
+// throughput accounting (serve::InferenceStats) and to the cluster-scale
+// predictor dist::FrontierModel (dist/perf_model.h), which consumes the
+// spec from the layer above. Declared in namespace apf::dist for source
+// compatibility: the spec was born in dist/perf_model.h and every call
+// site reads dist::VitSpec; the layer DAG is enforced on include edges,
+// not namespaces.
+
+#include <cstdint>
+
+namespace apf::dist {
+
+/// Transformer encoder shape (defaults ~ViT-Base, the paper's encoder).
+struct VitSpec {
+  std::int64_t seq_len = 1024;    ///< tokens per image (APF's lever)
+  std::int64_t token_dim = 768;   ///< raw patch dim fed to the embed (3*16*16)
+  std::int64_t d_model = 768;     ///< hidden width
+  std::int64_t depth = 12;        ///< encoder blocks
+  std::int64_t heads = 12;        ///< attention heads
+  std::int64_t mlp_ratio = 4;     ///< MLP expansion factor
+};
+
+/// Learnable parameters of the encoder (embed + blocks + final norm).
+/// Excludes positional state: APF uses coordinate encodings, so the count
+/// is independent of sequence length — exactly the tensor the data-parallel
+/// gradient allreduce moves.
+std::int64_t vit_param_count(const VitSpec& spec);
+
+/// Forward FLOPs for one image through the encoder. Linear terms scale
+/// with seq_len, the attention score/value products with seq_len^2.
+double vit_flops_per_image(const VitSpec& spec);
+
+/// Forward FLOPs of a UNETR-style convolutional decoder that upsamples a
+/// (grid x grid x d_model) token map to (resolution x resolution) logits,
+/// halving channels (floored at base_channels) while doubling resolution.
+double decoder_flops_per_image(std::int64_t resolution, std::int64_t grid,
+                               std::int64_t d_model,
+                               std::int64_t base_channels);
+
+}  // namespace apf::dist

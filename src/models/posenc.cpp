@@ -1,8 +1,8 @@
-#include "core/posenc.h"
+#include "models/posenc.h"
 
 #include <cmath>
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::core {
 

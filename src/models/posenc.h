@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "tensor/tensor.h"
 
 namespace apf::core {

@@ -1,8 +1,8 @@
-#include "core/scatter.h"
+#include "models/scatter.h"
 
 #include <algorithm>
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::core {
 

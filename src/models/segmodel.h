@@ -3,8 +3,8 @@
 // token models (transformer stems fed by a patcher) and image models
 // (pure CNNs on raw NCHW input).
 
-#include "core/patcher.h"
-#include "dist/perf_model.h"
+#include "models/patcher.h"
+#include "models/perf_spec.h"
 #include "nn/module.h"
 
 namespace apf::models {

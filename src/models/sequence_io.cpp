@@ -1,4 +1,4 @@
-#include "core/sequence_io.h"
+#include "models/sequence_io.h"
 
 #include <cstdint>
 #include <fstream>

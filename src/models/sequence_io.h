@@ -10,7 +10,7 @@
 #include <string>
 #include <vector>
 
-#include "core/patcher.h"
+#include "models/patcher.h"
 
 namespace apf::core {
 

@@ -1,7 +1,7 @@
 #include "models/token_encoder.h"
 
 #include "tensor/ops.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::models {
 

@@ -10,8 +10,8 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/patcher.h"
-#include "core/posenc.h"
+#include "models/patcher.h"
+#include "models/posenc.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
 #include "nn/module.h"

@@ -1,6 +1,6 @@
 #include "models/transunet.h"
 
-#include "core/posenc.h"
+#include "models/posenc.h"
 
 namespace apf::models {
 

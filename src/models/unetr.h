@@ -8,7 +8,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/scatter.h"
+#include "models/scatter.h"
 #include "models/segmodel.h"
 #include "models/token_encoder.h"
 #include "nn/conv.h"

@@ -1,4 +1,4 @@
-#include "core/visualize.h"
+#include "models/visualize.h"
 
 namespace apf::core {
 

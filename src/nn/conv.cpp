@@ -6,7 +6,7 @@
 #include "tensor/arena.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::nn {
 namespace {

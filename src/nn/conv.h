@@ -6,7 +6,7 @@
 #include <cstdint>
 
 #include "nn/module.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 
 namespace apf::nn {
 

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
 
 namespace apf::nn {

@@ -5,7 +5,7 @@
 #include "nn/init.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::nn {
 

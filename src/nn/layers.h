@@ -16,7 +16,7 @@
 #include <vector>
 
 #include "nn/module.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 
 namespace apf::nn {
 

@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::nn {
 

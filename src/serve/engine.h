@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "img/image.h"
 #include "models/segmodel.h"
 
@@ -59,7 +59,7 @@ struct InferenceStats {
   /// path.
   std::int64_t queue_depth = 0;
   /// Unified-scheduler activity over the stats window (server aggregate
-  /// only; the process-wide counters of tensor/thread_pool.h diffed
+  /// only; the process-wide counters of core/thread_pool.h diffed
   /// against the server's construction-time snapshot, so concurrent
   /// non-server work in the same process is included). Steals are job
   /// acquisitions from a foreign deque or the shared inbox; tasks are

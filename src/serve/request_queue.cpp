@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/check.h"
+#include "core/check.h"
 
 namespace apf::serve {
 

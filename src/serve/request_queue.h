@@ -41,7 +41,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "core/thread_annotations.h"
 #include "serve/engine.h"
 

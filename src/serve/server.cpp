@@ -6,7 +6,7 @@
 #include <utility>
 
 #include "tensor/gemm_backend.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf::serve {
 namespace {

@@ -15,7 +15,7 @@
 // Each worker owns an InferenceEngine view over the shared model; the
 // model is parked in eval mode for the server's lifetime so the grad-free
 // forwards never write shared state. Workers submit each forward pass to
-// the unified work-stealing scheduler (tensor/thread_pool.h) as an
+// the unified work-stealing scheduler (core/thread_pool.h) as an
 // inter-op TaskKind::kForward task; the gemm panels inside it are
 // intra-op kPanel tasks on the SAME pool, so batch-level and panel-level
 // parallelism compose — a lone batch fans its panels across every idle
@@ -39,7 +39,7 @@
 #include "core/thread_annotations.h"
 #include "serve/engine.h"
 #include "serve/request_queue.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf::serve {
 

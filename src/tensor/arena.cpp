@@ -1,11 +1,12 @@
 #include "tensor/arena.h"
 
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <new>
 
 #include "tensor/autograd.h"
-#include "tensor/check.h"
+#include "core/check.h"
 
 namespace apf {
 namespace {
@@ -15,6 +16,19 @@ namespace {
 // worker thread does not pin silly amounts of memory.
 constexpr std::int64_t kArenaBlockFloats = std::int64_t{1} << 21;  // 8 MiB
 constexpr std::int64_t kArenaAlignFloats = 16;                     // 64 B
+
+#ifdef APF_ARENA_POISON
+// Poison-mode header: one alignment quantum (64 B = 16 floats) in front
+// of every payload, so payload alignment is unchanged. Two uint64 words
+// are used (magic + generation); the rest is padding.
+constexpr std::int64_t kPoisonHeaderFloats = kArenaAlignFloats;
+constexpr std::uint64_t kPoisonLive = 0xA11F'A11F'D00D'FEEDull;
+constexpr std::uint64_t kPoisonDead = 0xDEAD'DEAD'DEAD'DEADull;
+
+std::uint64_t* header_words(float* header) {
+  return reinterpret_cast<std::uint64_t*>(header);
+}
+#endif
 
 // One arena per thread, destroyed at thread exit. Tensors may outlive the
 // arena that carved out their storage (e.g. statics torn down after the
@@ -48,8 +62,11 @@ float* Arena::allocate(std::int64_t numel, bool zero) {
   APF_CHECK(depth_ > 0, "Arena::allocate outside any ArenaScope");
   APF_CHECK(numel > 0, "Arena::allocate: non-positive size " << numel);
   // Keep every allocation 64-byte aligned by rounding the bump up.
-  const std::int64_t need =
+  std::int64_t need =
       (numel + kArenaAlignFloats - 1) / kArenaAlignFloats * kArenaAlignFloats;
+#ifdef APF_ARENA_POISON
+  need += kPoisonHeaderFloats;  // stamp block in front of the payload
+#endif
   while (cursor_.block < blocks_.size() &&
          blocks_[cursor_.block].cap - cursor_.offset < need) {
     ++cursor_.block;
@@ -66,6 +83,17 @@ float* Arena::allocate(std::int64_t numel, bool zero) {
   }
   float* out = blocks_[cursor_.block].data + cursor_.offset;
   cursor_.offset += need;
+#ifdef APF_ARENA_POISON
+  // Stamp the header, remember the allocation for the rewind poisoning,
+  // and hand the caller the payload after the stamp block.
+  generation_ += 1;
+  header_words(out)[0] = kPoisonLive;
+  header_words(out)[1] = generation_;
+  live_allocs_.push_back({out, numel});
+  last_header_ = out;
+  last_generation_ = generation_;
+  out += kPoisonHeaderFloats;
+#endif
   if (zero)
     std::memset(out, 0, static_cast<std::size_t>(numel) * sizeof(float));
   stats_.allocations += 1;
@@ -74,16 +102,42 @@ float* Arena::allocate(std::int64_t numel, bool zero) {
   return out;
 }
 
+#ifdef APF_ARENA_POISON
+bool Arena::allocation_alive(const void* header, std::uint64_t generation) {
+  const std::uint64_t* words = static_cast<const std::uint64_t*>(header);
+  // A rewound allocation fails on the DEAD magic; memory already reused
+  // by a new allocation fails on the generation (stamps are monotone and
+  // never repeat), so the check holds either way.
+  return words[0] == kPoisonLive && words[1] == generation;
+}
+#endif
+
 ArenaScope::ArenaScope() {
   Arena& a = Arena::this_thread();
   entry_ = a.cursor_;
   entry_used_ = a.stats_.used_bytes;
+#ifdef APF_ARENA_POISON
+  entry_live_ = a.live_allocs_.size();
+#endif
   a.depth_ += 1;
 }
 
 ArenaScope::~ArenaScope() {
   Arena& a = Arena::this_thread();
   a.depth_ -= 1;
+#ifdef APF_ARENA_POISON
+  // Kill the stamps of every allocation this scope made and NaN-fill the
+  // reclaimed payloads, so a tensor escaping the scope fails its next
+  // data() check instead of silently reading reused memory.
+  while (a.live_allocs_.size() > entry_live_) {
+    const Arena::LiveAlloc& rec = a.live_allocs_.back();
+    header_words(rec.header)[0] = kPoisonDead;
+    float* payload = rec.header + kPoisonHeaderFloats;
+    for (std::int64_t i = 0; i < rec.numel; ++i)
+      payload[i] = std::numeric_limits<float>::quiet_NaN();
+    a.live_allocs_.pop_back();
+  }
+#endif
   // Rewind to the entry cursor: everything bump-allocated under this scope
   // is reclaimed for reuse (the blocks themselves are retained).
   a.cursor_ = entry_;

@@ -36,6 +36,18 @@
 //
 // Blocks are 64-byte aligned and zero-filled per allocation, preserving
 // Tensor's zero-init semantics on reused memory.
+//
+// Poison mode (-DAPF_ARENA_POISON, CMake option of the same name): the
+// runtime backstop for the escape rule, catching what the static
+// arena-escape analyzer (scripts/apflint/arena_escape.py) cannot see.
+// Every arena allocation is prefixed with a 64-byte header carrying a
+// magic word and a monotone generation stamp; scope rewind marks the
+// headers of reclaimed allocations DEAD and NaN-fills their payloads.
+// TensorStorage records its allocation's header + generation and checks
+// them on every data() access, so reading a tensor whose scope closed
+// throws CheckError deterministically instead of silently reading
+// reused memory. Off by default; when off, none of this code exists and
+// allocation cost is unchanged.
 
 #include <cstdint>
 #include <vector>
@@ -76,6 +88,19 @@ class Arena {
   /// Open scopes on this thread (0 = inactive).
   int depth() const { return depth_; }
 
+#ifdef APF_ARENA_POISON
+  /// Header of the most recent allocate() call (poison mode only) —
+  /// read by TensorStorage immediately after allocating.
+  const void* last_allocation_header() const { return last_header_; }
+  /// Generation stamped into that header.
+  std::uint64_t last_allocation_generation() const {
+    return last_generation_;
+  }
+  /// True while `header` still carries a live stamp for `generation`;
+  /// false once the owning scope rewound (or the memory was reused).
+  static bool allocation_alive(const void* header, std::uint64_t generation);
+#endif
+
   ~Arena();
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
@@ -99,6 +124,16 @@ class Arena {
   ArenaStats stats_;
   int depth_ = 0;
   int paused_ = 0;
+#ifdef APF_ARENA_POISON
+  struct LiveAlloc {
+    float* header = nullptr;   // 64-byte stamp block before the payload
+    std::int64_t numel = 0;    // payload floats (for the NaN fill)
+  };
+  std::vector<LiveAlloc> live_allocs_;  // stack order = allocation order
+  std::uint64_t generation_ = 0;
+  float* last_header_ = nullptr;
+  std::uint64_t last_generation_ = 0;
+#endif
 };
 
 /// RAII: activates the thread-local arena for the guard's lifetime and
@@ -114,6 +149,9 @@ class ArenaScope {
  private:
   Arena::Cursor entry_;
   std::int64_t entry_used_ = 0;
+#ifdef APF_ARENA_POISON
+  std::size_t entry_live_ = 0;  // live_allocs_ watermark at scope entry
+#endif
 };
 
 /// RAII: routes this thread's tensor allocations back to the heap while

@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "tensor/ops.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::ag {
 

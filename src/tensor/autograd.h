@@ -15,7 +15,7 @@
 #include <memory>
 #include <vector>
 
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
 
 namespace apf {

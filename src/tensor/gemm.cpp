@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <vector>
 
-#include "tensor/check.h"
+#include "core/check.h"
 #include "tensor/gemm_backend.h"
 #include "tensor/gemm_pack.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 namespace {

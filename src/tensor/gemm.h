@@ -46,7 +46,7 @@
 // ------------------------------------------------- parallel dispatch
 // apf::gemm() itself parallelizes: it splits m into kGemmRowPanel-aligned
 // chunks and runs them concurrently on the shared apf::ThreadPool
-// (tensor/thread_pool.h), each chunk a plain sub-call into the (serial)
+// (core/thread_pool.h), each chunk a plain sub-call into the (serial)
 // selected backend. Because chunk boundaries are panel boundaries, the
 // panel contract makes this BITWISE IDENTICAL to serial dispatch for
 // every backend at every thread count (pinned by test_gemm) — work

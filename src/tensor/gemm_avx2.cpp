@@ -19,7 +19,7 @@
 
 #include "tensor/gemm_backend.h"
 
-#include "tensor/check.h"
+#include "core/check.h"
 #include "tensor/gemm.h"
 
 #if defined(APF_GEMM_AVX2_BUILD)

@@ -18,7 +18,7 @@
 
 #include <algorithm>
 
-#include "tensor/check.h"
+#include "core/check.h"
 #include "tensor/gemm.h"
 
 #if defined(APF_GEMM_CBLAS_BUILD)

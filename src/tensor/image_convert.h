@@ -1,0 +1,21 @@
+#pragma once
+// Image <-> Tensor boundary conversions.
+//
+// These live in tensor/ (not img/) by the layer DAG: img is an image-
+// processing layer below tensor and must not depend on it, while tensor
+// may look down at img. The functions stay in namespace apf::img because
+// they are the img vocabulary's exit point — call sites read
+// img::to_chw_tensor(image) at the hand-off from pixels to models.
+
+#include "img/image.h"
+#include "tensor/tensor.h"
+
+namespace apf::img {
+
+/// Converts HWC image to a CHW tensor (the model-side layout).
+Tensor to_chw_tensor(const Image& src);
+
+/// Converts a CHW tensor back to an HWC image.
+Image from_chw_tensor(const Tensor& t);
+
+}  // namespace apf::img

@@ -6,7 +6,7 @@
 #include <limits>
 
 #include "tensor/gemm.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 
 namespace apf::ops {
 namespace {

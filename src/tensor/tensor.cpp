@@ -19,10 +19,35 @@ std::int64_t storage_heap_allocations() {
   return g_heap_storage_allocs.load(std::memory_order_relaxed);
 }
 
+#ifdef APF_ARENA_POISON
+namespace {
+// Captures the stamp of the allocation the arena just served. Called
+// immediately after Arena::allocate inside the constructors below, so
+// last_allocation_* still refers to this storage's buffer.
+void record_poison_stamp(const void** header, std::uint64_t* generation) {
+  const Arena& a = Arena::this_thread();
+  *header = a.last_allocation_header();
+  *generation = a.last_allocation_generation();
+}
+}  // namespace
+
+void TensorStorage::poison_check() const {
+  if (arena_header_ == nullptr) return;  // heap-backed: nothing to verify
+  APF_CHECK(Arena::allocation_alive(arena_header_, arena_generation_),
+            "TensorStorage: arena storage used after its ArenaScope "
+            "rewound (generation " << arena_generation_ << ") — tensors "
+            "escaping a scope must be cloned under an ArenaPauseGuard "
+            "(see tensor/arena.h)");
+}
+#endif
+
 TensorStorage::TensorStorage(std::int64_t n) {
   if (n <= 0) return;
   if (Arena::storage_enabled()) {
     data_ = Arena::this_thread().allocate(n);  // zeroed by the arena
+#ifdef APF_ARENA_POISON
+    record_poison_stamp(&arena_header_, &arena_generation_);
+#endif
   } else {
     heap_.reset(new float[n]());  // value-init: zeroed
     data_ = heap_.get();
@@ -34,6 +59,9 @@ TensorStorage::TensorStorage(std::int64_t n, Uninit) {
   if (n <= 0) return;
   if (Arena::storage_enabled()) {
     data_ = Arena::this_thread().allocate(n, /*zero=*/false);
+#ifdef APF_ARENA_POISON
+    record_poison_stamp(&arena_header_, &arena_generation_);
+#endif
   } else {
     heap_.reset(new float[n]);  // default-init: uninitialized
     data_ = heap_.get();
@@ -45,6 +73,9 @@ TensorStorage::TensorStorage(std::int64_t n, const float* src) {
   if (n <= 0) return;
   if (Arena::storage_enabled()) {
     data_ = Arena::this_thread().allocate(n, /*zero=*/false);
+#ifdef APF_ARENA_POISON
+    record_poison_stamp(&arena_header_, &arena_generation_);
+#endif
   } else {
     heap_.reset(new float[n]);
     data_ = heap_.get();

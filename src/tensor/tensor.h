@@ -18,8 +18,8 @@
 #include <string>
 #include <vector>
 
-#include "tensor/check.h"
-#include "tensor/rng.h"
+#include "core/check.h"
+#include "core/rng.h"
 
 namespace apf {
 
@@ -49,13 +49,28 @@ class TensorStorage {
   TensorStorage(const TensorStorage&) = delete;
   TensorStorage& operator=(const TensorStorage&) = delete;
 
+#ifdef APF_ARENA_POISON
+  // Poison builds verify the backing arena allocation is still alive on
+  // every access (see "Poison mode" in tensor/arena.h); heap-backed
+  // storage has no header and skips the check.
+  float* data() { poison_check(); return data_; }
+  const float* data() const { poison_check(); return data_; }
+#else
   float* data() { return data_; }
   const float* data() const { return data_; }
+#endif
 
  private:
   std::vector<float> adopted_;     ///< only set by the adopting ctor
   std::unique_ptr<float[]> heap_;  ///< owned buffer when not arena-backed
   float* data_ = nullptr;
+#ifdef APF_ARENA_POISON
+  /// Throws CheckError if the arena rewound this allocation (use after
+  /// ArenaScope close — the escape rule in tensor/arena.h).
+  void poison_check() const;
+  const void* arena_header_ = nullptr;  ///< stamp block, arena-backed only
+  std::uint64_t arena_generation_ = 0;
+#endif
 };
 
 /// Lifetime count of tensor storage buffers taken from the heap (not the

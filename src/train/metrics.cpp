@@ -1,6 +1,6 @@
 #include "train/metrics.h"
 
-#include "tensor/check.h"
+#include "core/check.h"
 #include "tensor/ops.h"
 
 namespace apf::train {

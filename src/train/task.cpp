@@ -1,5 +1,6 @@
 #include "train/task.h"
 
+#include "tensor/image_convert.h"
 #include "tensor/ops.h"
 
 namespace apf::train {

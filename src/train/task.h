@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "models/hipt.h"

@@ -8,21 +8,22 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "models/unetr.h"
 #include "serve/engine.h"
 #include "tensor/arena.h"
 #include "tensor/autograd.h"
-#include "tensor/parallel_for.h"
+#include "core/parallel_for.h"
 #include "tensor/tensor.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 namespace {
@@ -233,6 +234,85 @@ TEST(Arena, EngineForwardResultSurvivesArenaReuse) {
   for (std::int64_t i = 0; i < first.numel(); ++i)
     ASSERT_EQ(first[i], first_copy[i]) << "escaped logits were clobbered";
 }
+
+// ------------------------------------------------------- poison mode
+//
+// Compiled only under -DAPF_ARENA_POISON (the dedicated CI leg): the
+// runtime backstop for the escape rule. A tensor read after its scope
+// rewound must throw CheckError deterministically — not read garbage.
+
+#ifdef APF_ARENA_POISON
+
+TEST(ArenaPoison, EscapedTensorThrowsDeterministicallyOnAccess) {
+  NoGradGuard ng;
+  Tensor escaped;
+  {
+    ArenaScope scope;
+    escaped = Tensor({64});  // deliberate escape: no pause, no clone
+    escaped.fill(1.f);       // fine while the scope is alive
+  }
+  EXPECT_THROW(escaped.data(), detail::CheckError);
+  EXPECT_THROW(escaped[0], detail::CheckError);
+}
+
+TEST(ArenaPoison, GenerationCatchesReuseByALaterScope) {
+  NoGradGuard ng;
+  Tensor stale;
+  {
+    ArenaScope scope;
+    stale = Tensor({128});
+  }
+  // A new scope re-stamps the same memory LIVE for a new allocation; the
+  // stale tensor must still fail — on the generation, not the magic.
+  ArenaScope again;
+  Tensor fresh({128});
+  fresh.fill(2.f);
+  EXPECT_THROW(stale.data(), detail::CheckError);
+  EXPECT_EQ(fresh[0], 2.f);  // the new owner is unaffected
+}
+
+TEST(ArenaPoison, RewindNaNFillsReclaimedPayload) {
+  NoGradGuard ng;
+  const float* payload = nullptr;
+  {
+    ArenaScope scope;
+    Tensor t({32});
+    t.fill(5.f);
+    payload = t.data();
+  }
+  // Raw memory (bypassing the storage check): poisoned, not stale data.
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(std::isnan(payload[i]));
+}
+
+TEST(ArenaPoison, CompliantPauseCloneEscapeStillPasses) {
+  NoGradGuard ng;
+  Tensor escaped;
+  {
+    ArenaScope scope;
+    Tensor inside({64});
+    inside.fill(9.f);
+    ArenaPauseGuard heap;
+    escaped = inside.clone();
+  }
+  for (std::int64_t i = 0; i < escaped.numel(); ++i)
+    ASSERT_EQ(escaped[i], 9.f);
+}
+
+TEST(ArenaPoison, NestedScopePoisonsOnlyItsOwnAllocations) {
+  NoGradGuard ng;
+  ArenaScope outer;
+  Tensor kept({64});
+  kept.fill(3.f);
+  Tensor leaked;
+  {
+    ArenaScope inner;
+    leaked = Tensor({64});
+  }
+  EXPECT_THROW(leaked.data(), detail::CheckError);
+  for (std::int64_t i = 0; i < kept.numel(); ++i) ASSERT_EQ(kept[i], 3.f);
+}
+
+#endif  // APF_ARENA_POISON
 
 // -------------------------------------------------------- thread pool
 

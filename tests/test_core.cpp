@@ -5,10 +5,10 @@
 #include <gtest/gtest.h>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
-#include "core/posenc.h"
-#include "core/scatter.h"
-#include "core/visualize.h"
+#include "models/patcher.h"
+#include "models/posenc.h"
+#include "models/scatter.h"
+#include "models/visualize.h"
 #include "data/synthetic.h"
 #include "gradcheck.h"
 #include "tensor/ops.h"

@@ -9,7 +9,7 @@
 
 #include "dist/comm.h"
 #include "dist/perf_model.h"
-#include "tensor/check.h"
+#include "core/check.h"
 
 namespace apf::dist {
 namespace {

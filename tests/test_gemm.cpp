@@ -22,9 +22,9 @@
 
 #include "tensor/gemm.h"
 #include "tensor/gemm_backend.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
-#include "tensor/thread_pool.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 namespace {

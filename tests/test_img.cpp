@@ -12,6 +12,7 @@
 #include "img/integral.h"
 #include "img/pnm_io.h"
 #include "img/resize.h"
+#include "tensor/image_convert.h"
 
 namespace apf::img {
 namespace {

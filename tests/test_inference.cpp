@@ -8,12 +8,12 @@
 #include <cmath>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "models/unetr.h"
 #include "nn/attention.h"
 #include "serve/engine.h"
-#include "tensor/check.h"
+#include "core/check.h"
 #include "tensor/gemm_backend.h"
 #include "tensor/ops.h"
 

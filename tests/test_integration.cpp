@@ -9,8 +9,8 @@
 #include <filesystem>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
-#include "core/sequence_io.h"
+#include "models/patcher.h"
+#include "models/sequence_io.h"
 #include "data/synthetic.h"
 #include "models/transunet.h"
 #include "models/unetr.h"

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Fixture tests for the apf-lint arena-escape analyzer.
+
+Escape shapes (value return under a live ArenaScope, member store of
+fresh tensor storage) MUST be flagged; the blessed patterns — pausing
+with ArenaPauseGuard before cloning, scopes that die in an inner block,
+trivial returns — MUST pass; the committed tree must be clean. The
+runtime twin of this analyzer is APF_ARENA_POISON (tests/test_arena.cpp,
+ArenaPoison suite). Run directly or via ctest.
+"""
+
+import os
+import sys
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"))
+
+from apflint import arena_escape as lint  # noqa: E402
+
+
+def rules_for(text, path="src/nn/snippet.cpp"):
+    return sorted({v.rule for v in lint.scan_source_text(path, text)})
+
+
+class ArenaEscapeRule(unittest.TestCase):
+    def test_value_return_under_live_scope_flagged(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  ArenaScope scope;
+  Tensor y = x.clone();
+  return y;
+}
+"""
+        self.assertIn("arena-escape", rules_for(text))
+
+    def test_return_expression_under_live_scope_flagged(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  ArenaScope scope;
+  return matmul(x, w_);
+}
+"""
+        self.assertIn("arena-escape", rules_for(text))
+
+    def test_pause_guard_clone_passes(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  ArenaScope scope;
+  Tensor y = matmul(x, w_);
+  ArenaPauseGuard pause;
+  return y.clone();
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_scope_dies_in_inner_block_passes(self):
+        # The nn/conv.cpp pattern: scope confined to a block, result
+        # cloned to the heap after the block closes.
+        text = """
+Tensor forward(const Tensor& x) {
+  Tensor out;
+  {
+    ArenaScope scope;
+    Tensor y = matmul(x, w_);
+    ArenaPauseGuard pause;
+    out = y.clone();
+  }
+  return out;
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_trivial_returns_exempt(self):
+        text = """
+bool warm_up() {
+  ArenaScope scope;
+  run_once();
+  return true;
+}
+int count() {
+  ArenaScope scope;
+  return 0;
+}
+void touch() {
+  ArenaScope scope;
+  run_once();
+  return;
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_no_scope_no_finding(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  return matmul(x, w_);
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_lambda_is_fresh_region(self):
+        # The lambda runs on a pool thread with its own arena state; the
+        # caller's scope does not govern its returns.
+        text = """
+void submit_all(Pool& pool) {
+  ArenaScope scope;
+  pool.submit([&] {
+    return compute();
+  });
+  ArenaPauseGuard pause;
+  keep_ = scope_result_.clone();
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_marker_suppresses(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  ArenaScope scope;
+  // arena-ok(arena-escape): caller immediately clones under its own
+  // pause guard (see serve/session.cpp)
+  return matmul(x, w_);
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_bare_marker_rejected(self):
+        text = """
+Tensor forward(const Tensor& x) {
+  ArenaScope scope;
+  // arena-ok(arena-escape):
+  return matmul(x, w_);
+}
+"""
+        self.assertIn("arena-escape", rules_for(text))
+
+
+class ArenaStoreRule(unittest.TestCase):
+    def test_member_store_of_fresh_tensor_flagged(self):
+        text = """
+void Model::cache(const Tensor& x) {
+  ArenaScope scope;
+  cached_ = x.clone();
+}
+"""
+        self.assertIn("arena-store", rules_for(text))
+
+    def test_this_store_flagged(self):
+        text = """
+void Model::cache(const Tensor& x) {
+  ArenaScope scope;
+  this->cached_ = Tensor::zeros({4});
+}
+"""
+        self.assertIn("arena-store", rules_for(text))
+
+    def test_store_under_pause_guard_passes(self):
+        text = """
+void Model::cache(const Tensor& x) {
+  ArenaScope scope;
+  Tensor y = matmul(x, w_);
+  ArenaPauseGuard pause;
+  cached_ = y.clone();
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_local_assignment_not_flagged(self):
+        text = """
+void Model::run(const Tensor& x) {
+  ArenaScope scope;
+  Tensor y = x.clone();
+  consume(y);
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+    def test_non_tensor_member_store_passes(self):
+        text = """
+void Model::bump() {
+  ArenaScope scope;
+  count_ = count_ + 1;
+}
+"""
+        self.assertEqual([], rules_for(text))
+
+
+class CommittedTree(unittest.TestCase):
+    ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+    def test_src_tree_clean(self):
+        violations = lint.scan_sources(self.ROOT)
+        self.assertEqual([], violations,
+                         "committed tree has arena-lifetime violations: %s" %
+                         violations)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
-"""Fixture tests for scripts/lint_determinism.py.
+"""Fixture tests for the apf-lint determinism analyzer.
 
 Each rule gets a known-bad snippet that MUST be flagged and a matching
 good/whitelisted snippet that MUST pass, so the linter cannot silently
 rot into accepting everything (or rejecting the committed idioms).
+The suite exercises apflint.determinism (the framework module) directly;
+one case pins the scripts/lint_determinism.py shim surface on top.
 Run directly (python3 tests/test_lint_determinism.py) or via ctest.
 """
 
@@ -15,7 +17,8 @@ sys.path.insert(
     0,
     os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"))
 
-import lint_determinism as lint  # noqa: E402
+from apflint import base  # noqa: E402
+from apflint import determinism as lint  # noqa: E402
 
 
 def rules_for(text, path="src/foo/bar.cpp"):
@@ -123,7 +126,7 @@ class UnorderedRule(unittest.TestCase):
         self.assertEqual([], rules_for(text))
 
     def test_marker_outside_window_rejected(self):
-        pad = "int a;\n" * (lint.MARKER_WINDOW + 1)
+        pad = "int a;\n" * (base.MARKER_WINDOW + 1)
         text = ("// determinism-ok(unordered): far too far away to count\n"
                 + pad + "std::unordered_map<int, float> m;\n")
         self.assertIn("unordered", rules_for(text))
@@ -183,6 +186,20 @@ class IsaGateRule(unittest.TestCase):
                           "src/tensor/gemm.cpp"],
         }
         self.assertEqual([], flag_rules([e]))
+
+
+class ShimSurface(unittest.TestCase):
+    """scripts/lint_determinism.py stays importable with its original
+    module surface (external callers, CMake registration)."""
+
+    def test_shim_reexports_framework(self):
+        import lint_determinism as shim
+        self.assertIs(shim.scan_source_text, lint.scan_source_text)
+        self.assertIs(shim.check_compile_commands,
+                      lint.check_compile_commands)
+        self.assertIs(shim.ISA_GATED_TUS, lint.ISA_GATED_TUS)
+        self.assertEqual(shim.MARKER_WINDOW, base.MARKER_WINDOW)
+        self.assertEqual(shim.MIN_JUSTIFICATION, base.MIN_JUSTIFICATION)
 
 
 class CommittedTree(unittest.TestCase):

@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Fixture tests for the apf-lint layering analyzer.
+
+Every rule (layer-dag, include-cycle, header-guard) gets a known-bad
+snippet that MUST be flagged and a compliant/waived counterpart that
+MUST pass, plus the committed-tree invariant: src/ carries zero layering
+violations and zero waivers (code moves, it does not get waived).
+Run directly (python3 tests/test_lint_layering.py) or via ctest.
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "scripts"))
+
+from apflint import base  # noqa: E402
+from apflint import layering as lint  # noqa: E402
+
+GUARDED = "#pragma once\n"
+
+
+def rules_for(path, text):
+    violations, _edges = lint.scan_source_text(path, text)
+    return sorted({v.rule for v in violations})
+
+
+def tree_rules(files):
+    """Runs the full scan (including the cycle pass) over an in-memory
+    {relpath: text} tree materialized in a temp dir."""
+    with tempfile.TemporaryDirectory() as root:
+        for relpath, text in files.items():
+            path = os.path.join(root, relpath)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(text)
+        return sorted({v.rule for v in lint.scan_sources(root)})
+
+
+class LayerDagRule(unittest.TestCase):
+    def test_upward_include_flagged(self):
+        text = GUARDED + '#include "tensor/tensor.h"\n'
+        self.assertIn("layer-dag", rules_for("src/core/bad.h", text))
+
+    def test_sideways_models_data_flagged(self):
+        text = GUARDED + '#include "data/synthetic.h"\n'
+        self.assertIn("layer-dag", rules_for("src/models/bad.h", text))
+
+    def test_serve_to_train_flagged(self):
+        self.assertIn("layer-dag", rules_for(
+            "src/serve/bad.cpp", '#include "train/task.h"\n'))
+
+    def test_downward_include_passes(self):
+        text = GUARDED + ('#include "core/check.h"\n'
+                          '#include "tensor/tensor.h"\n'
+                          '#include "nn/linear.h"\n')
+        self.assertEqual([], rules_for("src/models/good.h", text))
+
+    def test_quadtree_to_img_allowed_edge(self):
+        # The one explicitly allowed within-level edge in the DAG.
+        text = GUARDED + '#include "img/image.h"\n'
+        self.assertEqual([], rules_for("src/quadtree/good.h", text))
+
+    def test_img_to_quadtree_reverse_flagged(self):
+        text = GUARDED + '#include "quadtree/quadtree.h"\n'
+        self.assertIn("layer-dag", rules_for("src/img/bad.h", text))
+
+    def test_same_layer_include_passes(self):
+        text = GUARDED + '#include "tensor/arena.h"\n'
+        self.assertEqual([], rules_for("src/tensor/good.h", text))
+
+    def test_non_layer_include_ignored(self):
+        text = GUARDED + '#include "third_party/blas.h"\n'
+        self.assertEqual([], rules_for("src/core/good.h", text))
+
+    def test_system_include_ignored(self):
+        text = GUARDED + "#include <vector>\n"
+        self.assertEqual([], rules_for("src/core/good.h", text))
+
+    def test_commented_out_include_passes(self):
+        text = GUARDED + '// #include "serve/server.h"\n'
+        self.assertEqual([], rules_for("src/core/good.h", text))
+
+    def test_test_files_outside_src_unconstrained(self):
+        # tests/bench/examples may include any layer.
+        self.assertEqual([], rules_for(
+            "tests/test_x.cpp", '#include "serve/server.h"\n'))
+
+    def test_marker_suppresses(self):
+        text = GUARDED + (
+            "// layering-ok(layer-dag): transitional edge, tracked in "
+            "ROADMAP\n"
+            '#include "serve/server.h"\n')
+        self.assertEqual([], rules_for("src/core/waived.h", text))
+
+    def test_bare_marker_rejected(self):
+        text = GUARDED + ("// layering-ok(layer-dag):\n"
+                          '#include "serve/server.h"\n')
+        self.assertIn("layer-dag", rules_for("src/core/waived.h", text))
+
+
+class HeaderGuardRule(unittest.TestCase):
+    def test_missing_pragma_once_flagged(self):
+        self.assertIn("header-guard", rules_for("src/nn/bad.h", "int f();\n"))
+
+    def test_pragma_once_passes(self):
+        self.assertEqual([], rules_for("src/nn/good.h", GUARDED + "int f();\n"))
+
+    def test_cpp_files_exempt(self):
+        self.assertEqual([], rules_for("src/nn/impl.cpp", "int f() { }\n"))
+
+
+class IncludeCycleRule(unittest.TestCase):
+    def test_two_file_cycle_flagged(self):
+        rules = tree_rules({
+            "src/nn/a.h": GUARDED + '#include "nn/b.h"\n',
+            "src/nn/b.h": GUARDED + '#include "nn/a.h"\n',
+        })
+        self.assertIn("include-cycle", rules)
+
+    def test_three_file_cycle_flagged(self):
+        rules = tree_rules({
+            "src/nn/a.h": GUARDED + '#include "nn/b.h"\n',
+            "src/nn/b.h": GUARDED + '#include "nn/c.h"\n',
+            "src/nn/c.h": GUARDED + '#include "nn/a.h"\n',
+        })
+        self.assertIn("include-cycle", rules)
+
+    def test_diamond_is_not_a_cycle(self):
+        rules = tree_rules({
+            "src/nn/top.h": GUARDED + ('#include "nn/left.h"\n'
+                                       '#include "nn/right.h"\n'),
+            "src/nn/left.h": GUARDED + '#include "nn/base.h"\n',
+            "src/nn/right.h": GUARDED + '#include "nn/base.h"\n',
+            "src/nn/base.h": GUARDED,
+        })
+        self.assertEqual([], rules)
+
+
+class CommittedTree(unittest.TestCase):
+    """src/ must satisfy the layer DAG with no waivers at all — the
+    satellite invariant this PR establishes."""
+
+    ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+    def test_src_tree_clean(self):
+        violations = lint.scan_sources(self.ROOT)
+        self.assertEqual([], violations,
+                         "committed tree has layering violations: %s" %
+                         violations)
+
+    def test_src_tree_carries_no_layering_waivers(self):
+        marker_re = base.make_marker_re(lint.NAME)
+        hits = []
+        for relpath, text in base.iter_source_files(self.ROOT):
+            for idx, line in enumerate(text.splitlines()):
+                if marker_re.search(line):
+                    hits.append(f"{relpath}:{idx + 1}")
+        self.assertEqual([], hits,
+                         "layering waivers in src/ (fix the layering "
+                         "instead): %s" % hits)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/loader.h"
 #include "data/synthetic.h"
 #include "models/hipt.h"
@@ -16,6 +16,7 @@
 #include "models/unetr.h"
 #include "models/vit.h"
 #include "nn/optim.h"
+#include "tensor/image_convert.h"
 
 namespace apf::models {
 namespace {

@@ -9,9 +9,9 @@
 #include <fstream>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
-#include "core/scatter.h"
-#include "core/sequence_io.h"
+#include "models/patcher.h"
+#include "models/scatter.h"
+#include "models/sequence_io.h"
 #include "data/synthetic.h"
 #include "img/draw.h"
 #include "img/filters.h"

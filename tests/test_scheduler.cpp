@@ -1,5 +1,5 @@
 // Unit suite for the unified work-stealing task scheduler
-// (tensor/thread_pool.h): task groups, nesting, participate-while-wait,
+// (core/thread_pool.h): task groups, nesting, participate-while-wait,
 // exception propagation from stolen tasks, kind counters, and the
 // degenerate one-thread configuration. The bitwise contract the scheduler
 // must preserve for gemm panels is pinned separately by test_gemm; the
@@ -15,8 +15,8 @@
 #include <thread>
 #include <vector>
 
-#include "tensor/parallel_for.h"
-#include "tensor/thread_pool.h"
+#include "core/parallel_for.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 namespace {

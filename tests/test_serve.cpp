@@ -15,14 +15,14 @@
 #include <vector>
 
 #include "core/apf_config.h"
-#include "core/patcher.h"
+#include "models/patcher.h"
 #include "data/synthetic.h"
 #include "models/unetr.h"
 #include "serve/engine.h"
 #include "serve/request_queue.h"
 #include "serve/server.h"
-#include "tensor/check.h"
-#include "tensor/thread_pool.h"
+#include "core/check.h"
+#include "core/thread_pool.h"
 
 namespace apf {
 namespace {

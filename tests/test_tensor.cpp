@@ -10,7 +10,7 @@
 
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
-#include "tensor/rng.h"
+#include "core/rng.h"
 #include "tensor/tensor.h"
 
 namespace apf {
