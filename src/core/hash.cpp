@@ -1,0 +1,193 @@
+#include "core/hash.h"
+
+#include <cstring>
+
+namespace apf::core {
+
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+// Little-endian load regardless of host byte order: the digest is a
+// function of the byte *stream*, never of host word layout.
+inline std::uint64_t load_le64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(p[0]) |
+         (static_cast<std::uint64_t>(p[1]) << 8) |
+         (static_cast<std::uint64_t>(p[2]) << 16) |
+         (static_cast<std::uint64_t>(p[3]) << 24) |
+         (static_cast<std::uint64_t>(p[4]) << 32) |
+         (static_cast<std::uint64_t>(p[5]) << 40) |
+         (static_cast<std::uint64_t>(p[6]) << 48) |
+         (static_cast<std::uint64_t>(p[7]) << 56);
+}
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ab62691e3627ULL;
+
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::string to_hex(const Digest128& d) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? d.hi : d.lo;
+    const int shift = 56 - 8 * (i % 8);
+    const unsigned byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[2 * i] = kHex[byte >> 4];
+    out[2 * i + 1] = kHex[byte & 0xf];
+  }
+  return out;
+}
+
+Hasher::Hasher(std::uint64_t seed) : h1_(seed), h2_(seed) {
+  std::memset(tail_, 0, sizeof(tail_));
+}
+
+void Hasher::mix_block(const unsigned char* block) {
+  std::uint64_t k1 = load_le64(block);
+  std::uint64_t k2 = load_le64(block + 8);
+
+  k1 *= kC1;
+  k1 = rotl64(k1, 31);
+  k1 *= kC2;
+  h1_ ^= k1;
+  h1_ = rotl64(h1_, 27);
+  h1_ += h2_;
+  h1_ = h1_ * 5 + 0x52dce729ULL;
+
+  k2 *= kC2;
+  k2 = rotl64(k2, 33);
+  k2 *= kC1;
+  h2_ ^= k2;
+  h2_ = rotl64(h2_, 31);
+  h2_ += h1_;
+  h2_ = h2_ * 5 + 0x38495ab5ULL;
+}
+
+void Hasher::update(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_len_ += len;
+
+  // Top up a partial tail to a full 16-byte block first.
+  if (tail_len_ > 0) {
+    const std::size_t need = 16 - tail_len_;
+    const std::size_t take = len < need ? len : need;
+    std::memcpy(tail_ + tail_len_, p, take);
+    tail_len_ += take;
+    p += take;
+    len -= take;
+    if (tail_len_ < 16) return;
+    mix_block(tail_);
+    tail_len_ = 0;
+  }
+
+  while (len >= 16) {
+    mix_block(p);
+    p += 16;
+    len -= 16;
+  }
+
+  if (len > 0) {
+    std::memcpy(tail_, p, len);
+    tail_len_ = len;
+  }
+}
+
+void Hasher::update_u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  update(b, sizeof(b));
+}
+
+void Hasher::update_i64(std::int64_t v) {
+  update_u64(static_cast<std::uint64_t>(v));
+}
+
+void Hasher::update_u32(std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  update(b, sizeof(b));
+}
+
+void Hasher::update_f32(float v) {
+  std::uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  update_u32(bits);
+}
+
+void Hasher::update_f64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  update_u64(bits);
+}
+
+void Hasher::update_str(std::string_view s) {
+  update_u64(static_cast<std::uint64_t>(s.size()));
+  update(s.data(), s.size());
+}
+
+void Hasher::update_digest(const Digest128& d) {
+  update_u64(d.lo);
+  update_u64(d.hi);
+}
+
+Digest128 Hasher::digest() const {
+  // Non-destructive finalize: work on copies so the stream can keep
+  // growing after a prefix digest is taken.
+  std::uint64_t h1 = h1_;
+  std::uint64_t h2 = h2_;
+
+  if (tail_len_ > 0) {
+    unsigned char block[16];
+    std::memset(block, 0, sizeof(block));
+    std::memcpy(block, tail_, tail_len_);
+    std::uint64_t k1 = load_le64(block);
+    std::uint64_t k2 = load_le64(block + 8);
+    k2 *= kC2;
+    k2 = rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    k1 *= kC1;
+    k1 = rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+  }
+
+  h1 ^= total_len_;
+  h2 ^= total_len_;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+
+  return Digest128{h1, h2};
+}
+
+Digest128 hash_bytes(const void* data, std::size_t len, std::uint64_t seed) {
+  Hasher h(seed);
+  h.update(data, len);
+  return h.digest();
+}
+
+Digest128 combine(const Digest128& a, const Digest128& b,
+                  std::uint64_t seed) {
+  Hasher h(seed);
+  h.update_digest(a);
+  h.update_digest(b);
+  return h.digest();
+}
+
+}  // namespace apf::core

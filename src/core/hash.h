@@ -1,0 +1,95 @@
+#pragma once
+
+// Seeded, platform-stable content hashing for the serving cache.
+//
+// The serving tier keys cached work by *content*: image bytes plus an
+// engine fingerprint (model weights, patcher config, decode threshold,
+// gemm-backend bitwise class). Two properties matter and both are
+// enforced here rather than assumed:
+//
+//   * Deterministic and seeded — the same bytes under the same seed
+//     produce the same 128-bit digest on every run, so cache keys are
+//     reproducible and a deployment can rotate its seed to invalidate
+//     every entry at once.
+//   * Platform-stable — input words are assembled byte-by-byte in
+//     little-endian order and floats are hashed by their IEEE-754 bit
+//     pattern, so the digest does not depend on host endianness,
+//     padding, or `size_t` width. A pinned known-answer test guards
+//     the function against accidental rewrites.
+//
+// The mixer is the MurmurHash3 x64/128 construction: non-cryptographic
+// by design — cache keys need speed and avalanche, not preimage
+// resistance (the cache is not a trust boundary; a collision degrades
+// to a wrong-but-deterministic lookup the bitwise tests would catch).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace apf::core {
+
+/// 128-bit digest value. Ordered + hashable-by-map so it can key a
+/// `std::map` (the deterministic container the cache shards use).
+struct Digest128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend bool operator==(const Digest128& a, const Digest128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Digest128& a, const Digest128& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Digest128& a, const Digest128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+};
+
+/// Lowercase hex rendering (hi then lo), for logs and stats dumps.
+std::string to_hex(const Digest128& d);
+
+/// Streaming hasher. Feed bytes / primitives in a fixed order, then
+/// call `digest()`; `digest()` is non-destructive, so a prefix digest
+/// can be taken and the stream extended (the engine fingerprint uses
+/// this to derive the patch-tier key as a prefix of the result-tier
+/// key).
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed = 0);
+
+  void update(const void* data, std::size_t len);
+
+  // Primitive feeders: each serializes to little-endian bytes so the
+  // stream (and therefore the digest) is identical across platforms.
+  void update_u64(std::uint64_t v);
+  void update_i64(std::int64_t v);
+  void update_u32(std::uint32_t v);
+  void update_f32(float v);   // IEEE-754 bit pattern
+  void update_f64(double v);  // IEEE-754 bit pattern
+  /// Length-prefixed, so adjacent strings cannot alias ("ab","c" vs
+  /// "a","bc").
+  void update_str(std::string_view s);
+  void update_digest(const Digest128& d);
+
+  Digest128 digest() const;
+
+ private:
+  void mix_block(const unsigned char* block);
+
+  std::uint64_t h1_ = 0;
+  std::uint64_t h2_ = 0;
+  unsigned char tail_[16];
+  std::size_t tail_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience: hash `len` bytes under `seed`.
+Digest128 hash_bytes(const void* data, std::size_t len,
+                     std::uint64_t seed = 0);
+
+/// Combine two digests into one (order-sensitive), under `seed`.
+Digest128 combine(const Digest128& a, const Digest128& b,
+                  std::uint64_t seed = 0);
+
+}  // namespace apf::core

@@ -84,10 +84,83 @@ void InferenceEngine::validate_image(const img::Image& image,
 }
 
 core::PatchSequence InferenceEngine::patch(const img::Image& image) const {
+  return patch(image, /*image_key=*/nullptr, /*cache_hit=*/nullptr);
+}
+
+core::PatchSequence InferenceEngine::patch(const img::Image& image,
+                                           const core::Digest128* image_key,
+                                           bool* cache_hit) const {
   validate_image(image);
+  if (cache_hit) *cache_hit = false;
+  if (cache_ && cache_->patch_tier_enabled()) {
+    const core::Digest128 ikey =
+        image_key ? *image_key : cache_->image_key(image);
+    const core::Digest128 pkey =
+        core::combine(ikey, fingerprint_.patch, cache_->config().seed);
+    if (std::optional<core::PatchSequence> hit = cache_->get_patch(pkey)) {
+      if (cache_hit) *cache_hit = true;
+      return std::move(*hit);
+    }
+    core::PatchSequence seq =
+        patcher_.process_unpadded(image, /*rng=*/nullptr);
+    cache_->put_patch(pkey, seq);
+    return seq;
+  }
   // nullptr rng forces the deterministic coarsest-first drop so serving
   // results are reproducible regardless of arrival order.
   return patcher_.process_unpadded(image, /*rng=*/nullptr);
+}
+
+void InferenceEngine::set_cache(std::shared_ptr<InferenceCache> cache) {
+  if (cache) {
+    const EngineFingerprint fp = compute_engine_fingerprint(
+        model_, cfg_.patcher, cfg_.mask_threshold, cache->config().seed);
+    set_cache(std::move(cache), fp);
+  } else {
+    set_cache(nullptr, EngineFingerprint{});
+  }
+}
+
+void InferenceEngine::set_cache(std::shared_ptr<InferenceCache> cache,
+                                const EngineFingerprint& fp) {
+  cache_ = std::move(cache);
+  fingerprint_ = fp;
+}
+
+std::optional<core::Digest128> InferenceEngine::cache_image_key(
+    const img::Image& image) const {
+  if (!cache_) return std::nullopt;
+  return cache_->image_key(image);
+}
+
+core::Digest128 InferenceEngine::result_key(
+    const core::Digest128& image_key) const {
+  core::Hasher h(cache_->config().seed);
+  h.update_digest(fingerprint_.result);
+  h.update_digest(image_key);
+  // Backend bitwise class: reference and avx2 certify bitwise_exact()
+  // and are bitwise-identical to each other, so they share entries under
+  // one label; tolerance-grade backends (fma, blas) key by name so their
+  // numerically different logits never serve a bitwise-exact request.
+  const GemmBackend& backend = active_gemm_backend();
+  if (backend.bitwise_exact()) {
+    h.update_str("bitwise-exact");
+  } else {
+    h.update_str(backend.name());
+  }
+  return h.digest();
+}
+
+std::optional<CachedResult> InferenceEngine::cached_result(
+    const core::Digest128& image_key) const {
+  if (!cache_ || !cache_->result_tier_enabled()) return std::nullopt;
+  return cache_->get_result(result_key(image_key));
+}
+
+void InferenceEngine::store_result(const core::Digest128& image_key,
+                                   const CachedResult& value) const {
+  if (!cache_ || !cache_->result_tier_enabled()) return;
+  cache_->put_result(result_key(image_key), value);
 }
 
 core::TokenBatch InferenceEngine::prepare(
@@ -188,13 +261,11 @@ double InferenceEngine::flops_for_tokens(std::int64_t valid_tokens) const {
 InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
   APF_CHECK(!images.empty(), "InferenceEngine::run: empty image batch");
   const auto t_start = Clock::now();
+  const std::int64_t n = static_cast<std::int64_t>(images.size());
   InferenceResult out;
-  out.stats.images = static_cast<std::int64_t>(images.size());
+  out.stats.images = n;
 
-  // Stage 1: patch every image (validating geometry with its index).
-  std::vector<core::PatchSequence> seqs;
-  seqs.reserve(images.size());
-  std::int64_t max_len = 0;
+  // Validate geometry (with indices) and batch homogeneity up front.
   for (std::size_t i = 0; i < images.size(); ++i) {
     validate_image(images[i], static_cast<std::int64_t>(i));
     APF_CHECK(images[i].h == images[0].h && images[i].c == images[0].c,
@@ -205,19 +276,67 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
                                              << images[0].h << "x"
                                              << images[0].w << "x"
                                              << images[0].c);
-    seqs.push_back(patcher_.process_unpadded(images[i], /*rng=*/nullptr));
+  }
+
+  // Stage 0: content-addressed result reuse. Safe bitwise because the
+  // forward computes each image from its own valid tokens only (padded-
+  // length independence), so a previously computed image carries the
+  // exact bits a recompute would produce, whatever batch either rode in.
+  std::vector<std::optional<core::Digest128>> keys(images.size());
+  std::vector<std::optional<CachedResult>> cached(images.size());
+  if (cache_) {
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      keys[i] = cache_->image_key(images[i]);
+      if (!cache_->result_tier_enabled()) continue;
+      cached[i] = cached_result(*keys[i]);
+      if (cached[i]) {
+        out.stats.result_cache_hits += 1;
+        out.stats.tokens += cached[i]->valid_tokens;
+      } else {
+        out.stats.result_cache_misses += 1;
+      }
+    }
+  }
+
+  // Stage 1: patch the misses (patch-tier reuse inside patch()).
+  std::vector<core::PatchSequence> seqs;  // parallel to miss_idx
+  std::vector<std::int64_t> miss_idx;
+  std::int64_t max_len = 0;
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    if (cached[i]) continue;
+    bool patch_hit = false;
+    seqs.push_back(patch(images[i], keys[i] ? &*keys[i] : nullptr,
+                         &patch_hit));
+    if (cache_ && cache_->patch_tier_enabled()) {
+      (patch_hit ? out.stats.patch_cache_hits : out.stats.patch_cache_misses)
+          += 1;
+    }
+    miss_idx.push_back(static_cast<std::int64_t>(i));
     max_len = std::max(max_len, seqs.back().length());
     out.stats.tokens += seqs.back().num_valid();
   }
   // The serial baseline squares everything in first-come order: to the
   // configured budget when seq_len > 0, else to the longest sequence.
-  const std::int64_t target =
-      std::max(cfg_.patcher.seq_len, max_len);
-  out.stats.padded_tokens =
-      static_cast<std::int64_t>(seqs.size()) * target - out.stats.tokens;
+  // Misses only — the target never changes any image's bits (padded-
+  // length independence), only the padding accounting.
+  const std::int64_t target = std::max(cfg_.patcher.seq_len, max_len);
+  out.stats.padded_tokens = 0;
+  for (const core::PatchSequence& s : seqs)
+    out.stats.padded_tokens += target - s.num_valid();
   out.stats.patch_seconds = seconds_since(t_start);
 
-  // Stage 2: chunked grad-free forward.
+  // Splice cached logits into their original slots.
+  for (std::size_t i = 0; i < images.size(); ++i) {
+    if (!cached[i]) continue;
+    const Tensor& hit = cached[i]->logits;  // [1, C, Z, Z]
+    if (!out.logits.defined()) {
+      out.logits = Tensor({n, hit.size(1), hit.size(2), hit.size(3)});
+    }
+    std::copy(hit.data(), hit.data() + hit.numel(),
+              out.logits.data() + static_cast<std::int64_t>(i) * hit.numel());
+  }
+
+  // Stage 2: chunked grad-free forward over the misses.
   const auto t_fwd = Clock::now();
   {
     std::optional<EvalGuard> eval;
@@ -231,10 +350,14 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
       Tensor logits = forward(tb);  // [nb, C, Z, Z]
       if (!out.logits.defined()) {
         out.logits =
-            Tensor({b, logits.size(1), logits.size(2), logits.size(3)});
+            Tensor({n, logits.size(1), logits.size(2), logits.size(3)});
       }
-      std::copy(logits.data(), logits.data() + logits.numel(),
-                out.logits.data() + off * logits.numel() / nb);
+      const std::int64_t per_image = logits.numel() / nb;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        std::copy(logits.data() + j * per_image,
+                  logits.data() + (j + 1) * per_image,
+                  out.logits.data() + miss_idx[off + j] * per_image);
+      }
       out.stats.batches += 1;
     }
   }
@@ -243,12 +366,33 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
 
   // Delivered encoder compute: the serving path skips padding everywhere
   // (fused attention + mask-aware dense layers), so each image costs its
-  // VALID token count, not the padded batch length.
+  // VALID token count, not the padded batch length. Cache hits delivered
+  // no new compute and add nothing here.
   for (const core::PatchSequence& s : seqs)
     out.stats.model_flops += flops_for_tokens(s.num_valid());
 
-  // Stage 3: decode pixel-space masks.
+  // Stage 3: decode pixel-space masks (hit slots decode the cached
+  // logits to bitwise-identical masks — decode is deterministic).
   out.masks = decode(out.logits);
+
+  // Populate the result tier with the freshly computed misses.
+  if (cache_ && cache_->result_tier_enabled()) {
+    for (std::size_t m = 0; m < seqs.size(); ++m) {
+      const std::int64_t i = miss_idx[m];
+      const std::int64_t per_image = out.logits.numel() / n;
+      CachedResult value;
+      value.logits = Tensor(
+          {1, out.logits.size(1), out.logits.size(2), out.logits.size(3)});
+      std::copy(out.logits.data() + i * per_image,
+                out.logits.data() + (i + 1) * per_image,
+                value.logits.data());
+      value.mask = out.masks[static_cast<std::size_t>(i)];
+      value.valid_tokens = seqs[m].num_valid();
+      value.model_flops = flops_for_tokens(seqs[m].num_valid());
+      store_result(*keys[static_cast<std::size_t>(i)], value);
+    }
+  }
+
   out.stats.total_seconds = seconds_since(t_start);
   return out;
 }

@@ -21,6 +21,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "models/patcher.h"
 #include "img/image.h"
 #include "models/segmodel.h"
+#include "serve/cache.h"
 
 namespace apf::serve {
 
@@ -74,6 +77,16 @@ struct InferenceStats {
   /// flushed at that size (server aggregate only; adaptive batching shows
   /// up here as mass moving to larger sizes under load).
   std::map<std::int64_t, std::int64_t> batch_size_counts;
+  /// Content-cache activity (serve/cache.h). On per-run()/per-request
+  /// stats these count that call's own lookups; on server aggregates
+  /// they are the shared cache's lifetime totals. All zero when no cache
+  /// is attached.
+  std::int64_t patch_cache_hits = 0;
+  std::int64_t patch_cache_misses = 0;
+  std::int64_t result_cache_hits = 0;
+  std::int64_t result_cache_misses = 0;
+  std::int64_t cache_evictions = 0;  ///< both tiers (server aggregate only)
+  std::int64_t cache_bytes = 0;      ///< gauge: bytes held (aggregate only)
   double patch_seconds = 0.0;      ///< edge map + quadtree + resample
   double queue_seconds = 0.0;      ///< waiting for a batch slot (server)
   double forward_seconds = 0.0;    ///< model time under NoGradGuard
@@ -100,6 +113,12 @@ struct InferenceStats {
   double padding_ratio() const {
     const std::int64_t total = tokens + padded_tokens;
     return total > 0 ? static_cast<double>(padded_tokens) / total : 0.0;
+  }
+  /// Fraction of result-tier lookups that hit (0 when none were made).
+  double result_cache_hit_rate() const {
+    const std::int64_t lookups = result_cache_hits + result_cache_misses;
+    return lookups > 0 ? static_cast<double>(result_cache_hits) / lookups
+                       : 0.0;
   }
 };
 
@@ -137,6 +156,14 @@ class InferenceEngine {
   /// bucket. Throws detail::CheckError when the image does not match the
   /// model's expected square geometry (validate_image).
   core::PatchSequence patch(const img::Image& image) const;
+
+  /// As patch(), but cache-aware plumbing for serve::Server: reuses a
+  /// precomputed image content key (nullptr = compute it here when
+  /// needed) and reports whether the patch tier hit. Identical to
+  /// patch(image) when no cache is attached.
+  core::PatchSequence patch(const img::Image& image,
+                            const core::Digest128* image_key,
+                            bool* cache_hit) const;
 
   /// Pads every sequence (zero tokens, mask 0) to target_len and stacks
   /// them into one TokenBatch. target_len == 0 uses the longest sequence
@@ -183,11 +210,45 @@ class InferenceEngine {
   const EngineConfig& config() const { return cfg_; }
   models::TokenSegModel& model() const { return model_; }
 
+  // ----------------------------------------------------------- caching
+
+  /// Attaches a content-addressed cache (serve/cache.h); nullptr
+  /// detaches. The single-argument form computes the engine fingerprint
+  /// here (hashing every model parameter); the two-argument form takes a
+  /// precomputed one so serve::Server can share a single computation
+  /// across its per-worker engines. With a cache attached, patch()
+  /// consults the patch tier and run() consults the result tier; all
+  /// outputs stay bitwise identical to the cold path.
+  void set_cache(std::shared_ptr<InferenceCache> cache);
+  void set_cache(std::shared_ptr<InferenceCache> cache,
+                 const EngineFingerprint& fp);
+  const std::shared_ptr<InferenceCache>& cache() const { return cache_; }
+
+  /// Content key of one image under the attached cache's seed; nullopt
+  /// when no cache is attached. Computed once per request and threaded
+  /// through patch() / the result-tier helpers so each image is hashed
+  /// exactly once.
+  std::optional<core::Digest128> cache_image_key(
+      const img::Image& image) const;
+
+  /// Result-tier lookup / insert for one image; no-ops when the cache or
+  /// tier is off. The key mixes the engine fingerprint, the image key and
+  /// the active gemm backend's bitwise class (tensor/gemm_backend.h), so
+  /// tolerance-grade backends never cross-hit bitwise-exact entries.
+  std::optional<CachedResult> cached_result(
+      const core::Digest128& image_key) const;
+  void store_result(const core::Digest128& image_key,
+                    const CachedResult& value) const;
+
  private:
+  core::Digest128 result_key(const core::Digest128& image_key) const;
+
   models::TokenSegModel& model_;
   EngineConfig cfg_;
   core::AdaptivePatcher patcher_;
   Rng rng_;  ///< consumed only by dropout, which eval mode disables
+  std::shared_ptr<InferenceCache> cache_;  ///< may be shared across engines
+  EngineFingerprint fingerprint_;          ///< valid while cache_ is set
 };
 
 }  // namespace apf::serve

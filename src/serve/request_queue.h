@@ -58,6 +58,12 @@ struct Request {
   /// Requests already pending when this one was admitted (observability:
   /// surfaces as InferenceStats::queue_depth).
   std::int64_t queue_depth = 0;
+  /// Content-cache plumbing (serve/cache.h), set at submit() when the
+  /// server has a cache attached: the image's content key (so the worker
+  /// can populate the result tier without re-hashing the pixels) and
+  /// whether stage-1 patching hit the patch tier (per-request stats).
+  std::optional<core::Digest128> image_key;
+  bool patch_cache_hit = false;
 };
 
 /// Bounded multi-producer / multi-consumer queue of Requests, bucketed by

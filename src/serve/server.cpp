@@ -42,12 +42,27 @@ Server::Server(models::TokenSegModel& model, ServerConfig cfg)
             "batch_deadline_ms = "
                 << cfg_.batch_deadline_ms << "], got "
                 << cfg_.adaptive_min_deadline_ms);
+  APF_CHECK(cfg_.cache.capacity_bytes >= 0,
+            "ServerConfig: cache.capacity_bytes must be >= 0, got "
+                << cfg_.cache.capacity_bytes);
   // max_queue / bucket_granularity are validated by the RequestQueue; the
-  // EngineConfig by the engines below.
+  // EngineConfig by the engines below; the rest of the CacheConfig by the
+  // InferenceCache constructor.
   engines_.reserve(static_cast<std::size_t>(cfg_.num_workers));
   for (int i = 0; i < cfg_.num_workers; ++i)
     engines_.push_back(std::make_unique<InferenceEngine>(model_, cfg_.engine));
   patch_engine_ = std::make_unique<InferenceEngine>(model_, cfg_.engine);
+
+  if (cfg_.cache.enabled()) {
+    cache_ = std::make_shared<InferenceCache>(cfg_.cache);
+    // One fingerprint computation (it hashes every model parameter) shared
+    // across all engine views — they serve the same model and config.
+    const EngineFingerprint fp = compute_engine_fingerprint(
+        model_, cfg_.engine.patcher, cfg_.engine.mask_threshold,
+        cfg_.cache.seed);
+    for (const auto& engine : engines_) engine->set_cache(cache_, fp);
+    patch_engine_->set_cache(cache_, fp);
+  }
 
   // Park the shared model in eval mode for the server's lifetime: workers
   // then only READ module state, so concurrent forwards are race-free.
@@ -55,8 +70,9 @@ Server::Server(models::TokenSegModel& model, ServerConfig cfg)
   model_.set_training(false);
 
   // Scope the scheduler counters reported by stats() to this server's
-  // lifetime.
+  // lifetime. The first stats_since_last() window also starts here.
   sched_at_start_ = scheduler_stats();
+  window_started_ = started_;
 
   workers_.reserve(engines_.size());
   for (std::size_t i = 0; i < engines_.size(); ++i)
@@ -80,8 +96,43 @@ std::future<InferenceResult> Server::submit(const img::Image& image) {
   // (failing fast with the offending shape), and patching in parallel
   // across clients keeps the workers fed with bucketable sequences.
   const auto t0 = Clock::now();
+  std::optional<core::Digest128> image_key;
+  if (cache_) {
+    patch_engine_->validate_image(image);
+    image_key = patch_engine_->cache_image_key(image);
+    if (std::optional<CachedResult> hit =
+            patch_engine_->cached_result(*image_key)) {
+      // Exact duplicate: serve it right here — no queue, no worker, no
+      // forward. The cache handed out a deep copy, so the client owns its
+      // logits; the bits are identical to a cold request by the result-
+      // tier contract. Shutdown still rejects new work on this path.
+      APF_CHECK(!queue_.closed(), "Server::submit: server is shut down");
+      InferenceResult out;
+      out.logits = hit->logits;
+      out.masks.push_back(std::move(hit->mask));
+      InferenceStats& s = out.stats;
+      s.images = 1;
+      s.tokens = hit->valid_tokens;
+      s.result_cache_hits = 1;
+      s.gemm_backend = active_gemm_backend().name();
+      s.total_seconds = seconds_since(t0);
+      // Fold into the aggregate BEFORE the future resolves (same ordering
+      // contract as process_batch). Cache counters live in the cache.
+      {
+        MutexLock lock(stats_mu_);
+        aggregate_.images += 1;
+        aggregate_.tokens += hit->valid_tokens;
+      }
+      std::promise<InferenceResult> promise;
+      std::future<InferenceResult> future = promise.get_future();
+      promise.set_value(std::move(out));
+      return future;
+    }
+  }
   Request r;
-  r.seq = patch_engine_->patch(image);
+  r.image_key = image_key;
+  r.seq = patch_engine_->patch(
+      image, image_key ? &*image_key : nullptr, &r.patch_cache_hit);
   r.patch_seconds = seconds_since(t0);
   r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   r.queue_depth = queue_.pending();  // depth at admission (observability)
@@ -201,6 +252,26 @@ void Server::process_batch(InferenceEngine& engine,
                         seconds_since(t0);
       s.gemm_backend = backend;
       s.model_flops = engine.flops_for_tokens(valid);
+      if (cache_) {
+        // Per-request cache accounting: a request reaching a worker
+        // missed the result tier by definition; the patch-tier outcome
+        // rode in on the Request. (Aggregate counters come from the
+        // shared cache itself — see snapshot().)
+        s.patch_cache_hits = r.patch_cache_hit ? 1 : 0;
+        s.patch_cache_misses =
+            cache_->patch_tier_enabled() && !r.patch_cache_hit ? 1 : 0;
+        s.result_cache_misses = cache_->result_tier_enabled() ? 1 : 0;
+      }
+      if (r.image_key) {
+        // Populate the result tier so the next identical submission is
+        // served from submit() directly (put_result deep-copies).
+        CachedResult value;
+        value.logits = out.logits;
+        value.mask = out.masks[0];
+        value.valid_tokens = valid;
+        value.model_flops = s.model_flops;
+        engine.store_result(*r.image_key, value);
+      }
 
       delta.tokens += s.tokens;
       delta.padded_tokens += s.padded_tokens;
@@ -243,16 +314,65 @@ void Server::process_batch(InferenceEngine& engine,
   }
 }
 
-InferenceStats Server::stats() const {
+InferenceStats Server::snapshot() const {
+  // Gather external counters BEFORE taking stats_mu_: the cache locks
+  // its shard mutexes, and keeping those acquisitions outside the
+  // stats_mu_ critical section keeps the lock-order graph edge-free.
+  const CacheStats cache_now = cache_ ? cache_->stats() : CacheStats{};
+  const SchedulerStats now = scheduler_stats();
   MutexLock lock(stats_mu_);
   InferenceStats out = aggregate_;
   out.total_seconds = seconds_since(started_);
   // Scheduler activity since construction (process-wide counters diffed
   // against the construction snapshot — see InferenceStats docs).
-  const SchedulerStats now = scheduler_stats();
   out.scheduler_steals = now.steals - sched_at_start_.steals;
   out.forward_tasks = now.forward_tasks - sched_at_start_.forward_tasks;
   out.panel_tasks = now.panel_tasks - sched_at_start_.panel_tasks;
+  // Cache totals come from the shared cache itself: the per-shard
+  // counters are the ground truth for hits/misses/evictions, and bytes/
+  // entries are its current footprint.
+  out.patch_cache_hits = cache_now.patch.hits;
+  out.patch_cache_misses = cache_now.patch.misses;
+  out.result_cache_hits = cache_now.result.hits;
+  out.result_cache_misses = cache_now.result.misses;
+  out.cache_evictions = cache_now.total_evictions();
+  out.cache_bytes = cache_now.total_bytes();
+  return out;
+}
+
+InferenceStats Server::stats() const { return snapshot(); }
+
+InferenceStats Server::stats_since_last() {
+  InferenceStats cur = snapshot();
+  MutexLock lock(stats_mu_);
+  InferenceStats out = cur;
+  const InferenceStats& base = window_base_;
+  // Monotonic counters and summed seconds report the per-window delta;
+  // gauges (cache_bytes, gemm_backend, batch_size) stay current.
+  out.images -= base.images;
+  out.batches -= base.batches;
+  out.tokens -= base.tokens;
+  out.padded_tokens -= base.padded_tokens;
+  out.queue_depth -= base.queue_depth;
+  out.scheduler_steals -= base.scheduler_steals;
+  out.forward_tasks -= base.forward_tasks;
+  out.panel_tasks -= base.panel_tasks;
+  out.patch_cache_hits -= base.patch_cache_hits;
+  out.patch_cache_misses -= base.patch_cache_misses;
+  out.result_cache_hits -= base.result_cache_hits;
+  out.result_cache_misses -= base.result_cache_misses;
+  out.cache_evictions -= base.cache_evictions;
+  out.patch_seconds -= base.patch_seconds;
+  out.queue_seconds -= base.queue_seconds;
+  out.forward_seconds -= base.forward_seconds;
+  out.model_flops -= base.model_flops;
+  for (const auto& [size, count] : base.batch_size_counts) {
+    if ((out.batch_size_counts[size] -= count) == 0)
+      out.batch_size_counts.erase(size);
+  }
+  out.total_seconds = seconds_since(window_started_);
+  window_base_ = std::move(cur);
+  window_started_ = Clock::now();
   return out;
 }
 

@@ -71,6 +71,13 @@ struct ServerConfig {
   /// Deadline floor (ms) under full-queue pressure; only meaningful with
   /// adaptive_max_batch > 0. Must be in [0, batch_deadline_ms].
   double adaptive_min_deadline_ms = 0.0;
+  /// Content-addressed cache (serve/cache.h): capacity_bytes > 0 turns it
+  /// on, and one shared InferenceCache then backs every worker engine and
+  /// the client-side patch stage. Exact duplicate submissions are served
+  /// straight from submit() (no queue, no forward) with outputs bitwise
+  /// identical to a cold request; repeated pixels with a cold result tier
+  /// still skip stage-1 patching via the patch tier. Off by default.
+  CacheConfig cache;
 };
 
 /// Asynchronous inference server over one TokenSegModel.
@@ -110,8 +117,23 @@ class Server {
   /// summed patch/queue/forward seconds, wall-clock total since
   /// construction, delivered encoder FLOPs — plus scheduler observability
   /// (summed queue depth at admission, steal and per-kind task counts
-  /// since construction, effective batch size distribution).
+  /// since construction, effective batch size distribution) and, with a
+  /// cache configured, the shared cache's hit/miss/eviction totals and
+  /// current byte footprint.
   InferenceStats stats() const;
+
+  /// Stats for the window since the previous stats_since_last() call (or
+  /// construction, on the first call), then resets the window: counters
+  /// and summed seconds are the per-window delta, total_seconds is the
+  /// window's wall-clock span, and gauges (cache_bytes, gemm_backend)
+  /// report their current values. Long-lived servers use this for
+  /// per-window hit rates and throughput instead of lifetime aggregates.
+  /// Thread-safe, but concurrent callers split the stream between them —
+  /// each delta is observed by exactly one caller.
+  InferenceStats stats_since_last();
+
+  /// The shared content cache; nullptr when cfg.cache is disabled.
+  const std::shared_ptr<InferenceCache>& cache() const { return cache_; }
 
   /// Requests accepted but not yet handed to a worker.
   std::int64_t pending() const { return queue_.pending(); }
@@ -121,6 +143,9 @@ class Server {
  private:
   void worker_main(std::size_t worker_index);
   void process_batch(InferenceEngine& engine, std::vector<Request>&& batch);
+  /// Lifetime aggregate incl. scheduler deltas and cache totals (the
+  /// body of stats(); also the sample stats_since_last() windows over).
+  InferenceStats snapshot() const;
 
   models::TokenSegModel& model_;
   ServerConfig cfg_;
@@ -141,8 +166,18 @@ class Server {
   bool model_was_training_ APF_GUARDED_BY(shutdown_mu_) = false;
   bool shut_down_ APF_GUARDED_BY(shutdown_mu_) = false;
 
+  /// One content cache shared by every worker engine and the patch
+  /// engine; nullptr when cfg_.cache is disabled. The engines hold it by
+  /// shared_ptr, so entries stay valid however the server winds down.
+  std::shared_ptr<InferenceCache> cache_;
+
   mutable Mutex stats_mu_;
   InferenceStats aggregate_ APF_GUARDED_BY(stats_mu_);
+  /// stats_since_last() window state: the snapshot at the last window
+  /// reset and when that window started.
+  InferenceStats window_base_ APF_GUARDED_BY(stats_mu_);
+  std::chrono::steady_clock::time_point window_started_
+      APF_GUARDED_BY(stats_mu_);
   std::chrono::steady_clock::time_point started_;
 };
 

@@ -249,6 +249,121 @@ class B1 {
         self.assertEqual([], rules_for({"src/core/two.cpp": text}))
 
 
+# The serve/cache.cpp shape: an array of shards, each owning its mutex,
+# accessed through a typed local reference (`Shard& s = ...; MutexLock
+# lock(s.mu);`). The analyzer folds every shard into one Shard::mu node,
+# so the discipline the real cache follows — exactly one shard lock per
+# operation, never held across another acquisition — is what keeps it
+# clean, and the classic sharded-container mistakes are what get flagged.
+SHARDED_LRU = """
+#include "core/thread_annotations.h"
+namespace apf {
+class ShardedLru {
+ public:
+  void get(int i) {
+    Shard& s = *shards_[i];
+    MutexLock lock(s.mu);
+  }
+  void put(int i) {
+    Shard& s = *shards_[i];
+    MutexLock lock(s.mu);
+  }
+  void stats() {
+    for (int i = 0; i < 4; ++i) {
+      Shard& s = *shards_[i];
+      MutexLock lock(s.mu);
+    }
+  }
+ private:
+  struct Shard {
+    Mutex mu;
+  };
+  Shard* shards_[4];
+};
+}  // namespace apf
+"""
+
+
+class ShardedLruShapes(unittest.TestCase):
+    def test_one_shard_lock_per_operation_is_clean(self):
+        self.assertEqual([], rules_for({"src/serve/lru.cpp": SHARDED_LRU}))
+
+    def test_cross_shard_hold_is_self_recursion(self):
+        # A naive rebalance locking shard i while holding shard j: every
+        # shard maps to the same Shard::mu node, and the analyzer treats
+        # holding two at once as the self-deadlock it can become (i == j,
+        # or two threads migrating in opposite directions).
+        text = SHARDED_LRU.replace(
+            " private:",
+            """  void migrate(int i, int j) {
+    Shard& a = *shards_[i];
+    Shard& b = *shards_[j];
+    MutexLock la(a.mu);
+    MutexLock lb(b.mu);
+  }
+ private:""")
+        self.assertIn("lock-recursion",
+                      rules_for({"src/serve/lru.cpp": text}))
+
+    def test_aggregate_mutex_over_shard_lock_cycles(self):
+        # snapshot() holds the aggregate stats mutex while reading a
+        # shard; the eviction path publishes shard->aggregate. That is
+        # the AB/BA deadlock the real snapshot() avoids by gathering
+        # shard stats BEFORE taking stats_mu_.
+        text = """
+class CacheStatsBad {
+ public:
+  void snapshot() {
+    MutexLock stats(stats_mu_);
+    Shard& s = *shards_[0];
+    MutexLock lock(s.mu);
+  }
+  void evict_notify() {
+    Shard& s = *shards_[0];
+    MutexLock lock(s.mu);
+    MutexLock stats(stats_mu_);
+  }
+ private:
+  struct Shard {
+    Mutex mu;
+  };
+  Shard* shards_[4];
+  Mutex stats_mu_;
+};
+"""
+        self.assertIn("lock-order-cycle",
+                      rules_for({"src/serve/lru.cpp": text}))
+
+    def test_gather_before_aggregate_lock_is_clean(self):
+        # The shipped ordering: shard locks are released (scoped block)
+        # before the aggregate mutex is taken, so only the
+        # shard->aggregate edge exists and there is no cycle.
+        text = """
+class CacheStatsGood {
+ public:
+  void snapshot() {
+    {
+      Shard& s = *shards_[0];
+      MutexLock lock(s.mu);
+    }
+    MutexLock stats(stats_mu_);
+  }
+  void evict_notify() {
+    Shard& s = *shards_[0];
+    MutexLock lock(s.mu);
+    MutexLock stats(stats_mu_);
+  }
+ private:
+  struct Shard {
+    Mutex mu;
+  };
+  Shard* shards_[4];
+  Mutex stats_mu_;
+};
+"""
+        self.assertEqual([], rules_for({"src/serve/lru.cpp": text}))
+
+
 class CommittedTree(unittest.TestCase):
     ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
 
