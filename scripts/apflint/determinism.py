@@ -16,11 +16,15 @@ CMAKE_EXPORT_COMPILE_COMMANDS):
                 optimizations, -fassociative-math, -freciprocal-math,
                 -ffinite-math-only).
   isa-gate      TUs built with ISA extensions beyond the baseline
-                (-mavx2 / -mfma / -mavx512* / -march=...) must be on the
-                ISA_GATED_TUS allowlist: kernels reachable only through
-                the cpuid-gated backend registry (gemm_backend.cpp), so a
-                binary never executes instructions the host lacks and the
-                reference path stays the portable default.
+                (-mavx2 / -mfma / -mavx512* / -march=...) must implement a
+                backend wired into the registry TU (gemm_backend.cpp):
+                every detail::<name>_gemm_backend() factory there maps to
+                src/tensor/gemm_<name>.cpp, reachable only after its
+                runtime is_available() cpuid gate — so a binary never
+                executes instructions the host lacks and the reference
+                path stays the portable default. Registering a new gated
+                backend extends the allowlist automatically; no linter
+                edit needed.
 
 Source rules (scan src/**/*.{h,cpp}; no build needed):
 
@@ -42,19 +46,46 @@ Waivers: // determinism-ok(<rule>): <why> (see apflint.base).
 Fixture coverage: tests/test_lint_determinism.py.
 """
 
+import os
 import re
 
 from . import base
 
 NAME = "determinism"
 
-# TUs allowed to carry ISA flags beyond the baseline: the runtime-gated
-# kernels behind the backend registry. Paths are /-separated and relative
-# to the repo root.
+# The backend registry TU: the one place backends are wired into the
+# library. The isa-gate allowlist is DERIVED from it (see
+# registry_gated_tus) so the linter tracks the registry instead of a
+# hand-maintained filename list.
+REGISTRY_TU = "src/tensor/gemm_backend.cpp"
+BACKEND_FACTORY_RE = re.compile(r"\bdetail::(\w+)_gemm_backend\s*\(")
+
+# Static fallback for roots where the registry TU cannot be read
+# (synthetic fixture roots in tests). Paths are /-separated and relative
+# to the repo root. Kept exported: the shim surface re-exports it and the
+# fixture tests pin that.
 ISA_GATED_TUS = frozenset({
     "src/tensor/gemm_avx2.cpp",
     "src/tensor/gemm_fma.cpp",
+    "src/tensor/gemm_int8.cpp",
 })
+
+
+def registry_gated_tus(root):
+    """TUs allowed to carry ISA flags beyond the baseline, derived from
+    the backend registry: each detail::<name>_gemm_backend() factory
+    referenced by REGISTRY_TU names a kernel TU src/tensor/gemm_<name>.cpp
+    whose code is reachable only after that backend's runtime
+    is_available() gate. Falls back to ISA_GATED_TUS when the registry TU
+    is absent or unreadable under `root`."""
+    try:
+        path = os.path.join(root, *REGISTRY_TU.split("/"))
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError:
+        return ISA_GATED_TUS
+    names = BACKEND_FACTORY_RE.findall(text)
+    return frozenset("src/tensor/gemm_%s.cpp" % n for n in names)
 
 # Every TU matching this prefix/suffix is a gemm kernel TU and must pin
 # -ffp-contract=off.
@@ -139,6 +170,7 @@ def scan_sources(root):
 
 def check_compile_commands(entries, root):
     violations = []
+    gated = registry_gated_tus(root)
     for entry in entries:
         rel = base.entry_relpath(entry, root)
         args = base.entry_args(entry)
@@ -160,12 +192,12 @@ def check_compile_commands(entries, root):
                     "gemm kernel TU built without -ffp-contract=off "
                     "(contracted FMAs change accumulation rounding)"))
         isa = [a for a in args if ISA_FLAG_RE.match(a)]
-        if isa and rel not in ISA_GATED_TUS:
+        if isa and rel not in gated:
             violations.append(base.Violation(
                 rel, 0, "isa-gate",
-                f"built with {' '.join(isa)} but not on the cpuid-gated "
-                "backend allowlist (ISA_GATED_TUS); non-gated TUs must "
-                "stay on the baseline ISA"))
+                f"built with {' '.join(isa)} but does not implement a "
+                f"backend registered in {REGISTRY_TU}; non-gated TUs "
+                "must stay on the baseline ISA"))
     return violations
 
 

@@ -34,6 +34,8 @@ entry_relpath = _base.entry_relpath
 
 MARKER_RE = _det.MARKER_RE
 ISA_GATED_TUS = _det.ISA_GATED_TUS
+REGISTRY_TU = _det.REGISTRY_TU
+registry_gated_tus = _det.registry_gated_tus
 GEMM_TU_PREFIX = _det.GEMM_TU_PREFIX
 GEMM_TU_SUFFIX = _det.GEMM_TU_SUFFIX
 FAST_MATH_FLAGS = _det.FAST_MATH_FLAGS

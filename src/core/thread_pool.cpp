@@ -431,8 +431,13 @@ void TaskGroup::submit_owned(std::int64_t chunks,
                              TaskKind kind) {
   // Width 1 (globally or via ThreadLimitGuard) runs inline and serial on
   // the submitting thread, like every other parallel region; failures
-  // still surface at wait(), uniformly with the scheduled path.
+  // still surface at wait(), uniformly with the scheduled path. The
+  // chunks still count toward the SchedulerStats task counters — they
+  // describe submitted regions, not worker hand-offs — so the numbers
+  // are comparable across thread counts (steals, by contrast, can only
+  // happen on the scheduled path).
   if (detail::parallel_width() <= 1) {
+    count_submission(kind, chunks);
     PermitGuard permit;  // inline work still respects the execution bound
     for (std::int64_t i = 0; i < chunks; ++i) {
       try {
@@ -464,6 +469,9 @@ void ThreadPool::run(std::int64_t chunks, RawFn fn, void* ctx,
   // inline — they submit to the shared pool and compose with whatever
   // else is running (the PR 5 pool ran them serially instead).
   if (chunks == 1 || detail::parallel_width() <= 1) {
+    // Inline regions still count (see submit_owned): the task counters
+    // describe the work submitted, whichever thread ends up running it.
+    count_submission(kind, chunks);
     PermitGuard permit;  // inline work still respects the execution bound
     for (std::int64_t i = 0; i < chunks; ++i) fn(ctx, i);
     return;

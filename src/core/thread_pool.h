@@ -99,10 +99,13 @@ class ThreadLimitGuard {
 enum class TaskKind : int { kGeneric = 0, kForward = 1, kPanel = 2 };
 
 /// Process-wide scheduler counters (monotone; snapshot and diff to scope a
-/// window). Tasks are counted per CHUNK at submission; steals count job
-/// acquisitions from a foreign deque or the shared inbox. Regions that run
-/// inline (single chunk, width 1) never reach the scheduler and are not
-/// counted.
+/// window). Tasks are counted per CHUNK at submission — including regions
+/// that end up running inline (single chunk, width 1), so the counts
+/// describe the submitted parallel work independent of thread count. Work
+/// that never forms a region at all (a parallel_for below its grain, a
+/// gemm below its flops floor) is not counted. Steals count job
+/// acquisitions from a foreign deque or the shared inbox and therefore
+/// stay 0 at width 1.
 struct SchedulerStats {
   std::uint64_t steals = 0;
   std::uint64_t forward_tasks = 0;
@@ -142,8 +145,9 @@ class TaskGroup {
   /// copied into the job, so it may outlive the caller's frame; whatever
   /// it captures by reference must stay alive until wait() returns. At
   /// width 1 (globally or under ThreadLimitGuard) the chunks run inline
-  /// and serial right here, uncounted, with failures still surfacing at
-  /// wait() — identical observable behavior to the scheduled path.
+  /// and serial right here — still counted in SchedulerStats, with
+  /// failures still surfacing at wait() — identical observable behavior
+  /// to the scheduled path.
   template <class F>
   void submit(std::int64_t chunks, F&& f,
               TaskKind kind = TaskKind::kGeneric) {

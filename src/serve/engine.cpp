@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <optional>
 
 #include "tensor/arena.h"
@@ -48,6 +49,17 @@ InferenceEngine::InferenceEngine(models::TokenSegModel& model,
             "EngineConfig: patcher seq_len must be >= 0 (0 = variable "
             "length), got "
                 << cfg_.patcher.seq_len);
+  // Resolve the forward precision once: explicit config beats the
+  // APF_PRECISION environment; int8 without the kernel (binary built
+  // without AVX2 support, or an older CPU) downgrades to fp32 loudly
+  // rather than failing mid-forward.
+  precision_ = cfg_.precision ? *cfg_.precision : precision_from_env();
+  if (precision_ == Precision::kInt8 && !int8_available()) {
+    std::fprintf(stderr,
+                 "[apf::serve] int8 precision requested but the quantized "
+                 "kernel is unavailable on this host; serving fp32\n");
+    precision_ = Precision::kFp32;
+  }
 }
 
 void InferenceEngine::validate_image(const img::Image& image,
@@ -148,6 +160,9 @@ core::Digest128 InferenceEngine::result_key(
   } else {
     h.update_str(backend.name());
   }
+  // Quantized forwards produce different (tolerance-grade) logits, so
+  // int8 entries must never serve an fp32 request or vice versa.
+  h.update_str(precision_name(precision_));
   return h.digest();
 }
 
@@ -210,6 +225,9 @@ Tensor InferenceEngine::forward(const core::TokenBatch& batch) {
   // so they are deep-copied to heap ownership first (arena.h escape rule)
   // — the pause guard routes that clone back to the heap.
   ArenaScope arena;
+  // Route the grad-free dense layers through the resolved precision for
+  // exactly this model call (nn/layers.h consults the thread-local knob).
+  PrecisionGuard precision(precision_);
   Var logits = model_.forward(batch, rng_);  // [B, C, Z, Z]
   APF_CHECK(logits.val().ndim() == 4 && logits.size(0) == batch.batch(),
             "InferenceEngine: model returned " << logits.val().str()
@@ -363,6 +381,7 @@ InferenceResult InferenceEngine::run(const std::vector<img::Image>& images) {
   }
   out.stats.forward_seconds = seconds_since(t_fwd);
   out.stats.gemm_backend = active_gemm_backend().name();
+  out.stats.precision = precision_name(precision_);
 
   // Delivered encoder compute: the serving path skips padding everywhere
   // (fused attention + mask-aware dense layers), so each image costs its

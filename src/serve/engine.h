@@ -31,6 +31,7 @@
 #include "img/image.h"
 #include "models/segmodel.h"
 #include "serve/cache.h"
+#include "tensor/quantize.h"
 
 namespace apf::serve {
 
@@ -44,6 +45,12 @@ struct EngineConfig {
                                 ///< seq_len > 0 gives fixed-length batches
   std::int64_t max_batch = 8;   ///< images per model call (chunked above)
   float mask_threshold = 0.5f;  ///< binary: P(foreground) cutoff for masks
+  /// Numeric precision of the grad-free dense layers (tensor/quantize.h).
+  /// nullopt resolves from the APF_PRECISION environment variable (fp32
+  /// when unset). int8 requests on hosts without the quantized kernel
+  /// warn on stderr and downgrade to fp32 at construction; the resolved
+  /// value is InferenceEngine::precision().
+  std::optional<Precision> precision;
 };
 
 /// Throughput accounting: per run() call, per server request, or
@@ -69,7 +76,12 @@ struct InferenceStats {
   /// counted per chunk by kind (kForward = one worker's run-to-completion
   /// drain, which may cover several consecutive batches — or none, when
   /// its pop lost a race; kPanel = gemm panels / parallel_for chunks).
-  /// Width-1 inline execution bypasses the scheduler and is not counted.
+  /// Tasks count every chunk of a parallel REGION, including regions that
+  /// ran inline at width 1, so the numbers describe the submitted work
+  /// independent of thread count. Work that never forms a region — a
+  /// gemm below its flops floor, a parallel_for below its grain — is not
+  /// counted; on a 1-core host that legitimately leaves panel_tasks at 0
+  /// while forward_tasks still tally the server's drains.
   std::uint64_t scheduler_steals = 0;
   std::uint64_t forward_tasks = 0;
   std::uint64_t panel_tasks = 0;
@@ -93,6 +105,8 @@ struct InferenceStats {
   double total_seconds = 0.0;
   /// Active gemm backend name (tensor/gemm_backend.h) during the forward.
   std::string gemm_backend;
+  /// Resolved engine precision ("fp32" / "int8") during the forward.
+  std::string precision;
   /// Analytical encoder FLOPs actually delivered: the sum over images of
   /// dist::vit_flops_per_image at each image's VALID token count (the
   /// fused attention + mask-aware dense layers skip padding, so padded
@@ -210,6 +224,10 @@ class InferenceEngine {
   const EngineConfig& config() const { return cfg_; }
   models::TokenSegModel& model() const { return model_; }
 
+  /// The resolved forward precision: the config's request (or the
+  /// APF_PRECISION environment) after the availability downgrade.
+  Precision precision() const { return precision_; }
+
   // ----------------------------------------------------------- caching
 
   /// Attaches a content-addressed cache (serve/cache.h); nullptr
@@ -245,6 +263,7 @@ class InferenceEngine {
 
   models::TokenSegModel& model_;
   EngineConfig cfg_;
+  Precision precision_ = Precision::kFp32;  ///< resolved at construction
   core::AdaptivePatcher patcher_;
   Rng rng_;  ///< consumed only by dropout, which eval mode disables
   std::shared_ptr<InferenceCache> cache_;  ///< may be shared across engines

@@ -100,6 +100,7 @@ GemmBackend* reference_gemm_backend();
 GemmBackend* avx2_gemm_backend();
 GemmBackend* fma_gemm_backend();
 GemmBackend* blas_gemm_backend();
+GemmBackend* int8_gemm_backend();
 }  // namespace detail
 
 }  // namespace apf

@@ -1,0 +1,234 @@
+#include "tensor/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/check.h"
+#include "core/thread_pool.h"
+#include "tensor/gemm.h"
+#include "tensor/gemm_backend.h"
+#include "tensor/tensor.h"
+
+namespace apf {
+namespace {
+
+thread_local Precision t_precision = Precision::kFp32;
+
+/// Mirrors the apf::gemm dispatcher's per-chunk flops floor (gemm.cpp):
+/// below this, an extra thread costs more in wake/join latency than it
+/// saves in arithmetic.
+constexpr std::int64_t kMinFlopsPerInt8Chunk = std::int64_t{1} << 18;
+
+}  // namespace
+
+const char* precision_name(Precision p) {
+  return p == Precision::kInt8 ? "int8" : "fp32";
+}
+
+bool parse_precision(std::string_view text, Precision* out) {
+  if (text == "fp32") {
+    *out = Precision::kFp32;
+    return true;
+  }
+  if (text == "int8") {
+    *out = Precision::kInt8;
+    return true;
+  }
+  return false;
+}
+
+Precision precision_from_env() {
+  static const Precision resolved = [] {
+    Precision p = Precision::kFp32;
+    if (const char* e = std::getenv("APF_PRECISION")) {
+      if (*e != '\0' && !parse_precision(e, &p)) {
+        std::fprintf(stderr,
+                     "[apf::quantize] ignoring APF_PRECISION=\"%s\" "
+                     "(need \"fp32\" or \"int8\"); using fp32\n",
+                     e);
+      }
+    }
+    return p;
+  }();
+  return resolved;
+}
+
+Precision active_precision() { return t_precision; }
+
+PrecisionGuard::PrecisionGuard(Precision p) : prev_(t_precision) {
+  t_precision = p;
+}
+
+PrecisionGuard::~PrecisionGuard() { t_precision = prev_; }
+
+bool int8_available() {
+  return detail::int8_gemm_backend()->is_available();
+}
+
+void int8_prepack_into(bool trans, const float* b, std::int64_t ldb,
+                       std::int64_t k, std::int64_t n,
+                       Int8PackedWeights* out) {
+  APF_CHECK(k >= 0 && n >= 0, "int8_prepack: negative dimension");
+  APF_CHECK(k <= kInt8MaxDepth,
+            "int8_prepack: depth " << k << " exceeds the s32 accumulator "
+                                   << "bound " << kInt8MaxDepth);
+  out->out = n;
+  out->in = k;
+  out->out_padded = (n + 7) / 8 * 8;
+  out->in_padded = (k + 3) / 4 * 4;
+  const std::int64_t k4 = out->in_padded / 4;
+  out->data.assign(
+      static_cast<std::size_t>(out->out_padded * out->in_padded), 0);
+  out->scales.assign(static_cast<std::size_t>(n), 1.f);
+  out->col_sums.assign(static_cast<std::size_t>(n), 0);
+  for (std::int64_t c = 0; c < n; ++c) {
+    // Channel c, depth p: op(B)[p][c].
+    const auto wat = [&](std::int64_t p) {
+      return trans ? b[c * ldb + p] : b[p * ldb + c];
+    };
+    float max_abs = 0.f;
+    for (std::int64_t p = 0; p < k; ++p)
+      max_abs = std::max(max_abs, std::fabs(wat(p)));
+    // An all-zero channel keeps scale 1 and every qw = 0: its dequantized
+    // output is exactly 0 (plus bias), not a 0/0 artifact.
+    if (max_abs == 0.f) continue;
+    const float sw = max_abs / static_cast<float>(kInt8WeightMax);
+    out->scales[static_cast<std::size_t>(c)] = sw;
+    std::int8_t* tile =
+        out->data.data() + (c / 8) * k4 * 32 + (c % 8) * 4;
+    std::int32_t colsum = 0;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const long q = std::lround(static_cast<double>(wat(p)) /
+                                 static_cast<double>(sw));
+      const std::int32_t qc = static_cast<std::int32_t>(
+          std::clamp<long>(q, -kInt8WeightMax, kInt8WeightMax));
+      colsum += qc;
+      tile[(p / 4) * 32 + (p % 4)] = static_cast<std::int8_t>(qc);
+    }
+    out->col_sums[static_cast<std::size_t>(c)] = colsum;
+  }
+}
+
+Int8PackedWeights int8_prepack(bool trans, const float* b, std::int64_t ldb,
+                               std::int64_t k, std::int64_t n) {
+  Int8PackedWeights out;
+  int8_prepack_into(trans, b, ldb, k, n, &out);
+  return out;
+}
+
+Int8PackedWeights int8_prepack_linear(const float* w, std::int64_t out,
+                                      std::int64_t in) {
+  return int8_prepack(/*trans=*/true, w, in, in, out);
+}
+
+void int8_quantize_rows(bool trans, const float* a, std::int64_t lda,
+                        std::int64_t m, std::int64_t k, std::int64_t k_padded,
+                        std::uint8_t* q, Int8RowQuant* rq) {
+  APF_CHECK(k > 0 && k_padded >= k, "int8_quantize_rows: bad depth");
+  for (std::int64_t i = 0; i < m; ++i) {
+    const auto xat = [&](std::int64_t p) {
+      return trans ? a[p * lda + i] : a[i * lda + p];
+    };
+    std::uint8_t* qrow = q + i * k_padded;
+    Int8RowQuant& r = rq[i];
+    float lo = xat(0), hi = xat(0);
+    for (std::int64_t p = 1; p < k; ++p) {
+      const float v = xat(p);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (!(hi > lo)) {
+      // Constant row: pick a scale that represents the single value
+      // EXACTLY — v = |v| * (1 - zp) with q = 1 (zp 0 for positive v,
+      // 2 for negative), and all-zero rows quantize to all zeros.
+      const float v = lo;
+      if (v == 0.f) {
+        r.scale = 1.f;
+        r.zero_point = 0;
+        std::memset(qrow, 0, static_cast<std::size_t>(k_padded));
+        continue;
+      }
+      r.scale = std::fabs(v);
+      r.zero_point = v > 0.f ? 0 : 2;
+      std::memset(qrow, 1, static_cast<std::size_t>(k));
+      std::memset(qrow + k, 0, static_cast<std::size_t>(k_padded - k));
+      continue;
+    }
+    // Asymmetric u8 over the ZERO-EXTENDED range [min(lo,0), max(hi,0)]:
+    // extension keeps -lo/scale inside [0, 255], so the zero point is a
+    // real u8 and no value of the row saturates (an all-positive row with
+    // a raw [lo, hi] range would clamp zp to 0 and crush the whole row
+    // into [0, hi - lo]). scale = range / 255. The double intermediates
+    // keep lround in range even for denormal scales; the expressions are
+    // fixed, so the bytes are deterministic.
+    lo = std::min(lo, 0.f);
+    hi = std::max(hi, 0.f);
+    const float scale = (hi - lo) / 255.f;
+    const double inv = 1.0 / static_cast<double>(scale);
+    const double zpd = std::clamp(-static_cast<double>(lo) * inv, 0.0, 255.0);
+    const std::int32_t zp = static_cast<std::int32_t>(std::lround(zpd));
+    r.scale = scale;
+    r.zero_point = zp;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const double t = std::clamp(
+          static_cast<double>(xat(p)) * inv + static_cast<double>(zp), 0.0,
+          255.0);
+      qrow[p] = static_cast<std::uint8_t>(std::lround(t));
+    }
+    std::memset(qrow + k, 0, static_cast<std::size_t>(k_padded - k));
+  }
+}
+
+void int8_linear(const float* x, std::int64_t m, std::int64_t ld_x,
+                 const Int8PackedWeights& w, const float* bias, float* y,
+                 std::int64_t ld_y) {
+  APF_CHECK(int8_available(),
+            "int8_linear: int8 kernel unavailable on this host");
+  APF_CHECK(w.in > 0 && w.out > 0, "int8_linear: empty packed weights");
+  if (m <= 0) return;
+  const std::int64_t kp = w.in_padded;
+  // Quantize on the calling thread, before any parallel region: Tensor
+  // scratch bump-allocates from the thread arena on the grad-free serving
+  // path (heap elsewhere), and a single fixed-order pass keeps the bytes
+  // independent of the panel split below.
+  Tensor qbuf = Tensor::empty({(m * kp + 3) / 4});
+  Tensor rqbuf = Tensor::empty({m * 2});
+  std::uint8_t* qa = reinterpret_cast<std::uint8_t*>(qbuf.data());
+  Int8RowQuant* rq = reinterpret_cast<Int8RowQuant*>(rqbuf.data());
+  int8_quantize_rows(/*trans=*/false, x, ld_x, m, w.in, kp, qa, rq);
+
+  // Panel-parallel dispatch, mirroring apf::gemm: kGemmRowPanel-aligned
+  // chunks on the shared scheduler. Row quantization is row-local and the
+  // accumulators are exact integers, so any split is bitwise identical to
+  // the serial call.
+  const std::int64_t panels = (m + kGemmRowPanel - 1) / kGemmRowPanel;
+  std::int64_t chunks =
+      std::min<std::int64_t>(panels, detail::parallel_width());
+  if (chunks > 1) {
+    const std::int64_t flops = 2 * m * w.out * std::max<std::int64_t>(w.in, 1);
+    chunks = std::min(
+        chunks, std::max<std::int64_t>(1, flops / kMinFlopsPerInt8Chunk));
+  }
+  if (chunks <= 1) {
+    detail::int8_apply(qa, rq, m, w, 1.f, bias, /*accumulate=*/false, y,
+                       ld_y);
+    return;
+  }
+  ThreadPool::global().run_chunks(
+      chunks,
+      [&](std::int64_t ci) {
+        const std::int64_t p0 = panels * ci / chunks;
+        const std::int64_t p1 = panels * (ci + 1) / chunks;
+        const std::int64_t i0 = p0 * kGemmRowPanel;
+        const std::int64_t rows = std::min(m, p1 * kGemmRowPanel) - i0;
+        if (rows <= 0) return;
+        detail::int8_apply(qa + i0 * kp, rq + i0, rows, w, 1.f, bias,
+                           /*accumulate=*/false, y + i0 * ld_y, ld_y);
+      },
+      TaskKind::kPanel);
+}
+
+}  // namespace apf

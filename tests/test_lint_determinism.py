@@ -11,6 +11,7 @@ Run directly (python3 tests/test_lint_determinism.py) or via ctest.
 
 import os
 import sys
+import tempfile
 import unittest
 
 sys.path.insert(
@@ -186,6 +187,44 @@ class IsaGateRule(unittest.TestCase):
                           "src/tensor/gemm.cpp"],
         }
         self.assertEqual([], flag_rules([e]))
+
+    def test_int8_kernel_passes(self):
+        # Falls back to the static allowlist when the fixture root has no
+        # registry TU; gemm_int8.cpp is on it.
+        e = entry("src/tensor/gemm_int8.cpp", ["-mavx2", "-ffp-contract=off"])
+        self.assertEqual([], flag_rules([e]))
+
+    def test_allowlist_derived_from_registry_tu(self):
+        # With a readable registry TU the allowlist is DERIVED from the
+        # wired-in backend factories, not the static fallback: a freshly
+        # registered backend's TU passes without a linter edit, and a TU
+        # whose factory is absent from the registry is flagged even if it
+        # sits on the static fallback list.
+        with tempfile.TemporaryDirectory() as root:
+            tensor = os.path.join(root, "src", "tensor")
+            os.makedirs(tensor)
+            with open(os.path.join(tensor, "gemm_backend.cpp"), "w") as f:
+                f.write("static const std::vector<GemmBackend*> all = {\n"
+                        "    detail::avx512_gemm_backend(),\n"
+                        "    detail::reference_gemm_backend(),\n"
+                        "};\n")
+            fresh = entry("src/tensor/gemm_avx512.cpp",
+                          ["-mavx512f", "-ffp-contract=off"], root=root)
+            stale = entry("src/tensor/gemm_fma.cpp",
+                          ["-mfma", "-ffp-contract=off"], root=root)
+            self.assertEqual([], flag_rules([fresh], root=root))
+            self.assertIn("isa-gate", flag_rules([stale], root=root))
+
+    def test_committed_registry_covers_isa_kernels(self):
+        # The real registry must yield every TU the build hands ISA flags
+        # to (gemm_avx2 / gemm_fma / gemm_int8 as of this PR).
+        root = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+        derived = lint.registry_gated_tus(root)
+        self.assertNotEqual(derived, lint.ISA_GATED_TUS,
+                            "registry TU unreadable; derivation fell back")
+        for tu in ("src/tensor/gemm_avx2.cpp", "src/tensor/gemm_fma.cpp",
+                   "src/tensor/gemm_int8.cpp"):
+            self.assertIn(tu, derived)
 
 
 class ShimSurface(unittest.TestCase):

@@ -1,0 +1,439 @@
+// Int8 quantized inference tests: prepack layout and edge cases (zero
+// and all-negative channels, idempotence), dynamic row quantization
+// bounds (constant rows, saturation at the row extremes), the packed
+// AVX2 kernel against a scalar emulation of the same integer pipeline
+// (bitwise for the no-bias epilogue), thread-count bitwise determinism
+// of int8_linear, and the serving quality floor: mean Dice delta of the
+// int8 engine vs fp32 stays within the accuracy budget on the synthetic
+// suite (ISSUE acceptance criterion: <= 0.01).
+//
+// Everything below the precision-knob section requires the AVX2 backend;
+// hosts without it skip (the serving path downgrades to fp32 there, so
+// there is nothing int8 to test).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "data/synthetic.h"
+#include "models/unetr.h"
+#include "serve/engine.h"
+#include "tensor/quantize.h"
+#include "tensor/tensor.h"
+#include "train/metrics.h"
+
+namespace apf {
+namespace {
+
+/// RAII restore for the global thread count (0 = automatic resolution).
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() = default;
+  ~ThreadCountGuard() { set_num_threads(0); }
+};
+
+/// Scalar reference for the packed weight of channel c, depth p: what
+/// int8_prepack must have stored, recomputed from first principles.
+std::int8_t ref_qweight(const float* w, std::int64_t in, std::int64_t c,
+                        std::int64_t p, float scale) {
+  const double q = std::lround(static_cast<double>(w[c * in + p]) /
+                               static_cast<double>(scale));
+  return static_cast<std::int8_t>(
+      std::max<double>(-kInt8WeightMax, std::min<double>(kInt8WeightMax, q)));
+}
+
+/// Reads packed element (channel c, depth p) back out of the kernel
+/// layout: [out_padded/8 tiles][in_padded/4 groups][8 channels][4 k].
+std::int8_t packed_at(const Int8PackedWeights& w, std::int64_t c,
+                      std::int64_t p) {
+  const std::int8_t* tile =
+      w.data.data() + (c / 8) * w.in_padded * 8 + (c % 8) * 4;
+  return tile[(p / 4) * 32 + (p % 4)];
+}
+
+// ------------------------------------------------------ precision knob
+
+TEST(Precision, ParseAndName) {
+  Precision p = Precision::kFp32;
+  EXPECT_TRUE(parse_precision("int8", &p));
+  EXPECT_EQ(p, Precision::kInt8);
+  EXPECT_TRUE(parse_precision("fp32", &p));
+  EXPECT_EQ(p, Precision::kFp32);
+  EXPECT_FALSE(parse_precision("bf16", &p));
+  EXPECT_EQ(p, Precision::kFp32);  // untouched on failure
+  EXPECT_STREQ(precision_name(Precision::kInt8), "int8");
+  EXPECT_STREQ(precision_name(Precision::kFp32), "fp32");
+}
+
+TEST(Precision, GuardScopesAndRestores) {
+  EXPECT_EQ(active_precision(), Precision::kFp32);
+  {
+    PrecisionGuard g(Precision::kInt8);
+    EXPECT_EQ(active_precision(), Precision::kInt8);
+    {
+      PrecisionGuard inner(Precision::kFp32);
+      EXPECT_EQ(active_precision(), Precision::kFp32);
+    }
+    EXPECT_EQ(active_precision(), Precision::kInt8);
+  }
+  EXPECT_EQ(active_precision(), Precision::kFp32);
+}
+
+// ------------------------------------------------------------ prepack
+
+TEST(Int8Prepack, MatchesScalarQuantizationInKernelLayout) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t out = 11, in = 13;  // both ragged vs the 8/4 padding
+  Rng rng(0x51);
+  Tensor w = Tensor::randn({out, in}, rng);
+  Int8PackedWeights p = int8_prepack_linear(w.data(), out, in);
+  ASSERT_EQ(p.out, out);
+  ASSERT_EQ(p.in, in);
+  ASSERT_EQ(p.out_padded, 16);
+  ASSERT_EQ(p.in_padded, 16);
+  ASSERT_EQ(p.data.size(),
+            static_cast<std::size_t>(p.out_padded * p.in_padded));
+  for (std::int64_t c = 0; c < out; ++c) {
+    float maxabs = 0.f;
+    for (std::int64_t k = 0; k < in; ++k)
+      maxabs = std::max(maxabs, std::fabs(w.data()[c * in + k]));
+    ASSERT_FLOAT_EQ(p.scales[c], maxabs / kInt8WeightMax) << "channel " << c;
+    std::int32_t colsum = 0;
+    for (std::int64_t k = 0; k < in; ++k) {
+      const std::int8_t want = ref_qweight(w.data(), in, c, k, p.scales[c]);
+      ASSERT_EQ(packed_at(p, c, k), want) << "c=" << c << " k=" << k;
+      colsum += want;
+    }
+    ASSERT_EQ(p.col_sums[c], colsum) << "channel " << c;
+  }
+  // Padded channels and padded depth positions are zero-filled.
+  for (std::int64_t c = out; c < p.out_padded; ++c)
+    for (std::int64_t k = 0; k < p.in_padded; ++k)
+      ASSERT_EQ(packed_at(p, c, k), 0);
+  for (std::int64_t c = 0; c < out; ++c)
+    for (std::int64_t k = in; k < p.in_padded; ++k)
+      ASSERT_EQ(packed_at(p, c, k), 0);
+}
+
+TEST(Int8Prepack, Idempotent) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t out = 9, in = 21;
+  Rng rng(0x52);
+  Tensor w = Tensor::randn({out, in}, rng);
+  Int8PackedWeights a = int8_prepack_linear(w.data(), out, in);
+  Int8PackedWeights b = int8_prepack_linear(w.data(), out, in);
+  EXPECT_EQ(a.data, b.data);
+  EXPECT_EQ(a.scales, b.scales);
+  EXPECT_EQ(a.col_sums, b.col_sums);
+  // And through the reuse entry point, over a dirty buffer.
+  Int8PackedWeights c = int8_prepack_linear(w.data(), out, in);
+  Tensor other = Tensor::randn({2 * out, 2 * in}, rng);
+  int8_prepack_into(true, other.data(), 2 * in, 2 * in, 2 * out, &c);
+  int8_prepack_into(true, w.data(), in, in, out, &c);
+  EXPECT_EQ(a.data, c.data);
+  EXPECT_EQ(a.scales, c.scales);
+  EXPECT_EQ(a.col_sums, c.col_sums);
+}
+
+TEST(Int8Prepack, ZeroChannelPacksScaleOneAllZero) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t out = 3, in = 8;
+  Rng rng(0x53);
+  Tensor w = Tensor::randn({out, in}, rng);
+  for (std::int64_t k = 0; k < in; ++k) w.at({1, k}) = 0.f;
+  Int8PackedWeights p = int8_prepack_linear(w.data(), out, in);
+  EXPECT_EQ(p.scales[1], 1.f);
+  EXPECT_EQ(p.col_sums[1], 0);
+  for (std::int64_t k = 0; k < in; ++k) EXPECT_EQ(packed_at(p, 1, k), 0);
+}
+
+TEST(Int8Prepack, AllNegativeChannelQuantizesSymmetrically) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t out = 1, in = 4;
+  const float w[] = {-2.f, -1.f, -0.5f, -4.f};
+  Int8PackedWeights p = int8_prepack_linear(w, out, in);
+  ASSERT_FLOAT_EQ(p.scales[0], 4.f / kInt8WeightMax);
+  EXPECT_EQ(packed_at(p, 0, 3), -kInt8WeightMax);  // the extreme hits -63
+  std::int32_t colsum = 0;
+  for (std::int64_t k = 0; k < in; ++k) {
+    const std::int8_t q = packed_at(p, 0, k);
+    EXPECT_LT(q, 0) << "k=" << k;  // every value stays negative
+    EXPECT_NEAR(q * p.scales[0], w[k], p.scales[0] / 2 + 1e-6f) << "k=" << k;
+    colsum += q;
+  }
+  EXPECT_EQ(p.col_sums[0], colsum);
+}
+
+// ----------------------------------------- activation quantization
+
+TEST(Int8QuantizeRows, ReconstructionWithinHalfStepIncludingExtremes) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t m = 4, k = 10, kp = 12;
+  // Mixed-sign, all-positive, all-negative, and tiny-range rows: the
+  // zero-extended range must keep every value (extremes included) inside
+  // [0, 255] with at most half-step reconstruction error.
+  const float rows[m][k] = {
+      {-3.f, 2.f, 0.1f, -0.2f, 1.5f, -1.5f, 3.f, -3.f, 0.f, 2.9f},
+      {1.f, 2.f, 3.f, 4.f, 5.f, 6.f, 7.f, 8.f, 9.f, 10.f},
+      {-1.f, -2.f, -3.f, -4.f, -5.f, -6.f, -7.f, -8.f, -9.f, -10.f},
+      {1e-4f, 2e-4f, 1.5e-4f, 1.2e-4f, 1.9e-4f, 1e-4f, 2e-4f, 1.1e-4f,
+       1.3e-4f, 1.7e-4f},
+  };
+  std::vector<std::uint8_t> q(static_cast<std::size_t>(m * kp), 0xee);
+  std::vector<Int8RowQuant> rq(static_cast<std::size_t>(m));
+  int8_quantize_rows(false, &rows[0][0], k, m, k, kp, q.data(), rq.data());
+  for (std::int64_t r = 0; r < m; ++r) {
+    ASSERT_GT(rq[r].scale, 0.f) << "row " << r;
+    ASSERT_GE(rq[r].zero_point, 0) << "row " << r;
+    ASSERT_LE(rq[r].zero_point, 255) << "row " << r;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float back =
+          rq[r].scale *
+          (static_cast<float>(q[r * kp + p]) - rq[r].zero_point);
+      // 0.5001: a zero point rounded up from exactly x.5 puts the row
+      // maximum a full half-step past the top grid point.
+      ASSERT_NEAR(back, rows[r][p], rq[r].scale * 0.5001f + 1e-6f)
+          << "row " << r << " p=" << p;
+    }
+    for (std::int64_t p = k; p < kp; ++p)
+      ASSERT_EQ(q[r * kp + p], 0) << "tail not zero-filled, row " << r;
+  }
+  // The all-positive row's maximum must land exactly on a grid point near
+  // the top of the range, not clip: 10.f round-trips exactly at q = 255.
+  EXPECT_EQ(q[1 * kp + 9], 255);
+  EXPECT_EQ(rq[1].zero_point, 0);
+  EXPECT_FLOAT_EQ(rq[1].scale * (255 - rq[1].zero_point), 10.f);
+  // The all-negative row's minimum likewise: zp = 255, q = 0.
+  EXPECT_EQ(q[2 * kp + 9], 0);
+  EXPECT_EQ(rq[2].zero_point, 255);
+  EXPECT_FLOAT_EQ(rq[2].scale * (0 - rq[2].zero_point), -10.f);
+}
+
+TEST(Int8QuantizeRows, ConstantAndZeroRowsAreExact) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t m = 3, k = 5, kp = 8;
+  const float rows[m][k] = {
+      {2.5f, 2.5f, 2.5f, 2.5f, 2.5f},
+      {-0.75f, -0.75f, -0.75f, -0.75f, -0.75f},
+      {0.f, 0.f, 0.f, 0.f, 0.f},
+  };
+  std::vector<std::uint8_t> q(static_cast<std::size_t>(m * kp), 0xee);
+  std::vector<Int8RowQuant> rq(static_cast<std::size_t>(m));
+  int8_quantize_rows(false, &rows[0][0], k, m, k, kp, q.data(), rq.data());
+  for (std::int64_t r = 0; r < m; ++r)
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float back =
+          rq[r].scale *
+          (static_cast<float>(q[r * kp + p]) - rq[r].zero_point);
+      ASSERT_EQ(back, rows[r][p]) << "row " << r << " p=" << p;
+    }
+  EXPECT_EQ(q[2 * kp], 0);  // zero row: all-zero bytes, scale 1, zp 0
+  EXPECT_EQ(rq[2].scale, 1.f);
+  EXPECT_EQ(rq[2].zero_point, 0);
+}
+
+// ------------------------------------------------------------- kernel
+
+// The AVX2 kernel against a scalar emulation of the identical integer
+// pipeline. With bias == nullptr the epilogue is two multiplies and a
+// subtract — no add that could contract into an FMA here — so the
+// comparison is BITWISE: any packing, saturation, or accumulation
+// divergence in the vector path shows up as a hard mismatch.
+TEST(Int8Linear, BitwiseMatchesScalarIntegerReference) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  ThreadCountGuard restore;
+  set_num_threads(1);
+  const std::int64_t m = 7, in = 29, out = 19;  // ragged on every axis
+  Rng rng(0x54);
+  Tensor x = Tensor::randn({m, in}, rng);
+  Tensor w = Tensor::randn({out, in}, rng);
+  Int8PackedWeights pack = int8_prepack_linear(w.data(), out, in);
+
+  Tensor got = Tensor::zeros({m, out});
+  int8_linear(x.data(), m, in, pack, nullptr, got.data(), out);
+
+  std::vector<std::uint8_t> q(static_cast<std::size_t>(m * pack.in_padded));
+  std::vector<Int8RowQuant> rq(static_cast<std::size_t>(m));
+  int8_quantize_rows(false, x.data(), in, m, in, pack.in_padded, q.data(),
+                     rq.data());
+  for (std::int64_t r = 0; r < m; ++r)
+    for (std::int64_t c = 0; c < out; ++c) {
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < in; ++p)
+        acc += static_cast<std::int32_t>(q[r * pack.in_padded + p]) *
+               packed_at(pack, c, p);
+      const std::int32_t raw = acc - rq[r].zero_point * pack.col_sums[c];
+      const float want =
+          rq[r].scale * (pack.scales[c] * static_cast<float>(raw));
+      ASSERT_EQ(got.at({r, c}), want) << "r=" << r << " c=" << c;
+    }
+}
+
+TEST(Int8Linear, CloseToFp32AndExactBiasOnZeroWeightColumn) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  ThreadCountGuard restore;
+  set_num_threads(1);
+  const std::int64_t m = 5, in = 32, out = 8;
+  Rng rng(0x55);
+  Tensor x = Tensor::randn({m, in}, rng);
+  Tensor w = Tensor::randn({out, in}, rng);
+  Tensor bias = Tensor::randn({out}, rng);
+  for (std::int64_t p = 0; p < in; ++p) w.at({3, p}) = 0.f;  // channel 3
+  Int8PackedWeights pack = int8_prepack_linear(w.data(), out, in);
+  Tensor y = Tensor::zeros({m, out});
+  int8_linear(x.data(), m, in, pack, bias.data(), y.data(), out);
+  // Row scales, for the analytic error bound below.
+  std::vector<std::uint8_t> q(static_cast<std::size_t>(m * pack.in_padded));
+  std::vector<Int8RowQuant> rq(static_cast<std::size_t>(m));
+  int8_quantize_rows(false, x.data(), in, m, in, pack.in_padded, q.data(),
+                     rq.data());
+  for (std::int64_t r = 0; r < m; ++r)
+    for (std::int64_t c = 0; c < out; ++c) {
+      float ref = bias.data()[c];
+      for (std::int64_t p = 0; p < in; ++p)
+        ref += x.at({r, p}) * w.at({c, p});
+      if (c == 3) {
+        // Zero weight column: the quantized product is exactly zero, so
+        // the output is the bias bit for bit.
+        ASSERT_EQ(y.at({r, c}), bias.data()[c]) << "r=" << r;
+      } else {
+        // Deterministic worst case: each term's quantization error is at
+        // most |x|*sw/2 + |w|*sx/2 + sx*sw/4 (half a step per factor;
+        // the activation half-step can reach a full step when the zero
+        // point rounded from exactly x.5, hence the doubled sx term).
+        const float sx = rq[r].scale, sw = pack.scales[c];
+        double bound = 1e-5;
+        for (std::int64_t p = 0; p < in; ++p)
+          bound += std::fabs(x.at({r, p})) * sw / 2 +
+                   std::fabs(w.at({c, p})) * sx + sx * sw / 2;
+        ASSERT_NEAR(y.at({r, c}), ref, bound) << "r=" << r << " c=" << c;
+        // The linear-sum worst case is loose (real errors random-walk);
+        // it still bounds well under the O(5-ish) dot products here, so
+        // a sign or scale bug cannot hide inside it.
+        ASSERT_LT(bound, 1.5) << "r=" << r << " c=" << c;
+      }
+    }
+}
+
+TEST(Int8Linear, BitwiseIdenticalAcrossThreadCountsAndRuns) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  ThreadCountGuard restore;
+  // Large enough for multi-panel dispatch: 4 row panels, flops above the
+  // parallelization floor, so chunk boundaries land mid-matrix.
+  const std::int64_t m = 200, in = 64, out = 32;
+  Rng rng(0x56);
+  Tensor x = Tensor::randn({m, in}, rng);
+  Tensor w = Tensor::randn({out, in}, rng);
+  Tensor bias = Tensor::randn({out}, rng);
+  Int8PackedWeights pack = int8_prepack_linear(w.data(), out, in);
+
+  set_num_threads(1);
+  Tensor want = Tensor::zeros({m, out});
+  int8_linear(x.data(), m, in, pack, bias.data(), want.data(), out);
+  for (const int threads : {1, 2, 7}) {
+    set_num_threads(threads);
+    for (int run = 0; run < 2; ++run) {
+      Tensor got = Tensor::zeros({m, out});
+      int8_linear(x.data(), m, in, pack, bias.data(), got.data(), out);
+      for (std::int64_t i = 0; i < got.numel(); ++i)
+        ASSERT_EQ(want[i], got[i])
+            << "threads=" << threads << " run=" << run << " at " << i;
+    }
+  }
+}
+
+// ------------------------------------------------- serving quality floor
+
+// The acceptance criterion of the int8 path: on the synthetic PAIP suite
+// the mean Dice of int8 predictions (against ground truth) stays within
+// 0.01 of fp32's, and the int8 masks themselves agree with the fp32
+// masks. An untrained model would pass this vacuously (both paths emit
+// near-constant logits), so the engine-level agreement of per-pixel
+// logits is pinned too — quantization noise must stay small in logit
+// space, not just under the argmax.
+TEST(Int8Serving, DiceDeltaVsFp32WithinBudget) {
+  if (!int8_available()) GTEST_SKIP() << "int8 backend unavailable";
+  const std::int64_t z = 32, patch = 4, n_images = 4;
+  models::UnetrConfig mcfg;
+  mcfg.enc.token_dim = 3 * patch * patch;
+  mcfg.enc.d_model = 32;
+  mcfg.enc.depth = 2;
+  mcfg.enc.heads = 4;
+  mcfg.image_size = z;
+  mcfg.grid = 8;
+  mcfg.base_channels = 8;
+  Rng mrng(7);
+  models::Unetr2d model(mcfg, mrng);
+  model.set_training(false);
+
+  serve::EngineConfig ecfg;
+  ecfg.patcher.patch_size = patch;
+  ecfg.patcher.min_patch = patch;
+  ecfg.patcher.max_depth = 5;
+  serve::InferenceEngine fp32_engine(model, ecfg);
+  ecfg.precision = Precision::kInt8;
+  serve::InferenceEngine int8_engine(model, ecfg);
+  EXPECT_EQ(int8_engine.precision(), Precision::kInt8);
+
+  data::PaipConfig pc;
+  pc.resolution = z;
+  data::SyntheticPaip gen(pc);
+  std::vector<img::Image> images;
+  std::vector<Tensor> truths;
+  for (std::int64_t i = 0; i < n_images; ++i) {
+    data::SegSample s = gen.sample(i);
+    images.push_back(s.image);
+    Tensor t = Tensor::zeros({z * z});
+    std::memcpy(t.data(), s.mask.data.data(),
+                static_cast<std::size_t>(z * z) * sizeof(float));
+    truths.push_back(std::move(t));
+  }
+
+  serve::InferenceResult rf = fp32_engine.run(images);
+  serve::InferenceResult ri = int8_engine.run(images);
+  EXPECT_EQ(rf.stats.precision, "fp32");
+  EXPECT_EQ(ri.stats.precision, "int8");
+
+  double dice_fp32 = 0.0, dice_int8 = 0.0, mask_agree = 0.0;
+  double max_rel_logit_err = 0.0;
+  const std::int64_t px = z * z;
+  for (std::int64_t i = 0; i < n_images; ++i) {
+    Tensor lf = Tensor::zeros({px});
+    Tensor li = Tensor::zeros({px});
+    std::memcpy(lf.data(), rf.logits.data() + i * px,
+                static_cast<std::size_t>(px) * sizeof(float));
+    std::memcpy(li.data(), ri.logits.data() + i * px,
+                static_cast<std::size_t>(px) * sizeof(float));
+    dice_fp32 += train::dice_binary(lf, truths[i]);
+    dice_int8 += train::dice_binary(li, truths[i]);
+    // int8 mask vs the fp32 mask as pseudo-truth: thresholded agreement.
+    Tensor fmask = Tensor::zeros({px});
+    for (std::int64_t j = 0; j < px; ++j)
+      fmask.data()[j] = lf[j] > 0.f ? 1.f : 0.f;
+    mask_agree += train::dice_binary(li, fmask);
+    for (std::int64_t j = 0; j < px; ++j)
+      max_rel_logit_err =
+          std::max(max_rel_logit_err,
+                   static_cast<double>(std::fabs(li[j] - lf[j])) /
+                       std::max(1.0, static_cast<double>(std::fabs(lf[j]))));
+  }
+  dice_fp32 /= n_images;
+  dice_int8 /= n_images;
+  mask_agree /= n_images;
+  EXPECT_LE(std::fabs(dice_fp32 - dice_int8), 0.01)
+      << "fp32 dice " << dice_fp32 << " vs int8 dice " << dice_int8;
+  EXPECT_GE(mask_agree, 0.99) << "int8 masks diverge from fp32 masks";
+  EXPECT_LE(max_rel_logit_err, 0.05)
+      << "per-pixel logit error beyond quantization-noise budget";
+
+  // Run-to-run determinism of the int8 serving path.
+  serve::InferenceResult ri2 = int8_engine.run(images);
+  for (std::int64_t i = 0; i < ri.logits.numel(); ++i)
+    ASSERT_EQ(ri.logits[i], ri2.logits[i]) << "at " << i;
+}
+
+}  // namespace
+}  // namespace apf

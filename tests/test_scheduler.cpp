@@ -248,15 +248,24 @@ TEST(Scheduler, TaskKindCountersAttributeChunks) {
   EXPECT_EQ(after.panel_tasks - before.panel_tasks, 4u);
 }
 
-TEST(Scheduler, InlineRegionsAreNotCounted) {
+TEST(Scheduler, InlineRegionsCountTasksButNeverSteals) {
   ThreadCountGuard restore;
   set_num_threads(1);  // width 1: everything runs inline
   const SchedulerStats before = scheduler_stats();
+  // A width-1 parallel_for never forms a region (raw serial loop), so it
+  // contributes nothing; an explicit run_chunks region DOES count its
+  // chunks even though they run inline — the task counters describe
+  // submitted work independent of thread count (a serving bench at
+  // width 1 must not report zero activity).
   parallel_for(1000, [](std::int64_t) {}, /*grain=*/1);
   ThreadPool::global().run_chunks(8, [](std::int64_t) {});
+  TaskGroup group;
+  group.submit(3, [](std::int64_t) {}, TaskKind::kForward);
+  group.wait();
   const SchedulerStats after = scheduler_stats();
-  EXPECT_EQ(after.panel_tasks, before.panel_tasks);
-  EXPECT_EQ(after.steals, before.steals);
+  EXPECT_EQ(after.panel_tasks - before.panel_tasks, 8u);
+  EXPECT_EQ(after.forward_tasks - before.forward_tasks, 3u);
+  EXPECT_EQ(after.steals, before.steals);  // nothing to steal inline
 }
 
 TEST(Scheduler, ExecutionConcurrencyBoundedByWidth) {
